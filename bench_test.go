@@ -1,0 +1,128 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (the per-experiment index is DESIGN.md §4; the recorded
+// paper-vs-measured comparison is EXPERIMENTS.md).
+//
+// Each benchmark runs the corresponding experiment once per iteration and
+// prints its table through b.Log on the first iteration. Scale is
+// controlled by the DRISHTI_* environment variables:
+//
+//	go test -bench=. -benchtime=1x -timeout 0           # full suite (≈40 min)
+//	DRISHTI_INSTR=400000 DRISHTI_MIXES=8 go test -bench Fig13 -benchtime 1x
+//
+// Results within one `go test -bench` process are memoized across
+// experiments that share runs (fig13/fig14/tab05/tab06 reuse one sweep), so
+// benching everything costs far less than the sum of the parts.
+package drishti_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"drishti"
+)
+
+// benchParams trims the default scale a little so `go test -bench=.` on a
+// laptop finishes in minutes; env overrides still win.
+func benchParams() drishti.ExperimentParams {
+	return drishti.DefaultExperimentParams()
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		var out io.Writer = io.Discard
+		var buf bytes.Buffer
+		if i == 0 {
+			out = &buf
+		}
+		if err := drishti.RunExperiment(id, p, out); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", buf.String())
+		}
+	}
+}
+
+// --- motivation (Section 3) -------------------------------------------------
+
+func BenchmarkFig02PCScatter(b *testing.B)       { runExperiment(b, "fig02") }
+func BenchmarkFig03ETRViews(b *testing.B)        { runExperiment(b, "fig03") }
+func BenchmarkFig04FreqDist(b *testing.B)        { runExperiment(b, "fig04") }
+func BenchmarkFig05SetMPKA(b *testing.B)         { runExperiment(b, "fig05") }
+func BenchmarkTab01SampledSetCases(b *testing.B) { runExperiment(b, "tab01") }
+func BenchmarkTab02DesignSpace(b *testing.B)     { runExperiment(b, "tab02") }
+
+// --- design (Section 4) -------------------------------------------------------
+
+func BenchmarkFig10PredictorAPKI(b *testing.B) { runExperiment(b, "fig10") }
+func BenchmarkFig11aNoNocstar(b *testing.B)    { runExperiment(b, "fig11a") }
+func BenchmarkFig11bLatencySweep(b *testing.B) { runExperiment(b, "fig11b") }
+func BenchmarkTab03Budget(b *testing.B)        { runExperiment(b, "tab03") }
+
+// --- main results (Section 5.2) ----------------------------------------------
+
+func BenchmarkFig13MainPerf(b *testing.B)      { runExperiment(b, "fig13") }
+func BenchmarkFig14MissReduction(b *testing.B) { runExperiment(b, "fig14") }
+func BenchmarkTab05WPKI(b *testing.B)          { runExperiment(b, "tab05") }
+func BenchmarkFig15Energy(b *testing.B)        { runExperiment(b, "fig15") }
+func BenchmarkTab06Metrics(b *testing.B)       { runExperiment(b, "tab06") }
+
+// --- detailed analysis (Section 5.3) -------------------------------------------
+
+func BenchmarkFig16PerMix(b *testing.B)         { runExperiment(b, "fig16") }
+func BenchmarkFig17Ablation(b *testing.B)       { runExperiment(b, "fig17") }
+func BenchmarkFig18DrishtiETR(b *testing.B)     { runExperiment(b, "fig18") }
+func BenchmarkFig19OtherWorkloads(b *testing.B) { runExperiment(b, "fig19") }
+
+// --- sensitivity (Section 5.4) --------------------------------------------------
+
+func BenchmarkFig20LLCSize(b *testing.B)      { runExperiment(b, "fig20") }
+func BenchmarkFig21L2Size(b *testing.B)       { runExperiment(b, "fig21") }
+func BenchmarkFig22DRAMChannels(b *testing.B) { runExperiment(b, "fig22") }
+func BenchmarkFig23Prefetchers(b *testing.B)  { runExperiment(b, "fig23") }
+
+// --- applicability (Section 6) ----------------------------------------------------
+
+func BenchmarkTab07Applicability(b *testing.B) { runExperiment(b, "tab07") }
+func BenchmarkTab08OtherPolicies(b *testing.B) { runExperiment(b, "tab08") }
+
+// --- beyond the paper -----------------------------------------------------------
+
+func BenchmarkScalability(b *testing.B)      { runExperiment(b, "scal") }
+func BenchmarkExtApplicability(b *testing.B) { runExperiment(b, "extA") }
+func BenchmarkFidelityAblation(b *testing.B) { runExperiment(b, "extB") }
+
+// --- micro-benchmarks of the substrate ---------------------------------------------
+
+// BenchmarkSimulatorThroughput measures raw simulation speed: instructions
+// simulated per second for a 4-core D-Mockingjay system.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := drishti.ScaledConfig(4, 8)
+	cfg.Instructions = 50_000
+	cfg.Warmup = 10_000
+	cfg.Policy = drishti.PolicySpec{Name: "mockingjay", Drishti: true}
+	model, _ := drishti.ModelByName("605.mcf_s-1554B")
+	mix := drishti.Homogeneous(model.Scale(8, cfg.SetIndexBits()), 4, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := drishti.RunMix(cfg, mix); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(4*(cfg.Instructions+cfg.Warmup))*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// BenchmarkTraceGeneration measures workload-generator throughput.
+func BenchmarkTraceGeneration(b *testing.B) {
+	g, err := drishti.NewGenerator(drishti.SPECModels()[0], 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}

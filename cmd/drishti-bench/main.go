@@ -1,0 +1,85 @@
+// Command drishti-bench regenerates the paper's tables and figures.
+//
+//	drishti-bench -list                  # show all experiments
+//	drishti-bench fig13                  # run one experiment
+//	drishti-bench all                    # run every experiment in order
+//	drishti-bench -mixes 8 -instr 400000 fig13 fig14
+//
+// Scale flags (or DRISHTI_* environment variables) trade fidelity for time;
+// see EXPERIMENTS.md for the settings used in the recorded results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"drishti/internal/experiments"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list experiments and exit")
+		scale  = flag.Int("scale", 0, "machine/workload shrink factor (default 8 or $DRISHTI_SCALE)")
+		instr  = flag.Uint64("instr", 0, "instructions per core (default 200000 or $DRISHTI_INSTR)")
+		warmup = flag.Uint64("warmup", 0, "warmup instructions per core")
+		mixes  = flag.Int("mixes", 0, "mixes per category")
+		seed   = flag.Uint64("seed", 0, "workload seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	p := experiments.DefaultParams()
+	if *scale > 0 {
+		p.Scale = *scale
+	}
+	if *instr > 0 {
+		p.Instructions = *instr
+	}
+	if *warmup > 0 {
+		p.Warmup = *warmup
+	}
+	if *mixes > 0 {
+		p.Mixes = *mixes
+	}
+	if *seed > 0 {
+		p.Seed = *seed
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: drishti-bench [-list] [flags] <experiment-id>... | all")
+		fmt.Fprintln(os.Stderr, "run 'drishti-bench -list' to see experiment IDs")
+		os.Exit(2)
+	}
+
+	var ids []string
+	if len(args) == 1 && args[0] == "all" {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = args
+	}
+
+	for _, id := range ids {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "drishti-bench: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		t0 := time.Now()
+		if err := e.Run(p, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "drishti-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- %s done in %v\n\n", id, time.Since(t0).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,154 @@
+// Command drishti-sim runs one simulation configuration and prints a
+// detailed report: per-core IPC, LLC MPKI/WPKI, DRAM and interconnect
+// traffic, energy, and the policy's hardware budget.
+//
+//	drishti-sim -cores 16 -policy mockingjay -drishti -workload 605.mcf_s-1554B
+//	drishti-sim -cores 4 -policy hawkeye -mix hetero -instr 400000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"drishti/internal/dram"
+	"drishti/internal/policies"
+	"drishti/internal/sim"
+	"drishti/internal/workload"
+)
+
+func main() {
+	var (
+		cores    = flag.Int("cores", 4, "number of cores (= LLC slices)")
+		policy   = flag.String("policy", "lru", "replacement policy: "+strings.Join(policies.KnownPolicies(), ", "))
+		drishti  = flag.Bool("drishti", false, "apply Drishti's enhancements (D-<policy>)")
+		wl       = flag.String("workload", "605.mcf_s-1554B", "model name (substring) for a homogeneous mix, or use -mix hetero")
+		mixKind  = flag.String("mix", "homo", "homo | hetero")
+		instr    = flag.Uint64("instr", 200_000, "instructions per core")
+		warmup   = flag.Uint64("warmup", 50_000, "warmup instructions per core")
+		scale    = flag.Int("scale", 8, "machine/workload shrink factor (1 = full-size 2MB slices)")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		l1pf     = flag.String("l1-prefetcher", "next-line", "L1D prefetcher")
+		l2pf     = flag.String("l2-prefetcher", "ip-stride", "L2 prefetcher")
+		channels = flag.Int("dram-channels", 0, "DRAM channels (0 = cores/4)")
+		metricsF = flag.Bool("metrics", false, "also run alone-IPC passes and report WS/HS/MIS/unfairness")
+		jsonOut  = flag.Bool("json", false, "emit the full result as JSON instead of the report")
+		mshrs    = flag.Bool("mshrs", false, "enforce strict Table 4 MSHR limits (8/16/64)")
+		inclus   = flag.Bool("inclusive", false, "inclusive LLC (back-invalidating; baseline is non-inclusive)")
+	)
+	flag.Parse()
+
+	cfg := sim.ScaledConfig(*cores, *scale)
+	cfg.Instructions = *instr
+	cfg.Warmup = *warmup
+	cfg.Seed = *seed
+	cfg.Policy = policies.Spec{Name: *policy, Drishti: *drishti}
+	cfg.L1Prefetcher = *l1pf
+	cfg.L2Prefetcher = *l2pf
+	cfg.ModelMSHRs = *mshrs
+	cfg.InclusiveLLC = *inclus
+	if *channels > 0 {
+		d := dram.DefaultConfig(*cores)
+		d.Channels = *channels
+		cfg.DRAM = d
+	}
+
+	mix, err := buildMix(cfg, *mixKind, *wl, *cores, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	res, err := sim.RunMix(cfg, mix)
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	report(cfg, mix, res)
+
+	if *metricsF {
+		alone, err := sim.RunAlone(cfg, mix)
+		if err != nil {
+			fatal(err)
+		}
+		out, err := sim.RunWithMetrics(cfg, mix, alone)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nmulti-core metrics (alone IPCs measured on this config):\n")
+		fmt.Printf("  WS=%.4f HS=%.4f unfairness=%.3f max-slowdown=%.1f%%\n",
+			out.Metrics.WS, out.Metrics.HS, out.Metrics.Unfairness, out.Metrics.MaxSlowdown()*100)
+	}
+}
+
+func buildMix(cfg sim.Config, kind, wl string, cores, scale int, seed uint64) (workload.Mix, error) {
+	models := workload.ScaleAll(workload.AllSPECGAP(), scale, cfg.SetIndexBits())
+	switch kind {
+	case "hetero":
+		return workload.HeterogeneousMixes(models, cores, 1, seed)[0], nil
+	case "homo":
+		for _, m := range models {
+			if strings.Contains(m.Name, wl) {
+				return workload.Homogeneous(m, cores, seed), nil
+			}
+		}
+		return workload.Mix{}, fmt.Errorf("no model matching %q; known models:\n  %s",
+			wl, strings.Join(workload.Names(workload.AllSPECGAP()), "\n  "))
+	default:
+		return workload.Mix{}, fmt.Errorf("unknown -mix %q (homo|hetero)", kind)
+	}
+}
+
+func report(cfg sim.Config, mix workload.Mix, res *sim.Result) {
+	fmt.Printf("policy=%s cores=%d slice=%dKB L2=%dKB instr=%d\n",
+		res.PolicyName, res.Cores, cfg.SliceKB, cfg.L2KB, cfg.Instructions)
+	fmt.Printf("mix=%s\n\n", mix.Name)
+	for i, c := range res.PerCore {
+		fmt.Printf("  core %-3d %-26s IPC=%.4f  llcMiss=%d/%d\n",
+			i, mix.Models[i].Name, c.IPC, c.LLCMisses, c.LLCAccesses)
+	}
+	fmt.Printf("\naggregate: IPCsum=%.4f  MPKI=%.2f  WPKI=%.2f  APKI=%.2f  bypasses=%d\n",
+		res.IPCSum(), res.MPKI, res.WPKI, res.APKI, res.LLC.Bypasses)
+	fmt.Printf("dram: reads=%d writes=%d rowHits=%d rowMisses=%d\n",
+		res.DRAM.Reads, res.DRAM.Writes, res.DRAM.RowHits, res.DRAM.RowMisses)
+	fmt.Printf("noc: meshMsgs=%d meshAvgLat=%.1f starMsgs=%d prefetches=%d\n",
+		res.MeshMsgs, res.MeshAvgLat, res.StarMsgs, res.PrefetchesIssued)
+	fmt.Printf("energy (mJ): LLC=%.2f DRAM=%.2f NoC=%.2f total=%.2f\n",
+		res.Energy.LLC, res.Energy.DRAM, res.Energy.NoC, res.Energy.Total)
+	if res.Fabric != nil {
+		fmt.Printf("predictor: lookups=%d trainings=%d broadcasts=%d remoteLookups=%d\n",
+			res.Fabric.Lookups, res.Fabric.Trainings, res.Fabric.Broadcasts, res.Fabric.RemoteLookups)
+	}
+	if res.DSCSelections > 0 {
+		fmt.Printf("dynamic sampled cache: %d selections, %d uniform fallbacks\n",
+			res.DSCSelections, res.DSCUniformFallbacks)
+	}
+	if len(res.Budget) > 0 {
+		keys := make([]string, 0, len(res.Budget))
+		for k := range res.Budget {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		total := 0
+		fmt.Printf("policy budget per core:")
+		for _, k := range keys {
+			fmt.Printf(" %s=%.2fKB", k, float64(res.Budget[k])/1024)
+			total += res.Budget[k]
+		}
+		fmt.Printf(" total=%.2fKB\n", float64(total)/1024)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "drishti-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"drishti/internal/sim"
+)
+
+func TestBuildMixHomogeneous(t *testing.T) {
+	cfg := sim.ScaledConfig(4, 8)
+	mix, err := buildMix(cfg, "homo", "mcf_s-1554B", 4, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix.Cores() != 4 {
+		t.Fatalf("cores %d", mix.Cores())
+	}
+	for _, m := range mix.Models {
+		if !strings.Contains(m.Name, "mcf") {
+			t.Fatalf("model %s", m.Name)
+		}
+	}
+}
+
+func TestBuildMixHeterogeneous(t *testing.T) {
+	cfg := sim.ScaledConfig(8, 8)
+	mix, err := buildMix(cfg, "hetero", "", 8, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix.Cores() != 8 {
+		t.Fatalf("cores %d", mix.Cores())
+	}
+}
+
+func TestBuildMixErrors(t *testing.T) {
+	cfg := sim.ScaledConfig(2, 8)
+	if _, err := buildMix(cfg, "homo", "not-a-benchmark", 2, 8, 1); err == nil {
+		t.Fatal("bogus workload accepted")
+	}
+	if _, err := buildMix(cfg, "sideways", "", 2, 8, 1); err == nil {
+		t.Fatal("bogus mix kind accepted")
+	}
+	// The workload-not-found error must list the registry for the user.
+	_, err := buildMix(cfg, "homo", "zzz", 2, 8, 1)
+	if err == nil || !strings.Contains(err.Error(), "605.mcf") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}

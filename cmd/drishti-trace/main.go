@@ -1,0 +1,155 @@
+// Command drishti-trace generates, inspects, and summarizes synthetic
+// workload traces in the drishti binary format.
+//
+//	drishti-trace -gen -workload 605.mcf_s-1554B -n 100000 -o mcf.drt
+//	drishti-trace -info mcf.drt
+//	drishti-trace -models
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"drishti/internal/analysis"
+	"drishti/internal/mem"
+	"drishti/internal/trace"
+	"drishti/internal/workload"
+)
+
+func main() {
+	var (
+		gen     = flag.Bool("gen", false, "generate a trace")
+		info    = flag.String("info", "", "summarize an existing trace file")
+		models  = flag.Bool("models", false, "list workload models and exit")
+		wl      = flag.String("workload", "605.mcf_s-1554B", "model name for -gen")
+		n       = flag.Int("n", 100_000, "memory records to generate")
+		out     = flag.String("o", "trace.drt", "output path for -gen")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		csv     = flag.Bool("csv", false, "write/read CSV instead of the binary format")
+		analyze = flag.Bool("analyze", false, "with -info: add a stack-distance (reuse) profile and miss-rate curve")
+		scale   = flag.Int("scale", 1, "footprint shrink factor")
+		setBits = flag.Int("setbits", 0, "slice set-index bits for hot-set steering (0 = full-size default)")
+	)
+	flag.Parse()
+
+	switch {
+	case *models:
+		for _, m := range append(workload.AllSPECGAP(), workload.Fig19Models()...) {
+			fmt.Printf("%-28s suite=%-8s streams=%d meanGap=%.1f\n",
+				m.Name, m.Suite, len(m.Streams), m.MeanGap)
+		}
+	case *gen:
+		model, ok := workload.ByName(*wl)
+		if !ok {
+			fatalf("unknown model %q (use -models)", *wl)
+		}
+		model = model.Scale(*scale, *setBits)
+		g, err := workload.NewGenerator(model, *seed)
+		if err != nil {
+			fatalf("building generator: %v", err)
+		}
+		recs := trace.Collect(g, *n)
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("creating %s: %v", *out, err)
+		}
+		defer f.Close()
+		write := trace.Write
+		if *csv {
+			write = trace.WriteCSV
+		}
+		if err := write(f, recs); err != nil {
+			fatalf("writing trace: %v", err)
+		}
+		fmt.Printf("wrote %d records (%d instructions) to %s\n",
+			len(recs), totalInstructions(recs), *out)
+	case *info != "":
+		f, err := os.Open(*info)
+		if err != nil {
+			fatalf("opening %s: %v", *info, err)
+		}
+		defer f.Close()
+		read := trace.Read
+		if *csv {
+			read = trace.ReadCSV
+		}
+		recs, err := read(f)
+		if err != nil {
+			fatalf("reading trace: %v", err)
+		}
+		summarize(recs)
+		if *analyze {
+			profile(recs)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func totalInstructions(recs []trace.Rec) uint64 {
+	var total uint64
+	for _, r := range recs {
+		total += r.Instructions()
+	}
+	return total
+}
+
+func summarize(recs []trace.Rec) {
+	if len(recs) == 0 {
+		fmt.Println("empty trace")
+		return
+	}
+	pcs := map[uint64]int{}
+	blocks := map[uint64]bool{}
+	writes := 0
+	for _, r := range recs {
+		pcs[r.PC]++
+		blocks[mem.Block(r.Addr)] = true
+		if r.Write {
+			writes++
+		}
+	}
+	fmt.Printf("records:       %d (%d instructions)\n", len(recs), totalInstructions(recs))
+	fmt.Printf("distinct PCs:  %d\n", len(pcs))
+	fmt.Printf("footprint:     %d blocks (%.1f MB)\n", len(blocks), float64(len(blocks))*64/1024/1024)
+	fmt.Printf("write ratio:   %.1f%%\n", 100*float64(writes)/float64(len(recs)))
+
+	type pcCount struct {
+		pc uint64
+		n  int
+	}
+	var top []pcCount
+	for pc, c := range pcs {
+		top = append(top, pcCount{pc, c})
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].n > top[j].n })
+	if len(top) > 10 {
+		top = top[:10]
+	}
+	fmt.Println("hottest PCs:")
+	for _, t := range top {
+		fmt.Printf("  0x%-12x %6.2f%%\n", t.pc, 100*float64(t.n)/float64(len(recs)))
+	}
+}
+
+// profile prints a Mattson stack-distance summary and the LRU miss-rate
+// curve at cache-relevant capacities.
+func profile(recs []trace.Rec) {
+	p := analysis.Profile(recs, 1<<16)
+	fmt.Printf("\nreuse profile:  %s\n", p)
+	caps := []int{128, 1024, 8192, 32768} // 8KB, 64KB, 512KB, 2MB
+	mrc := p.MissRateCurve(caps)
+	fmt.Println("LRU miss-rate curve (fully associative):")
+	for i, c := range caps {
+		fmt.Printf("  %6d blocks (%4d KB): %.1f%% miss\n", c, c*64/1024, mrc[i]*100)
+	}
+	fmt.Printf("top-64-block access share: %.1f%%\n", analysis.TopBlockShare(recs, 64)*100)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "drishti-trace: "+format+"\n", args...)
+	os.Exit(1)
+}

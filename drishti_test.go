@@ -1,0 +1,84 @@
+package drishti_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"drishti"
+)
+
+func TestPublicQuickstartPath(t *testing.T) {
+	cfg := drishti.ScaledConfig(2, 8)
+	cfg.Instructions = 20_000
+	cfg.Warmup = 4_000
+	cfg.Policy = drishti.PolicySpec{Name: "mockingjay", Drishti: true}
+
+	model, ok := drishti.ModelByName("605.mcf_s-1554B")
+	if !ok {
+		t.Fatal("registry lookup failed")
+	}
+	mix := drishti.Homogeneous(model.Scale(8, cfg.SetIndexBits()), 2, 1)
+	res, err := drishti.RunMix(cfg, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PolicyName != "d-mockingjay" {
+		t.Fatalf("policy name %q", res.PolicyName)
+	}
+	if res.IPCSum() <= 0 {
+		t.Fatal("no progress")
+	}
+}
+
+func TestPublicWorkloadSurface(t *testing.T) {
+	if len(drishti.SPECModels()) != 23 || len(drishti.GAPModels()) != 12 {
+		t.Fatal("registry counts changed")
+	}
+	if len(drishti.PaperMixes(4, 1)) != 70 {
+		t.Fatal("paper mixes != 70")
+	}
+	if len(drishti.KnownPolicies()) < 8 {
+		t.Fatal("policy registry shrank")
+	}
+	g, err := drishti.NewGenerator(drishti.SPECModels()[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.Next(); !ok {
+		t.Fatal("generator empty")
+	}
+}
+
+func TestPublicMetrics(t *testing.T) {
+	m, err := drishti.ComputeMetrics([]float64{1, 1}, []float64{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WS != 1.5 {
+		t.Fatalf("WS %v", m.WS)
+	}
+}
+
+func TestPublicExperimentSurface(t *testing.T) {
+	if len(drishti.Experiments()) != 28 {
+		t.Fatalf("%d experiments", len(drishti.Experiments()))
+	}
+	var buf bytes.Buffer
+	err := drishti.RunExperiment("definitely-not-real", drishti.DefaultExperimentParams(), &buf)
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("error %v", err)
+	}
+}
+
+func TestPlacementConstants(t *testing.T) {
+	if drishti.PlacementLocal.GlobalView() {
+		t.Fatal("local placement claims global view")
+	}
+	if !drishti.PlacementPerCoreGlobal.GlobalView() {
+		t.Fatal("per-core-global placement must be global")
+	}
+}

@@ -1,0 +1,54 @@
+package drishti_test
+
+import (
+	"fmt"
+
+	"drishti"
+)
+
+// The simplest possible simulation: one core, one workload model, one
+// policy. Real studies use DefaultConfig/ScaledConfig with PaperMixes.
+func ExampleRunMix() {
+	cfg := drishti.ScaledConfig(1, 8)
+	cfg.Instructions = 10_000
+	cfg.Warmup = 2_000
+	cfg.Policy = drishti.PolicySpec{Name: "hawkeye"}
+
+	model, _ := drishti.ModelByName("641.leela_s-800B")
+	mix := drishti.Homogeneous(model.Scale(8, cfg.SetIndexBits()), 1, 1)
+
+	res, err := drishti.RunMix(cfg, mix)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.PolicyName, res.Cores, res.PerCore[0].IPC > 0)
+	// Output: hawkeye 1 true
+}
+
+// PolicySpec selects the policy and the Drishti configuration; Drishti:true
+// is the paper's D-<policy> point.
+func ExamplePolicySpec() {
+	base := drishti.PolicySpec{Name: "mockingjay"}
+	enhanced := drishti.PolicySpec{Name: "mockingjay", Drishti: true}
+	fmt.Println(base.DisplayName(), enhanced.DisplayName())
+	// Output: mockingjay d-mockingjay
+}
+
+// The experiment registry maps every table and figure of the paper to a
+// runnable driver.
+func ExampleExperimentByID() {
+	e, ok := drishti.ExperimentByID("fig13")
+	fmt.Println(ok, e.ID)
+	// Output: true fig13
+}
+
+// Weighted speedup, harmonic speedup, and fairness metrics follow the
+// equations of Section 5.2.
+func ExampleComputeMetrics() {
+	m, _ := drishti.ComputeMetrics(
+		[]float64{0.8, 1.0}, // IPC running together
+		[]float64{1.0, 1.0}, // IPC running alone
+	)
+	fmt.Printf("WS=%.1f unfairness=%.2f\n", m.WS, m.Unfairness)
+	// Output: WS=1.8 unfairness=1.25
+}

@@ -1,0 +1,80 @@
+// Policycompare: run the full policy zoo — classic baselines, the two
+// state-of-the-art policies the paper studies, the Table-8 extras, and
+// their Drishti variants — on one 16-core heterogeneous mix and rank them
+// by normalized weighted speedup (the paper's headline metric).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"drishti"
+)
+
+func main() {
+	const cores = 16
+	cfg := drishti.ScaledConfig(cores, 8)
+	cfg.Instructions = 150_000
+	cfg.Warmup = 30_000
+
+	models := drishti.AllSPECGAP()
+	for i := range models {
+		models[i] = models[i].Scale(8, cfg.SetIndexBits())
+	}
+	mix := drishti.HeterogeneousMixes(models, cores, 1, 7)[0]
+	fmt.Printf("mix %s:\n", mix.Name)
+	for i, m := range mix.Models {
+		fmt.Printf("  core %-2d %s\n", i, m.Name)
+	}
+
+	// Alone IPCs (measured once on the LRU machine) anchor the weighted
+	// speedup of every policy.
+	base := cfg
+	base.Policy = drishti.PolicySpec{Name: "lru"}
+	alone, err := drishti.RunAlone(base, mix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lruOut, err := drishti.RunWithMetrics(base, mix, alone)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	specs := []drishti.PolicySpec{
+		{Name: "random"},
+		{Name: "srrip"},
+		{Name: "dip"},
+		{Name: "ship++"},
+		{Name: "ship++", Drishti: true},
+		{Name: "glider"},
+		{Name: "glider", Drishti: true},
+		{Name: "chrome"},
+		{Name: "chrome", Drishti: true},
+		{Name: "hawkeye"},
+		{Name: "hawkeye", Drishti: true},
+		{Name: "mockingjay"},
+		{Name: "mockingjay", Drishti: true},
+	}
+	type row struct {
+		name   string
+		normWS float64
+		mpki   float64
+	}
+	rows := []row{{"lru (baseline)", 1.0, lruOut.Result.MPKI}}
+	for _, spec := range specs {
+		c := cfg
+		c.Policy = spec
+		out, err := drishti.RunWithMetrics(c, mix, alone)
+		if err != nil {
+			log.Fatalf("%s: %v", spec.DisplayName(), err)
+		}
+		rows = append(rows, row{spec.DisplayName(), out.Metrics.WS / lruOut.Metrics.WS, out.Result.MPKI})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].normWS > rows[j].normWS })
+
+	fmt.Printf("\n%-18s %-12s %-8s\n", "policy", "normWS", "MPKI")
+	for _, r := range rows {
+		fmt.Printf("%-18s %-12.4f %-8.2f\n", r.name, r.normWS, r.mpki)
+	}
+}

@@ -1,0 +1,50 @@
+// Quickstart: simulate a 4-core system with a sliced LLC, compare LRU
+// against D-Mockingjay (Mockingjay + Drishti's enhancements) on an mcf-like
+// homogeneous mix, and print speedup and miss statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"drishti"
+)
+
+func main() {
+	const cores = 4
+
+	// A harness-scale machine: the Table-4 baseline shrunk 8×, paired with
+	// workloads whose footprints are shrunk by the same factor so that
+	// footprint-to-capacity ratios match the full-size system.
+	cfg := drishti.ScaledConfig(cores, 8)
+	cfg.Instructions = 200_000
+	cfg.Warmup = 50_000
+
+	model, ok := drishti.ModelByName("605.mcf_s-1554B")
+	if !ok {
+		log.Fatal("model registry missing mcf")
+	}
+	model = model.Scale(8, cfg.SetIndexBits())
+	mix := drishti.Homogeneous(model, cores, 1)
+
+	var results []*drishti.Result
+	for _, spec := range []drishti.PolicySpec{
+		{Name: "lru"},
+		{Name: "mockingjay"},
+		{Name: "mockingjay", Drishti: true},
+	} {
+		cfg.Policy = spec
+		res, err := drishti.RunMix(cfg, mix)
+		if err != nil {
+			log.Fatalf("running %s: %v", spec.DisplayName(), err)
+		}
+		results = append(results, res)
+		fmt.Printf("%-14s IPC(sum)=%.3f  LLC MPKI=%.2f  WPKI=%.2f  DRAM reads=%d\n",
+			spec.DisplayName(), res.IPCSum(), res.MPKI, res.WPKI, res.DRAM.Reads)
+	}
+
+	base := results[0].IPCSum()
+	fmt.Printf("\nspeedup over LRU: mockingjay %+.1f%%, d-mockingjay %+.1f%%\n",
+		(results[1].IPCSum()/base-1)*100, (results[2].IPCSum()/base-1)*100)
+	fmt.Println("\n(run with more instructions for stabler numbers; see cmd/drishti-sim)")
+}

@@ -1,0 +1,3 @@
+module drishti
+
+go 1.22

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"container/heap"
+
+	"drishti/internal/mem"
+	"drishti/internal/trace"
+)
+
+// OPTResult summarizes an offline Belady's-MIN simulation.
+type OPTResult struct {
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+}
+
+// HitRate returns the OPT hit rate.
+func (r OPTResult) HitRate() float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Accesses)
+}
+
+// SimulateOPT runs Belady's optimal replacement over the block stream in
+// recs for a set-associative cache with the given geometry (sets must be a
+// power of two; block → set uses the low block-address bits, as the
+// simulator's caches do). It is the oracle that Hawkeye's OPTgen emulates
+// online; tests use it to bound what any replacement policy can achieve.
+//
+// The implementation is the classic two-pass algorithm: first record, for
+// every access, when its block is accessed next; then simulate each set
+// with a max-heap of resident blocks keyed by next use, evicting the block
+// whose next use is furthest in the future.
+func SimulateOPT(recs []trace.Rec, sets, ways int) OPTResult {
+	if sets <= 0 || ways <= 0 {
+		return OPTResult{}
+	}
+	const never = ^uint64(0)
+
+	// Pass 1: next-use chain.
+	nextUse := make([]uint64, len(recs))
+	lastSeen := make(map[uint64]int, 1<<12)
+	for i := len(recs) - 1; i >= 0; i-- {
+		blk := mem.Block(recs[i].Addr)
+		if j, ok := lastSeen[blk]; ok {
+			nextUse[i] = uint64(j)
+		} else {
+			nextUse[i] = never
+		}
+		lastSeen[blk] = i
+	}
+
+	// Pass 2: per-set simulation.
+	type setState struct {
+		resident map[uint64]bool
+		h        optHeap // (block, nextUse) max-heap by nextUse (lazy)
+	}
+	states := make([]setState, sets)
+	for i := range states {
+		states[i] = setState{resident: make(map[uint64]bool, ways)}
+	}
+	mask := uint64(sets - 1)
+
+	var res OPTResult
+	for i, r := range recs {
+		blk := mem.Block(r.Addr)
+		st := &states[blk&mask]
+		res.Accesses++
+		if st.resident[blk] {
+			res.Hits++
+		} else {
+			res.Misses++
+			if len(st.resident) >= ways {
+				// Evict the resident block with the furthest next use.
+				// Heap entries are lazy: skip stale ones (blocks already
+				// evicted or entries superseded by a nearer use).
+				for {
+					top := heap.Pop(&st.h).(optEntry)
+					if st.resident[top.block] && top.stale == st.h.gen[top.block] {
+						delete(st.resident, top.block)
+						break
+					}
+				}
+			}
+			st.resident[blk] = true
+		}
+		// Record this block's next use (whether hit or fill).
+		if st.h.gen == nil {
+			st.h.gen = map[uint64]uint32{}
+		}
+		st.h.gen[blk]++
+		heap.Push(&st.h, optEntry{block: blk, next: nextUse[i], stale: st.h.gen[blk]})
+	}
+	return res
+}
+
+// optEntry is a lazy heap entry: stale entries (superseded generations) are
+// skipped at pop time.
+type optEntry struct {
+	block uint64
+	next  uint64
+	stale uint32
+}
+
+type optHeap struct {
+	entries []optEntry
+	gen     map[uint64]uint32
+}
+
+func (h optHeap) Len() int           { return len(h.entries) }
+func (h optHeap) Less(i, j int) bool { return h.entries[i].next > h.entries[j].next }
+func (h optHeap) Swap(i, j int)      { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+func (h *optHeap) Push(x any)        { h.entries = append(h.entries, x.(optEntry)) }
+func (h *optHeap) Pop() any {
+	old := h.entries
+	n := len(old)
+	x := old[n-1]
+	h.entries = old[:n-1]
+	return x
+}

@@ -1,0 +1,257 @@
+// Package analysis provides offline trace analysis: Mattson stack-distance
+// (reuse-distance) profiling and the fully-associative LRU hit rates it
+// implies for any cache size in one pass. The workload-model tests use it
+// to verify that each synthetic benchmark has the reuse structure its
+// archetype promises, and cmd/drishti-trace exposes it for inspection.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"drishti/internal/mem"
+	"drishti/internal/trace"
+)
+
+// StackProfile is the result of a stack-distance pass.
+type StackProfile struct {
+	// Hist[d] counts accesses with stack distance exactly d, for d <
+	// len(Hist); deeper reuses and cold misses land in Cold.
+	Hist []uint64
+	// Cold counts first-touch accesses plus reuses beyond the histogram.
+	Cold uint64
+	// Accesses is the total number of block accesses profiled.
+	Accesses uint64
+	// Blocks is the number of distinct blocks touched.
+	Blocks uint64
+}
+
+// distTree is an order-statistics treap over the LRU stack: each node is a
+// resident block keyed by its last-access time; the stack distance of a
+// reuse is the number of blocks accessed more recently, i.e. the rank of
+// the block's old timestamp from the top.
+type distTree struct {
+	nodes []treapNode
+	root  int32
+	free  []int32
+}
+
+type treapNode struct {
+	key         uint64 // last-access time
+	prio        uint64
+	left, right int32
+	size        int32
+}
+
+const nilNode = int32(-1)
+
+func newDistTree(capHint int) *distTree {
+	t := &distTree{root: nilNode}
+	t.nodes = make([]treapNode, 0, capHint)
+	return t
+}
+
+func (t *distTree) size(n int32) int32 {
+	if n == nilNode {
+		return 0
+	}
+	return t.nodes[n].size
+}
+
+func (t *distTree) update(n int32) {
+	t.nodes[n].size = 1 + t.size(t.nodes[n].left) + t.size(t.nodes[n].right)
+}
+
+func (t *distTree) alloc(key uint64) int32 {
+	var id int32
+	if len(t.free) > 0 {
+		id = t.free[len(t.free)-1]
+		t.free = t.free[:len(t.free)-1]
+		t.nodes[id] = treapNode{key: key, prio: splitmix(key), left: nilNode, right: nilNode, size: 1}
+	} else {
+		t.nodes = append(t.nodes, treapNode{key: key, prio: splitmix(key), left: nilNode, right: nilNode, size: 1})
+		id = int32(len(t.nodes) - 1)
+	}
+	return id
+}
+
+func splitmix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// split partitions by key: left < key ≤ right.
+func (t *distTree) split(n int32, key uint64) (int32, int32) {
+	if n == nilNode {
+		return nilNode, nilNode
+	}
+	if t.nodes[n].key < key {
+		l, r := t.split(t.nodes[n].right, key)
+		t.nodes[n].right = l
+		t.update(n)
+		return n, r
+	}
+	l, r := t.split(t.nodes[n].left, key)
+	t.nodes[n].left = r
+	t.update(n)
+	return l, n
+}
+
+func (t *distTree) merge(a, b int32) int32 {
+	if a == nilNode {
+		return b
+	}
+	if b == nilNode {
+		return a
+	}
+	if t.nodes[a].prio > t.nodes[b].prio {
+		t.nodes[a].right = t.merge(t.nodes[a].right, b)
+		t.update(a)
+		return a
+	}
+	t.nodes[b].left = t.merge(a, t.nodes[b].left)
+	t.update(b)
+	return b
+}
+
+// insert adds a block with last-access time key.
+func (t *distTree) insert(key uint64) {
+	n := t.alloc(key)
+	l, r := t.split(t.root, key)
+	t.root = t.merge(t.merge(l, n), r)
+}
+
+// removeRank removes the node with time key and returns how many resident
+// blocks have a larger (more recent) time — the stack distance.
+func (t *distTree) removeRank(key uint64) int {
+	l, rest := t.split(t.root, key)
+	mid, r := t.split(rest, key+1)
+	if mid == nilNode {
+		// Caller guarantees presence; treat as cold defensively.
+		t.root = t.merge(l, r)
+		return -1
+	}
+	rank := int(t.size(r))
+	t.free = append(t.free, mid)
+	t.root = t.merge(l, r)
+	return rank
+}
+
+// Profile computes the stack-distance histogram of the block-address stream
+// in recs, with distances capped at maxDist (larger reuses count as Cold).
+func Profile(recs []trace.Rec, maxDist int) *StackProfile {
+	if maxDist <= 0 {
+		maxDist = 1 << 16
+	}
+	p := &StackProfile{Hist: make([]uint64, maxDist)}
+	last := make(map[uint64]uint64, 1<<12)
+	tree := newDistTree(1 << 12)
+	for i, r := range recs {
+		now := uint64(i) + 1
+		blk := mem.Block(r.Addr)
+		p.Accesses++
+		if prev, ok := last[blk]; ok {
+			d := tree.removeRank(prev)
+			if d >= 0 && d < maxDist {
+				p.Hist[d]++
+			} else {
+				p.Cold++
+			}
+		} else {
+			p.Blocks++
+			p.Cold++
+		}
+		last[blk] = now
+		tree.insert(now)
+	}
+	return p
+}
+
+// HitRate returns the fully-associative LRU hit rate for a cache of the
+// given capacity in blocks: the fraction of accesses whose stack distance
+// is below the capacity.
+func (p *StackProfile) HitRate(capacityBlocks int) float64 {
+	if p.Accesses == 0 {
+		return 0
+	}
+	if capacityBlocks > len(p.Hist) {
+		capacityBlocks = len(p.Hist)
+	}
+	var hits uint64
+	for d := 0; d < capacityBlocks; d++ {
+		hits += p.Hist[d]
+	}
+	return float64(hits) / float64(p.Accesses)
+}
+
+// MissRateCurve evaluates HitRate at each capacity and returns miss rates —
+// the classic MRC used to reason about cache sizing.
+func (p *StackProfile) MissRateCurve(capacities []int) []float64 {
+	out := make([]float64, len(capacities))
+	for i, c := range capacities {
+		out[i] = 1 - p.HitRate(c)
+	}
+	return out
+}
+
+// MedianReuseDistance returns the median stack distance among reused
+// accesses, or -1 if nothing was reused within the histogram.
+func (p *StackProfile) MedianReuseDistance() int {
+	var reuses uint64
+	for _, c := range p.Hist {
+		reuses += c
+	}
+	if reuses == 0 {
+		return -1
+	}
+	var cum uint64
+	for d, c := range p.Hist {
+		cum += c
+		if cum >= (reuses+1)/2 {
+			return d
+		}
+	}
+	return len(p.Hist) - 1
+}
+
+// String summarizes the profile.
+func (p *StackProfile) String() string {
+	return fmt.Sprintf("accesses=%d blocks=%d cold=%.1f%% medianRD=%d",
+		p.Accesses, p.Blocks, 100*float64(p.Cold)/float64(max64(p.Accesses, 1)),
+		p.MedianReuseDistance())
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TopBlockShare returns the fraction of accesses going to the k most
+// frequently touched blocks — the popularity skew workload models encode
+// with Zipf parameters.
+func TopBlockShare(recs []trace.Rec, k int) float64 {
+	if len(recs) == 0 || k <= 0 {
+		return 0
+	}
+	counts := map[uint64]int{}
+	for _, r := range recs {
+		counts[mem.Block(r.Addr)]++
+	}
+	all := make([]int, 0, len(counts))
+	for _, c := range counts {
+		all = append(all, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(all)))
+	if k > len(all) {
+		k = len(all)
+	}
+	top := 0
+	for _, c := range all[:k] {
+		top += c
+	}
+	return float64(top) / float64(len(recs))
+}

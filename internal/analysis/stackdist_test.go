@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"drishti/internal/trace"
+	"drishti/internal/workload"
+)
+
+func recsFromBlocks(blocks []uint64) []trace.Rec {
+	out := make([]trace.Rec, len(blocks))
+	for i, b := range blocks {
+		out[i] = trace.Rec{PC: 0x400, Addr: b * 64}
+	}
+	return out
+}
+
+func TestProfileSimpleLoop(t *testing.T) {
+	// A loop over 4 blocks repeated: after the cold pass, every access has
+	// stack distance 3.
+	var blocks []uint64
+	for round := 0; round < 10; round++ {
+		for b := uint64(0); b < 4; b++ {
+			blocks = append(blocks, b)
+		}
+	}
+	p := Profile(recsFromBlocks(blocks), 64)
+	if p.Blocks != 4 || p.Cold != 4 {
+		t.Fatalf("blocks=%d cold=%d", p.Blocks, p.Cold)
+	}
+	if p.Hist[3] != 36 {
+		t.Fatalf("distance-3 count %d, want 36", p.Hist[3])
+	}
+	// A 4-block cache catches everything after the cold pass...
+	if hr := p.HitRate(4); hr < 0.89 || hr > 0.91 {
+		t.Fatalf("hit rate at capacity 4: %v", hr)
+	}
+	// ...a 3-block cache catches nothing (classic LRU loop pathology).
+	if hr := p.HitRate(3); hr != 0 {
+		t.Fatalf("hit rate at capacity 3: %v, want 0", hr)
+	}
+}
+
+func TestProfileImmediateReuse(t *testing.T) {
+	p := Profile(recsFromBlocks([]uint64{7, 7, 7, 7}), 16)
+	if p.Hist[0] != 3 || p.Cold != 1 {
+		t.Fatalf("hist0=%d cold=%d", p.Hist[0], p.Cold)
+	}
+	if p.MedianReuseDistance() != 0 {
+		t.Fatalf("median %d", p.MedianReuseDistance())
+	}
+}
+
+func TestProfileStreamingAllCold(t *testing.T) {
+	var blocks []uint64
+	for b := uint64(0); b < 1000; b++ {
+		blocks = append(blocks, b)
+	}
+	p := Profile(recsFromBlocks(blocks), 64)
+	if p.Cold != 1000 {
+		t.Fatalf("cold=%d, want all", p.Cold)
+	}
+	if p.MedianReuseDistance() != -1 {
+		t.Fatal("streaming has no reuse")
+	}
+}
+
+func TestMissRateCurveMonotone(t *testing.T) {
+	check := func(seed uint64) bool {
+		g, err := workload.NewGenerator(workload.GAPModels()[int(seed%12)].Scale(8, 8), seed)
+		if err != nil {
+			return false
+		}
+		recs := trace.Collect(g, 3000)
+		p := Profile(recs, 4096)
+		caps := []int{1, 16, 64, 256, 1024, 4096}
+		mrc := p.MissRateCurve(caps)
+		for i := 1; i < len(mrc); i++ {
+			if mrc[i] > mrc[i-1]+1e-12 {
+				return false // more capacity can never miss more under LRU
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeMatchesNaive(t *testing.T) {
+	// The treap-based distances must equal a brute-force LRU stack.
+	check := func(raw []uint8) bool {
+		blocks := make([]uint64, len(raw))
+		for i, r := range raw {
+			blocks[i] = uint64(r % 24)
+		}
+		p := Profile(recsFromBlocks(blocks), 64)
+
+		// Naive reference.
+		var stack []uint64
+		hist := make([]uint64, 64)
+		var cold uint64
+		for _, b := range blocks {
+			found := -1
+			for i := len(stack) - 1; i >= 0; i-- {
+				if stack[i] == b {
+					found = len(stack) - 1 - i
+					break
+				}
+			}
+			if found < 0 {
+				cold++
+			} else {
+				hist[found]++
+				idx := len(stack) - 1 - found
+				stack = append(stack[:idx], stack[idx+1:]...)
+			}
+			stack = append(stack, b)
+		}
+		if cold != p.Cold {
+			return false
+		}
+		for d := range hist {
+			if hist[d] != p.Hist[d] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopBlockShare(t *testing.T) {
+	blocks := []uint64{1, 1, 1, 1, 2, 3, 4, 5}
+	if s := TopBlockShare(recsFromBlocks(blocks), 1); s != 0.5 {
+		t.Fatalf("top-1 share %v", s)
+	}
+	if s := TopBlockShare(nil, 3); s != 0 {
+		t.Fatal("empty trace share")
+	}
+}
+
+// TestWorkloadArchetypesHavePromisedReuse validates the workload registry
+// against its own documentation using the analyzer: streaming models have
+// (almost) no reuse at LLC-relevant distances, loop models have strong
+// mid-distance reuse, and skewed gathers concentrate accesses on few
+// blocks.
+func TestWorkloadArchetypesHavePromisedReuse(t *testing.T) {
+	collect := func(name string) []trace.Rec {
+		m, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("model %s missing", name)
+		}
+		g, err := workload.NewGenerator(m.Scale(8, 8), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trace.Collect(g, 40_000)
+	}
+
+	stream := Profile(collect("619.lbm_s-2676B"), 1<<15)
+	loop := Profile(collect("623.xalancbmk_s-202B"), 1<<15)
+	// Both models carry an L1-resident stack stream (short-distance
+	// reuse), so the contrast is in the remaining traffic.
+	if coldFrac(stream) < 1.3*coldFrac(loop) {
+		t.Fatalf("streaming cold fraction %.2f should clearly exceed loop-mix %.2f",
+			coldFrac(stream), coldFrac(loop))
+	}
+
+	skew := TopBlockShare(collect("pr-kron"), 64)
+	flat := TopBlockShare(collect("tc-urand"), 64)
+	if skew < flat {
+		t.Fatalf("pr-kron top-64 share %.3f should exceed tc-urand %.3f", skew, flat)
+	}
+}
+
+func coldFrac(p *StackProfile) float64 {
+	return float64(p.Cold) / float64(p.Accesses)
+}

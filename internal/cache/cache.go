@@ -1,0 +1,279 @@
+// Package cache implements a generic set-associative cache with pluggable
+// replacement, dirty-line tracking, and per-set statistics. It is used for
+// L1D, L2, and each LLC slice.
+package cache
+
+import (
+	"fmt"
+
+	"drishti/internal/mem"
+	"drishti/internal/repl"
+)
+
+// Line is one cache line's bookkeeping state.
+type Line struct {
+	Tag      uint64 // full block address (not a truncated tag; simpler, exact)
+	Valid    bool
+	Dirty    bool
+	Prefetch bool // filled by a prefetch and not yet demanded
+}
+
+// Stats aggregates cache-level counters.
+type Stats struct {
+	Accesses       uint64
+	Hits           uint64
+	Misses         uint64
+	DemandAccesses uint64
+	DemandMisses   uint64
+	Fills          uint64
+	Bypasses       uint64
+	Evictions      uint64
+	Writebacks     uint64 // dirty evictions handed to the next level
+	PrefHits       uint64 // demand hits on prefetched lines
+}
+
+// Config sizes a cache.
+type Config struct {
+	Name string
+	Sets int
+	Ways int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Sets <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache %q: sets and ways must be positive (got %d×%d)", c.Name, c.Sets, c.Ways)
+	}
+	if c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("cache %q: sets must be a power of two (got %d)", c.Name, c.Sets)
+	}
+	return nil
+}
+
+// Cache is a single set-associative cache array.
+type Cache struct {
+	cfg     Config
+	lines   []Line // sets×ways, flattened
+	pol     repl.Policy
+	obs     repl.Observer // optional view of pol
+	setMask uint64
+
+	// Per-set counters, used by Fig 5 (MPKA per set) and by the dynamic
+	// sampled cache's saturating-counter monitor.
+	SetAccesses []uint64
+	SetMisses   []uint64
+
+	Stats Stats
+}
+
+// New builds a cache with the given replacement policy.
+func New(cfg Config, pol repl.Policy) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if pol == nil {
+		return nil, fmt.Errorf("cache %q: nil policy", cfg.Name)
+	}
+	c := &Cache{
+		cfg:         cfg,
+		lines:       make([]Line, cfg.Sets*cfg.Ways),
+		pol:         pol,
+		setMask:     uint64(cfg.Sets - 1),
+		SetAccesses: make([]uint64, cfg.Sets),
+		SetMisses:   make([]uint64, cfg.Sets),
+	}
+	if obs, ok := pol.(repl.Observer); ok {
+		c.obs = obs
+	}
+	return c, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(cfg Config, pol repl.Policy) *Cache {
+	c, err := New(cfg, pol)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Policy returns the replacement policy instance.
+func (c *Cache) Policy() repl.Policy { return c.pol }
+
+// SetIndex maps a block address to its set.
+func (c *Cache) SetIndex(block uint64) int { return int(block & c.setMask) }
+
+// line returns a pointer to the line at (set, way).
+func (c *Cache) line(set, way int) *Line { return &c.lines[set*c.cfg.Ways+way] }
+
+// Probe looks up block without side effects.
+func (c *Cache) Probe(block uint64) (way int, ok bool) {
+	set := c.SetIndex(block)
+	for w := 0; w < c.cfg.Ways; w++ {
+		ln := c.line(set, w)
+		if ln.Valid && ln.Tag == block {
+			return w, true
+		}
+	}
+	return 0, false
+}
+
+// Evicted describes the line displaced by a fill.
+type Evicted struct {
+	Block uint64
+	Dirty bool
+	Valid bool // false when the fill used an empty way or was bypassed
+}
+
+// Access performs the full lookup path for a demand or prefetch access a:
+// observe, hit-or-miss, and per-set accounting. It does NOT fill on a miss —
+// the hierarchy decides what to fill after the lower levels respond. Returns
+// whether it hit and, on a hit, whether the line was a not-yet-demanded
+// prefetch.
+func (c *Cache) Access(a repl.Access) (hit bool, wasPrefetch bool) {
+	a.Set = c.SetIndex(a.Block)
+	way, ok := c.Probe(a.Block)
+	if c.obs != nil {
+		c.obs.OnAccess(a.Set, a, ok)
+	}
+	c.Stats.Accesses++
+	demand := a.Type.IsDemand()
+	if demand {
+		c.Stats.DemandAccesses++
+		// Per-set counters track demand traffic only: that is what the
+		// Fig 5 MPKA study and the dynamic sampled cache monitor observe.
+		c.SetAccesses[a.Set]++
+	}
+	if !ok {
+		c.Stats.Misses++
+		if demand {
+			c.Stats.DemandMisses++
+			c.SetMisses[a.Set]++
+		}
+		return false, false
+	}
+	c.Stats.Hits++
+	ln := c.line(a.Set, way)
+	wasPref := ln.Prefetch
+	if ln.Prefetch && a.Type.IsDemand() {
+		c.Stats.PrefHits++
+		ln.Prefetch = false
+	}
+	if a.Type == mem.RFO || a.Type == mem.Writeback {
+		ln.Dirty = true
+	}
+	c.pol.OnHit(a.Set, way, a)
+	return true, wasPref
+}
+
+// Fill installs block for access a, evicting a victim if needed. dirty marks
+// the installed line dirty (writeback fills). Returns the evicted line, if
+// any; a bypassed fill returns Evicted{} with Valid=false and installs
+// nothing.
+func (c *Cache) Fill(a repl.Access, dirty bool) Evicted {
+	a.Set = c.SetIndex(a.Block)
+	// Refill of a line that is already present (e.g., a demand fill racing a
+	// prefetch fill in the same quantum): just update flags.
+	if way, ok := c.Probe(a.Block); ok {
+		ln := c.line(a.Set, way)
+		if dirty {
+			ln.Dirty = true
+		}
+		return Evicted{}
+	}
+	// Prefer an invalid way.
+	victim := -1
+	for w := 0; w < c.cfg.Ways; w++ {
+		if !c.line(a.Set, w).Valid {
+			victim = w
+			break
+		}
+	}
+	if victim < 0 {
+		victim = c.pol.Victim(a.Set, a)
+		if victim == repl.Bypass {
+			c.Stats.Bypasses++
+			return Evicted{}
+		}
+		if victim < 0 || victim >= c.cfg.Ways {
+			panic(fmt.Sprintf("cache %q: policy %s returned invalid victim %d", c.cfg.Name, c.pol.Name(), victim))
+		}
+	}
+	var ev Evicted
+	ln := c.line(a.Set, victim)
+	if ln.Valid {
+		ev = Evicted{Block: ln.Tag, Dirty: ln.Dirty, Valid: true}
+		c.Stats.Evictions++
+		if ln.Dirty {
+			c.Stats.Writebacks++
+		}
+		c.pol.OnEvict(a.Set, victim, ln.Tag)
+	}
+	*ln = Line{
+		Tag:      a.Block,
+		Valid:    true,
+		Dirty:    dirty,
+		Prefetch: a.Type == mem.Prefetch,
+	}
+	c.Stats.Fills++
+	c.pol.OnFill(a.Set, victim, a)
+	return ev
+}
+
+// MarkDirty sets the dirty bit on block if present (store hit path).
+func (c *Cache) MarkDirty(block uint64) {
+	if way, ok := c.Probe(block); ok {
+		c.line(c.SetIndex(block), way).Dirty = true
+	}
+}
+
+// Invalidate removes block if present, returning whether it was dirty.
+func (c *Cache) Invalidate(block uint64) (wasDirty, present bool) {
+	way, ok := c.Probe(block)
+	if !ok {
+		return false, false
+	}
+	set := c.SetIndex(block)
+	ln := c.line(set, way)
+	dirty := ln.Dirty
+	c.pol.OnEvict(set, way, ln.Tag)
+	*ln = Line{}
+	return dirty, true
+}
+
+// Occupancy returns the number of valid lines in set.
+func (c *Cache) Occupancy(set int) int {
+	n := 0
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.line(set, w).Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// ResetStats clears aggregate and per-set counters (end of warmup).
+func (c *Cache) ResetStats() {
+	c.Stats = Stats{}
+	for i := range c.SetAccesses {
+		c.SetAccesses[i] = 0
+		c.SetMisses[i] = 0
+	}
+}
+
+// MPKAPerSet returns misses per kilo-access for each set (Fig 5): the
+// per-set miss count normalized to the cache's total accesses in thousands.
+func (c *Cache) MPKAPerSet() []float64 {
+	out := make([]float64, c.cfg.Sets)
+	total := float64(c.Stats.Accesses) / 1000.0
+	if total == 0 {
+		return out
+	}
+	for i, m := range c.SetMisses {
+		out[i] = float64(m) / total
+	}
+	return out
+}

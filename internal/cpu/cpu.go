@@ -1,0 +1,145 @@
+// Package cpu implements the per-core timing model: an interval-style
+// out-of-order core with a bounded reorder buffer and in-order retirement.
+// Non-memory instructions retire at the issue width; loads occupy ROB
+// entries until their memory latency elapses, so misses overlap up to the
+// ROB depth — the memory-level-parallelism behavior that makes replacement
+// policy quality visible in IPC (design decision D3 in DESIGN.md).
+package cpu
+
+import "fmt"
+
+// Config sizes a core (defaults follow Table 4's Sunny-Cove-like baseline).
+type Config struct {
+	IssueWidth int // instructions issued per cycle (6)
+	ROBSize    int // in-flight loads the core tolerates (352)
+}
+
+// DefaultConfig returns the paper's baseline core.
+func DefaultConfig() Config { return Config{IssueWidth: 6, ROBSize: 352} }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.IssueWidth <= 0 || c.ROBSize <= 0 {
+		return fmt.Errorf("cpu: width and ROB size must be positive: %+v", c)
+	}
+	return nil
+}
+
+// Core is one simulated core's timing state.
+type Core struct {
+	ID  int
+	cfg Config
+
+	cycle     uint64
+	instrs    uint64 // instructions retired
+	slotsUsed int    // issue slots consumed in the current cycle
+	rob       []uint64
+	robHead   int
+	robLen    int
+
+	// Warmup snapshots: statistics are reported relative to these so the
+	// shared clock (DRAM, NOCSTAR reservations) stays monotonic.
+	baseCycle  uint64
+	baseInstrs uint64
+}
+
+// New builds a core.
+func New(id int, cfg Config) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Core{ID: id, cfg: cfg, rob: make([]uint64, cfg.ROBSize)}, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(id int, cfg Config) *Core {
+	c, err := New(id, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Cycle returns the core's current (absolute) cycle.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// Instructions returns instructions retired since the last ResetStats.
+func (c *Core) Instructions() uint64 { return c.instrs - c.baseInstrs }
+
+// Cycles returns cycles elapsed since the last ResetStats.
+func (c *Core) Cycles() uint64 { return c.cycle - c.baseCycle }
+
+// IPC returns instructions per cycle since the last ResetStats.
+func (c *Core) IPC() float64 {
+	cy := c.Cycles()
+	if cy == 0 {
+		return 0
+	}
+	return float64(c.Instructions()) / float64(cy)
+}
+
+// issueSlot consumes one issue slot, advancing the cycle at the width.
+func (c *Core) issueSlot() {
+	c.slotsUsed++
+	if c.slotsUsed >= c.cfg.IssueWidth {
+		c.slotsUsed = 0
+		c.cycle++
+	}
+	c.instrs++
+}
+
+// AdvanceNonMem retires n non-memory instructions.
+func (c *Core) AdvanceNonMem(n uint32) {
+	for i := uint32(0); i < n; i++ {
+		c.issueSlot()
+	}
+}
+
+// reserveROB frees a ROB slot, stalling the core if the oldest in-flight
+// memory instruction has not completed.
+func (c *Core) reserveROB() {
+	if c.robLen < c.cfg.ROBSize {
+		return
+	}
+	done := c.rob[c.robHead]
+	c.robHead = (c.robHead + 1) % c.cfg.ROBSize
+	c.robLen--
+	if done > c.cycle {
+		c.cycle = done
+		c.slotsUsed = 0
+	}
+}
+
+// IssueMem issues one memory instruction whose access latency is latency
+// cycles. Stores should pass their (small) commit latency, not the fill
+// latency, since they do not block retirement.
+func (c *Core) IssueMem(latency uint32) {
+	c.reserveROB()
+	completion := c.cycle + uint64(latency)
+	tail := (c.robHead + c.robLen) % c.cfg.ROBSize
+	c.rob[tail] = completion
+	c.robLen++
+	c.issueSlot()
+}
+
+// Drain advances the cycle past every in-flight completion (end of the
+// simulated region).
+func (c *Core) Drain() {
+	for c.robLen > 0 {
+		done := c.rob[c.robHead]
+		c.robHead = (c.robHead + 1) % c.cfg.ROBSize
+		c.robLen--
+		if done > c.cycle {
+			c.cycle = done
+		}
+	}
+	c.slotsUsed = 0
+}
+
+// ResetStats rebaselines the reported instruction and cycle counters (end of
+// warmup). The absolute clock keeps advancing so shared resources (DRAM,
+// NOCSTAR link reservations) remain monotonic.
+func (c *Core) ResetStats() {
+	c.baseCycle = c.cycle
+	c.baseInstrs = c.instrs
+}

@@ -1,0 +1,148 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newCore(t *testing.T, width, rob int) *Core {
+	t.Helper()
+	c, err := New(0, Config{IssueWidth: width, ROBSize: rob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if DefaultConfig().IssueWidth != 6 || DefaultConfig().ROBSize != 352 {
+		t.Fatal("Table 4 defaults changed")
+	}
+}
+
+func TestNonMemIPCEqualsWidth(t *testing.T) {
+	c := newCore(t, 4, 16)
+	c.AdvanceNonMem(4000)
+	if c.Instructions() != 4000 {
+		t.Fatalf("instructions %d", c.Instructions())
+	}
+	if ipc := c.IPC(); ipc < 3.9 || ipc > 4.0 {
+		t.Fatalf("non-mem IPC %v, want ≈4", ipc)
+	}
+}
+
+func TestSingleLoadLatencyHidden(t *testing.T) {
+	// One long load among many independent instructions: the ROB hides it.
+	c := newCore(t, 1, 64)
+	c.IssueMem(1000)
+	c.AdvanceNonMem(63)
+	if c.Cycle() >= 1000 {
+		t.Fatalf("load not overlapped: cycle %d", c.Cycle())
+	}
+	c.Drain()
+	if c.Cycle() < 1000 {
+		t.Fatalf("drain did not wait for load: cycle %d", c.Cycle())
+	}
+}
+
+func TestROBLimitsMLP(t *testing.T) {
+	// With a 4-entry ROB, the 5th outstanding load stalls on the 1st.
+	c := newCore(t, 1, 4)
+	for i := 0; i < 4; i++ {
+		c.IssueMem(1000)
+	}
+	if c.Cycle() >= 1000 {
+		t.Fatal("stalled before ROB was full")
+	}
+	c.IssueMem(1000)
+	if c.Cycle() < 1000 {
+		t.Fatalf("ROB overflow did not stall: cycle %d", c.Cycle())
+	}
+}
+
+func TestMLPOverlapsEqualLatency(t *testing.T) {
+	// N loads of equal latency within the ROB window cost ≈1 window, not N.
+	c := newCore(t, 1, 100)
+	for i := 0; i < 100; i++ {
+		c.IssueMem(500)
+	}
+	c.Drain()
+	if c.Cycle() > 700 {
+		t.Fatalf("no MLP: %d cycles for 100 overlapping loads", c.Cycle())
+	}
+	// Serial execution would be ≈50000 cycles.
+}
+
+func TestDrainIdempotent(t *testing.T) {
+	c := newCore(t, 2, 8)
+	c.IssueMem(100)
+	c.Drain()
+	cy := c.Cycle()
+	c.Drain()
+	if c.Cycle() != cy {
+		t.Fatal("double drain advanced the clock")
+	}
+}
+
+func TestResetStatsKeepsClock(t *testing.T) {
+	c := newCore(t, 2, 8)
+	c.AdvanceNonMem(100)
+	abs := c.Cycle()
+	c.ResetStats()
+	if c.Cycle() != abs {
+		t.Fatal("absolute clock must keep running across warmup reset")
+	}
+	if c.Instructions() != 0 || c.Cycles() != 0 {
+		t.Fatal("relative counters not rebased")
+	}
+	c.AdvanceNonMem(10)
+	if c.Instructions() != 10 {
+		t.Fatalf("post-reset instructions %d", c.Instructions())
+	}
+}
+
+func TestIPCBoundedByWidth(t *testing.T) {
+	check := func(latencies []uint16) bool {
+		c := newCore(t, 6, 32)
+		for _, l := range latencies {
+			c.IssueMem(uint32(l)%300 + 1)
+			c.AdvanceNonMem(3)
+		}
+		c.Drain()
+		if c.Instructions() == 0 {
+			return true
+		}
+		return c.IPC() <= 6.0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCycleMonotoneProperty(t *testing.T) {
+	check := func(ops []uint16) bool {
+		c := newCore(t, 4, 16)
+		prev := c.Cycle()
+		for _, op := range ops {
+			if op%2 == 0 {
+				c.IssueMem(uint32(op % 500))
+			} else {
+				c.AdvanceNonMem(uint32(op % 10))
+			}
+			if c.Cycle() < prev {
+				return false
+			}
+			prev = c.Cycle()
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

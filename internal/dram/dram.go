@@ -1,0 +1,220 @@
+// Package dram models main memory: channels, banks, an open-page row-buffer
+// policy, and bandwidth occupancy — enough to reproduce miss-latency growth
+// under load and the DRAM-channel sensitivity of Fig 22.
+package dram
+
+import "fmt"
+
+// Config sizes the DRAM model. Timings are in core cycles (4 GHz core,
+// tRP = tRCD = tCAS = 12.5 ns ⇒ 50 cycles each, per Table 4).
+type Config struct {
+	Channels    int
+	BanksPerCh  int
+	RowBytes    uint64 // row-buffer size (4 KB)
+	TRP         uint32
+	TRCD        uint32
+	TCAS        uint32
+	BurstCycles uint32 // data-transfer occupancy per 64B access
+}
+
+// DefaultConfig returns the paper's baseline DRAM for the given core count
+// (one channel per four cores, 6400 MTPS).
+func DefaultConfig(cores int) Config {
+	ch := cores / 4
+	if ch < 1 {
+		ch = 1
+	}
+	return Config{
+		Channels:   ch,
+		BanksPerCh: 16, // DDR4: 4 bank groups × 4 banks
+		RowBytes:   4096,
+		TRP:        50,
+		TRCD:       50,
+		TCAS:       50,
+		// 64 B / (6400 MT/s × 8 B/transfer) = 1.25 ns ≈ 5 core cycles.
+		BurstCycles: 5,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Channels <= 0 || c.BanksPerCh <= 0 {
+		return fmt.Errorf("dram: channels and banks must be positive")
+	}
+	if c.RowBytes == 0 || c.RowBytes&(c.RowBytes-1) != 0 {
+		return fmt.Errorf("dram: row size must be a power of two")
+	}
+	return nil
+}
+
+// Stats aggregates DRAM counters.
+type Stats struct {
+	Reads     uint64
+	Writes    uint64
+	RowHits   uint64
+	RowMisses uint64
+	QueueWait uint64 // total cycles requests waited on busy channels
+	TotalLat  uint64 // total read latency, for averages
+}
+
+type bank struct {
+	openRow   uint64
+	rowValid  bool
+	busyUntil uint64
+}
+
+type channel struct {
+	banks     []bank
+	busyUntil uint64 // data-bus occupancy
+}
+
+// DRAM is the memory model. It is not safe for concurrent use.
+type DRAM struct {
+	cfg   Config
+	chans []channel
+	Stats Stats
+}
+
+// New builds a DRAM model.
+func New(cfg Config) (*DRAM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &DRAM{cfg: cfg, chans: make([]channel, cfg.Channels)}
+	for i := range d.chans {
+		d.chans[i].banks = make([]bank, cfg.BanksPerCh)
+	}
+	return d, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(cfg Config) *DRAM {
+	d, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Config returns the model configuration.
+func (d *DRAM) Config() Config { return d.cfg }
+
+// route maps a byte address to (channel, bank, row). Channel bits come from
+// low block-address bits for load balance; bank and row from higher bits.
+func (d *DRAM) route(addr uint64) (ch, bk int, row uint64) {
+	blk := addr >> 6
+	ch = int(blk % uint64(d.cfg.Channels))
+	perRow := d.cfg.RowBytes >> 6 // blocks per row
+	rowID := blk / uint64(d.cfg.Channels) / perRow
+	bk = int(rowID % uint64(d.cfg.BanksPerCh))
+	row = rowID / uint64(d.cfg.BanksPerCh)
+	return ch, bk, row
+}
+
+// Read services a demand/prefetch fill at time now and returns its latency.
+// Open-page policy: a row-buffer hit costs tCAS, a closed bank tRCD+tCAS, a
+// conflict tRP+tRCD+tCAS; plus queueing behind the channel's data bus
+// (FR-FCFS approximated by the open-row reuse the routing already favors).
+func (d *DRAM) Read(addr uint64, now uint64) uint32 {
+	lat := d.access(addr, now)
+	d.Stats.Reads++
+	d.Stats.TotalLat += uint64(lat)
+	return lat
+}
+
+// Write retires a writeback at time now. Writes are posted and drained
+// opportunistically by the FR-FCFS scheduler (write watermark 7/8 per
+// Table 4): the model charges the data-bus burst — the bandwidth writes
+// genuinely consume — but not a synchronous bank occupancy, since the
+// controller schedules write bursts into idle bank slots.
+func (d *DRAM) Write(addr uint64, now uint64) {
+	chI, bkI, row := d.route(addr)
+	c := &d.chans[chI]
+	start := now
+	if c.busyUntil > start {
+		start = c.busyUntil
+	}
+	c.busyUntil = start + uint64(d.cfg.BurstCycles)
+	// The write still lands in a row: model the row-buffer perturbation so
+	// read streams interleaved with writebacks lose some locality.
+	b := &c.banks[bkI]
+	if !b.rowValid || b.openRow != row {
+		d.Stats.RowMisses++
+	} else {
+		d.Stats.RowHits++
+	}
+	b.openRow, b.rowValid = row, true
+	d.Stats.Writes++
+}
+
+func (d *DRAM) access(addr uint64, now uint64) uint32 {
+	chI, bkI, row := d.route(addr)
+	c := &d.chans[chI]
+	b := &c.banks[bkI]
+
+	// Bank-level parallelism: the request waits only for its own bank;
+	// the channel data bus is occupied at transfer time, after the bank's
+	// array access completes.
+	start := now
+	if b.busyUntil > start {
+		d.Stats.QueueWait += b.busyUntil - start
+		start = b.busyUntil
+	}
+
+	// Latency vs occupancy: tCAS/tRCD/tRP determine when the data arrives,
+	// but column reads from an open row pipeline at burst granularity —
+	// the bank is only serialized across requests by activates/precharges.
+	var lat, occupy uint32
+	switch {
+	case b.rowValid && b.openRow == row:
+		lat = d.cfg.TCAS
+		occupy = d.cfg.BurstCycles
+		d.Stats.RowHits++
+	case !b.rowValid:
+		lat = d.cfg.TRCD + d.cfg.TCAS
+		occupy = d.cfg.TRCD + d.cfg.BurstCycles
+		d.Stats.RowMisses++
+	default:
+		lat = d.cfg.TRP + d.cfg.TRCD + d.cfg.TCAS
+		occupy = d.cfg.TRP + d.cfg.TRCD + d.cfg.BurstCycles
+		d.Stats.RowMisses++
+	}
+	b.openRow, b.rowValid = row, true
+
+	dataAt := start + uint64(lat)
+	if c.busyUntil > dataAt {
+		d.Stats.QueueWait += c.busyUntil - dataAt
+		dataAt = c.busyUntil
+	}
+	done := dataAt + uint64(d.cfg.BurstCycles)
+	c.busyUntil = done
+	b.busyUntil = start + uint64(occupy)
+
+	return uint32(done - now)
+}
+
+// QueueDelay estimates how long a request to addr issued at now would wait
+// before service begins — the backpressure signal prefetch throttling uses.
+func (d *DRAM) QueueDelay(addr uint64, now uint64) uint64 {
+	chI, bkI, _ := d.route(addr)
+	c := &d.chans[chI]
+	wait := uint64(0)
+	if b := c.banks[bkI].busyUntil; b > now {
+		wait = b - now
+	}
+	if c.busyUntil > now && c.busyUntil-now > wait {
+		wait = c.busyUntil - now
+	}
+	return wait
+}
+
+// AvgReadLatency returns the mean observed read latency in cycles.
+func (d *DRAM) AvgReadLatency() float64 {
+	if d.Stats.Reads == 0 {
+		return 0
+	}
+	return float64(d.Stats.TotalLat) / float64(d.Stats.Reads)
+}
+
+// ResetStats clears counters (end of warmup) without closing rows.
+func (d *DRAM) ResetStats() { d.Stats = Stats{} }

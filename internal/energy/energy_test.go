@@ -1,0 +1,53 @@
+package energy
+
+import "testing"
+
+func TestComputeBreakdown(t *testing.T) {
+	m := Default()
+	ev := Events{
+		LLCAccesses:  1000,
+		DRAMReads:    100,
+		DRAMWrites:   50,
+		MeshMessages: 200,
+		MeshHops:     800,
+		StarMessages: 40,
+		PredAccesses: 500,
+	}
+	b := m.Compute(ev)
+	if b.Total <= 0 {
+		t.Fatal("zero energy")
+	}
+	if diff := b.Total - (b.LLC + b.DRAM + b.NoC); diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("breakdown does not sum: %v", diff)
+	}
+	// DRAM dominates at these ratios (15 nJ vs 0.5 nJ per event).
+	if b.DRAM <= b.LLC {
+		t.Fatalf("DRAM %.4f should dominate LLC %.4f", b.DRAM, b.LLC)
+	}
+}
+
+func TestZeroEvents(t *testing.T) {
+	if b := Default().Compute(Events{}); b.Total != 0 {
+		t.Fatalf("no events, energy %v", b.Total)
+	}
+}
+
+func TestMonotonicInEvents(t *testing.T) {
+	m := Default()
+	small := m.Compute(Events{DRAMReads: 10})
+	big := m.Compute(Events{DRAMReads: 20})
+	if big.Total <= small.Total {
+		t.Fatal("energy not monotone in event count")
+	}
+}
+
+func TestNocstarCheapPerPaper(t *testing.T) {
+	// Section 4.1.4: ≈50 pJ per NOCSTAR transfer — far below a DRAM access.
+	m := Default()
+	if m.NocstarPJ >= m.DRAMReadPJ/10 {
+		t.Fatal("NOCSTAR energy out of proportion")
+	}
+	if m.NocstarPJ != 50 {
+		t.Fatalf("NOCSTAR pJ %v, paper says ≈50", m.NocstarPJ)
+	}
+}

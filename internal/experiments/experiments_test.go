@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyParams keeps experiment smoke tests fast; the real scale lives in the
+// benchmarks and cmd/drishti-bench.
+func tinyParams() Params {
+	return Params{Scale: 8, Instructions: 12_000, Warmup: 3_000, Mixes: 1, Seed: 1}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 28 {
+		t.Fatalf("%d experiments registered, want 28 (tables+figures + Table 2 + 3 extensions)", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("malformed experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, ok := ByID("fig13"); !ok {
+		t.Fatal("fig13 missing")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("bogus id resolved")
+	}
+}
+
+func TestDefaultParamsEnvOverride(t *testing.T) {
+	t.Setenv("DRISHTI_SCALE", "4")
+	t.Setenv("DRISHTI_MIXES", "2")
+	p := DefaultParams()
+	if p.Scale != 4 || p.Mixes != 2 {
+		t.Fatalf("env overrides ignored: %+v", p)
+	}
+}
+
+// TestCheapExperimentsRun smoke-runs the fast experiments end to end.
+func TestCheapExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests are not -short")
+	}
+	ResetCache()
+	for _, id := range []string{"fig05", "tab03", "tab07"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("%s missing", id)
+		}
+		var buf bytes.Buffer
+		if err := e.Run(tinyParams(), &buf); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(buf.String(), id) {
+			t.Fatalf("%s output missing banner:\n%s", id, buf.String())
+		}
+	}
+}
+
+func TestFig02Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	ResetCache()
+	var buf bytes.Buffer
+	if err := Fig02PCScatter(tinyParams(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "one-slice") {
+		t.Fatalf("fig02 output:\n%s", buf.String())
+	}
+}
+
+func TestTab01Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	ResetCache()
+	var buf bytes.Buffer
+	if err := Tab01SampledSetCases(tinyParams(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"case I", "case II", "case III", "random baseline"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tab01 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpread(t *testing.T) {
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	got := spread(xs, 3)
+	if len(got) != 3 || got[0] != 0 {
+		t.Fatalf("spread %v", got)
+	}
+	if got := spread(xs, 20); len(got) != 10 {
+		t.Fatal("over-subsetting")
+	}
+	if got := spread(xs, 0); got != nil {
+		t.Fatal("zero subset")
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := geomean([]float64{1, 4}); g < 1.99 || g > 2.01 {
+		t.Fatalf("geomean %v", g)
+	}
+	if geomean(nil) != 0 {
+		t.Fatal("empty geomean")
+	}
+}
+
+func TestTab02Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	ResetCache()
+	var buf bytes.Buffer
+	if err := Tab02DesignSpace(tinyParams(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"per-core global", "broadcasts", "hottest-bank"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tab02 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHarnessHelpers(t *testing.T) {
+	max, avg := bankAPKI([]float64{1, 3, 2})
+	if max != 3 || avg != 2 {
+		t.Fatalf("bankAPKI max=%v avg=%v", max, avg)
+	}
+	if m, a := bankAPKI(nil); m != 0 || a != 0 {
+		t.Fatal("empty bankAPKI")
+	}
+	if maxOf([]float64{1, 5, 2}) != 5 {
+		t.Fatal("maxOf")
+	}
+	if pctOver(1.1) < 9.99 || pctOver(1.1) > 10.01 {
+		t.Fatal("pctOver")
+	}
+	if min2(3, 5) != 3 || min2(5, 3) != 3 {
+		t.Fatal("min2")
+	}
+}

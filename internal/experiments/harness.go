@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"drishti/internal/metrics"
+	"drishti/internal/policies"
+	"drishti/internal/sim"
+	"drishti/internal/workload"
+)
+
+func pow(x, y float64) float64 { return math.Pow(x, y) }
+
+// Cross-experiment memoization: several figures reuse the same runs
+// (fig13/fig14/tab05 share sweeps; fig10's traffic runs repeat per mix).
+// Keys include the full config and mix identity, so results are exact.
+var (
+	cacheMu    sync.Mutex
+	mixCache   = map[string]*sim.Result{}
+	sweepCache = map[string]*sweepResult{}
+	evalCache  = map[string]*mixEval{}
+)
+
+// ResetCache clears the cross-experiment memo (tests use it to bound
+// memory; the cmd binary never needs to).
+func ResetCache() {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	mixCache = map[string]*sim.Result{}
+	sweepCache = map[string]*sweepResult{}
+	evalCache = map[string]*mixEval{}
+}
+
+func cfgKey(cfg sim.Config, mix workload.Mix) string {
+	return fmt.Sprintf("%+v|%s|%d", cfg, mix.Name, mix.Cores())
+}
+
+// runMixCached is sim.RunMix with cross-experiment memoization.
+func runMixCached(cfg sim.Config, mix workload.Mix) (*sim.Result, error) {
+	key := cfgKey(cfg, mix)
+	cacheMu.Lock()
+	if r, ok := mixCache[key]; ok {
+		cacheMu.Unlock()
+		return r, nil
+	}
+	cacheMu.Unlock()
+	r, err := sim.RunMix(cfg, mix)
+	if err != nil {
+		return nil, err
+	}
+	cacheMu.Lock()
+	mixCache[key] = r
+	cacheMu.Unlock()
+	return r, nil
+}
+
+// evalMixCached is evalMix with memoization.
+func evalMixCached(cfg sim.Config, mix workload.Mix) (*mixEval, error) {
+	base := cfg
+	base.Policy = policies.Spec{Name: "lru"}
+	key := cfgKey(base, mix)
+	cacheMu.Lock()
+	if e, ok := evalCache[key]; ok {
+		cacheMu.Unlock()
+		return e, nil
+	}
+	cacheMu.Unlock()
+	e, err := evalMix(cfg, mix)
+	if err != nil {
+		return nil, err
+	}
+	cacheMu.Lock()
+	evalCache[key] = e
+	cacheMu.Unlock()
+	return e, nil
+}
+
+// runSweepCached is runSweep with memoization keyed by config, mixes, and
+// the display names + full spec values of the policies.
+func runSweepCached(cfg sim.Config, mixes []workload.Mix, specs []policies.Spec) (*sweepResult, error) {
+	key := fmt.Sprintf("%+v|%d", cfg, len(mixes))
+	for _, m := range mixes {
+		key += "|" + m.Name
+	}
+	for _, s := range specs {
+		key += fmt.Sprintf("|%+v", s)
+	}
+	cacheMu.Lock()
+	if sr, ok := sweepCache[key]; ok {
+		cacheMu.Unlock()
+		return sr, nil
+	}
+	cacheMu.Unlock()
+	sr, err := runSweep(cfg, mixes, specs)
+	if err != nil {
+		return nil, err
+	}
+	cacheMu.Lock()
+	sweepCache[key] = sr
+	cacheMu.Unlock()
+	return sr, nil
+}
+
+// mixEval is the cached evaluation context for one mix: the LRU baseline run
+// and the per-core alone IPCs (measured under LRU and shared across
+// policies; see DESIGN.md §4).
+type mixEval struct {
+	mix     workload.Mix
+	alone   []float64
+	baseWS  float64
+	baseRes *sim.Result
+}
+
+// evalMix measures the LRU baseline and alone IPCs for a mix.
+func evalMix(cfg sim.Config, mix workload.Mix) (*mixEval, error) {
+	base := cfg
+	base.Policy = policies.Spec{Name: "lru"}
+	alone, err := sim.RunAlone(base, mix)
+	if err != nil {
+		return nil, fmt.Errorf("alone runs for %s: %w", mix.Name, err)
+	}
+	for i, a := range alone {
+		if a <= 0 {
+			return nil, fmt.Errorf("mix %s core %d: zero alone IPC", mix.Name, i)
+		}
+	}
+	res, err := sim.RunMix(base, mix)
+	if err != nil {
+		return nil, fmt.Errorf("baseline run for %s: %w", mix.Name, err)
+	}
+	m, err := metrics.Compute(res.IPCs(), alone)
+	if err != nil {
+		return nil, err
+	}
+	return &mixEval{mix: mix, alone: alone, baseWS: m.WS, baseRes: res}, nil
+}
+
+// policyOutcome is one policy's result on one mix, normalized to LRU.
+type policyOutcome struct {
+	res    *sim.Result
+	multi  metrics.Multi
+	normWS float64 // WS(policy) / WS(lru) — the paper's headline metric
+}
+
+// runPolicy evaluates spec on the mix against the cached baseline.
+func (e *mixEval) runPolicy(cfg sim.Config, spec policies.Spec) (*policyOutcome, error) {
+	cfg.Policy = spec
+	res, err := sim.RunMix(cfg, e.mix)
+	if err != nil {
+		return nil, fmt.Errorf("%s on %s: %w", spec.DisplayName(), e.mix.Name, err)
+	}
+	m, err := metrics.Compute(res.IPCs(), e.alone)
+	if err != nil {
+		return nil, err
+	}
+	return &policyOutcome{res: res, multi: m, normWS: m.WS / e.baseWS}, nil
+}
+
+// sweep runs a set of policy specs over a set of mixes, returning
+// per-policy geomean normalized WS plus per-mix details, and optionally
+// streaming progress to w.
+type sweepResult struct {
+	specs    []policies.Spec
+	mixes    []workload.Mix
+	evals    []*mixEval
+	normWS   [][]float64 // [spec][mix]
+	outcomes [][]*policyOutcome
+}
+
+func runSweep(cfg sim.Config, mixes []workload.Mix, specs []policies.Spec) (*sweepResult, error) {
+	sr := &sweepResult{
+		specs:    specs,
+		mixes:    mixes,
+		normWS:   make([][]float64, len(specs)),
+		outcomes: make([][]*policyOutcome, len(specs)),
+	}
+	for i := range specs {
+		sr.normWS[i] = make([]float64, len(mixes))
+		sr.outcomes[i] = make([]*policyOutcome, len(mixes))
+	}
+	for mi, mix := range mixes {
+		ev, err := evalMixCached(cfg, mix)
+		if err != nil {
+			return nil, err
+		}
+		sr.evals = append(sr.evals, ev)
+		for si, spec := range specs {
+			out, err := ev.runPolicy(cfg, spec)
+			if err != nil {
+				return nil, err
+			}
+			sr.normWS[si][mi] = out.normWS
+			sr.outcomes[si][mi] = out
+		}
+	}
+	return sr, nil
+}
+
+// geoNormWS returns the geomean normalized WS for spec index si.
+func (sr *sweepResult) geoNormWS(si int) float64 { return geomean(sr.normWS[si]) }
+
+// avgMPKI returns the mean LLC demand MPKI for spec index si.
+func (sr *sweepResult) avgMPKI(si int) float64 {
+	var s float64
+	for _, out := range sr.outcomes[si] {
+		s += out.res.MPKI
+	}
+	return s / float64(len(sr.outcomes[si]))
+}
+
+// avgWPKI returns the mean LLC WPKI for spec index si.
+func (sr *sweepResult) avgWPKI(si int) float64 {
+	var s float64
+	for _, out := range sr.outcomes[si] {
+		s += out.res.WPKI
+	}
+	return s / float64(len(sr.outcomes[si]))
+}
+
+// avgBaseMPKI returns the mean LRU MPKI across the sweep's mixes.
+func (sr *sweepResult) avgBaseMPKI() float64 {
+	var s float64
+	for _, ev := range sr.evals {
+		s += ev.baseRes.MPKI
+	}
+	return s / float64(len(sr.evals))
+}
+
+// avgBaseWPKI returns the mean LRU WPKI across the sweep's mixes.
+func (sr *sweepResult) avgBaseWPKI() float64 {
+	var s float64
+	for _, ev := range sr.evals {
+		s += ev.baseRes.WPKI
+	}
+	return s / float64(len(sr.evals))
+}
+
+// avgEnergy returns the mean uncore energy for spec si normalized to LRU.
+func (sr *sweepResult) avgEnergy(si int) float64 {
+	var s float64
+	n := 0
+	for mi, out := range sr.outcomes[si] {
+		base := sr.evals[mi].baseRes.Energy.Total
+		if base > 0 {
+			s += out.res.Energy.Total / base
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// header prints a standard experiment banner.
+func header(w io.Writer, id, title string, p Params) {
+	fmt.Fprintf(w, "== %s: %s\n", id, title)
+	fmt.Fprintf(w, "   scale=1/%d instr=%d warmup=%d mixes=%d seed=%d\n",
+		p.Scale, p.Instructions, p.Warmup, p.Mixes, p.Seed)
+}
+
+// mainSpecs is the Fig 13/14/Table 5/6 policy set.
+func mainSpecs() []policies.Spec {
+	return []policies.Spec{
+		{Name: "hawkeye"},
+		{Name: "hawkeye", Drishti: true},
+		{Name: "mockingjay"},
+		{Name: "mockingjay", Drishti: true},
+	}
+}

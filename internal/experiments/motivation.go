@@ -1,0 +1,349 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"drishti/internal/cache"
+	"drishti/internal/fabric"
+	"drishti/internal/policies"
+	"drishti/internal/policy/hawkeye"
+	"drishti/internal/policy/mockingjay"
+	"drishti/internal/sim"
+	"drishti/internal/stats"
+	"drishti/internal/workload"
+)
+
+// Fig02PCScatter reproduces Fig 2: the fraction of PCs per core (with ≥2
+// demand loads at the LLC) whose loads all map to one LLC slice, across the
+// 16-core mix population.
+func Fig02PCScatter(p Params, w io.Writer) error {
+	header(w, "fig02", "PC→slice scatter (higher = more myopic-prone)", p)
+	const cores = 16
+	cfg := p.config(cores)
+	cfg.TrackPCSlices = true
+	mixes := p.paperMixes(cfg, cores)
+	var fracs []float64
+	for _, mix := range mixes {
+		res, err := sim.RunMix(cfg, mix)
+		if err != nil {
+			return err
+		}
+		if res.PCSlices == nil || res.PCSlices.PCs == 0 {
+			fmt.Fprintf(w, "%-28s no multi-load PCs at LLC\n", mix.Name)
+			continue
+		}
+		fracs = append(fracs, res.PCSlices.FractionOne)
+		fmt.Fprintf(w, "%-28s pcs=%-5d one-slice=%.1f%%\n",
+			mix.Name, res.PCSlices.PCs, res.PCSlices.FractionOne*100)
+	}
+	fmt.Fprintf(w, "AVG one-slice fraction: %.1f%%  (paper: 66.2%% avg, ~40%% for xalan)\n",
+		stats.Mean(fracs)*100)
+	return nil
+}
+
+// Fig03ETRViews reproduces Fig 3: the predicted ETR values for a hot PC of
+// a xalan-like 16-core homogeneous mix under the myopic (per-slice), global
+// (centralized), and oracle (centralized, every set sampled) views.
+func Fig03ETRViews(p Params, w io.Writer) error {
+	header(w, "fig03", "ETR views for a hot xalan PC", p)
+	return etrViews(p, w, policies.Spec{
+		Name:      "mockingjay",
+		Placement: policies.PlacementPtr(fabric.Local),
+	}, "myopic (per-slice banks)")
+}
+
+// etrViews runs the three views and prints per-core predicted ETRs for the
+// hottest loop PC. drishtiSpec selects what stands in for the myopic view
+// (fig03 uses Local; fig18 uses Drishti's per-core-global).
+func etrViews(p Params, w io.Writer, firstSpec policies.Spec, firstLabel string) error {
+	const cores = 16
+	cfg := p.config(cores)
+	mix, err := p.homoMix(cfg, cores, "xalancbmk_s-202B")
+	if err != nil {
+		return err
+	}
+	// Stream 1 is the model's big LLC-resident loop (stream 0 is the
+	// L1-resident stack stream, which rarely reaches the LLC).
+	hotPC := workload.StreamPCs(mix.Models[0], 1)[0]
+
+	type view struct {
+		label string
+		spec  policies.Spec
+	}
+	views := []view{
+		{firstLabel, firstSpec},
+		{"global (centralized bank)", policies.Spec{
+			Name:      "mockingjay",
+			Placement: policies.PlacementPtr(fabric.Centralized),
+			// Centralized latency is not the point here; keep it off the
+			// fill path so the prediction values are comparable.
+			FixedPredLatency: 1,
+		}},
+		{"oracle (global + all sets sampled)", policies.Spec{
+			Name:             "mockingjay",
+			Placement:        policies.PlacementPtr(fabric.Centralized),
+			FixedPredLatency: 1,
+			// Every set of every slice is sampled: the predictor sees the
+			// complete access pattern.
+			SampledSets: cfg.SliceKB * 1024 / 64 / cfg.LLCWays,
+		}},
+	}
+
+	for _, v := range views {
+		c := cfg
+		c.Policy = v.spec
+		readers, err := sim.Readers(mix)
+		if err != nil {
+			return err
+		}
+		sys, err := sim.New(c, readers)
+		if err != nil {
+			return err
+		}
+		if _, err := sys.Run(); err != nil {
+			return err
+		}
+		shared, ok := sys.Built().Shared.(*mockingjay.Shared)
+		if !ok {
+			return fmt.Errorf("fig03: expected mockingjay shared state")
+		}
+		banks := sys.Built().Fabric.NumBanks()
+		fmt.Fprintf(w, "-- %s (PC 0x%x)\n", v.label, hotPC)
+		for core := 0; core < cores; core += 4 {
+			var vals []int16
+			for b := 0; b < banks; b++ {
+				if rd, trained := shared.Peek(b, hotPC, core); trained {
+					vals = append(vals, rd)
+				}
+			}
+			fmt.Fprintf(w, "   core %-2d trained-banks=%-3d etr=%s\n", core, len(vals), etrSummary(vals))
+		}
+	}
+	fmt.Fprintln(w, "paper shape: myopic values scatter widely; global tracks oracle")
+	return nil
+}
+
+func etrSummary(vals []int16) string {
+	if len(vals) == 0 {
+		return "untrained"
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	min, max := vals[0], vals[len(vals)-1]
+	var sum int
+	for _, v := range vals {
+		sum += int(v)
+	}
+	return fmt.Sprintf("min=%d mean=%.0f max=%d spread=%d", min, float64(sum)/float64(len(vals)), max, max-min)
+}
+
+// Fig04FreqDist reproduces Fig 4: how the distribution of inserted ETR
+// values (Mockingjay) and friendly/averse insertions (Hawkeye) differs
+// between the myopic and global views, for xalan (heavy scatter) and pr
+// (little scatter).
+func Fig04FreqDist(p Params, w io.Writer) error {
+	header(w, "fig04", "insertion-value distributions, myopic vs global", p)
+	const cores = 16
+	cfg := p.config(cores)
+	for _, wl := range []string{"xalancbmk_s-202B", "pr-twitter"} {
+		mix, err := p.homoMix(cfg, cores, wl)
+		if err != nil {
+			return err
+		}
+		for _, view := range []struct {
+			label string
+			place fabric.Placement
+		}{
+			{"myopic", fabric.Local},
+			{"global", fabric.Centralized},
+		} {
+			// Mockingjay ETR fill histogram.
+			c := cfg
+			c.Policy = policies.Spec{Name: "mockingjay", Placement: policies.PlacementPtr(view.place), FixedPredLatency: 1}
+			readers, err := sim.Readers(mix)
+			if err != nil {
+				return err
+			}
+			sys, err := sim.New(c, readers)
+			if err != nil {
+				return err
+			}
+			for _, pol := range sys.Built().PerSlice {
+				pol.(*mockingjay.Slice).CollectETR = true
+			}
+			if _, err := sys.Run(); err != nil {
+				return err
+			}
+			hist := stats.NewHistogram(0, 8, 9)
+			for _, pol := range sys.Built().PerSlice {
+				for _, v := range pol.(*mockingjay.Slice).ETRFills {
+					hist.Add(int64(v))
+				}
+			}
+			fmt.Fprintf(w, "%-22s %-7s mockingjay ETR fills: %s\n", wl, view.label, hist)
+
+			// Hawkeye friendly/averse split.
+			c.Policy = policies.Spec{Name: "hawkeye", Placement: policies.PlacementPtr(view.place), FixedPredLatency: 1}
+			readers, err = sim.Readers(mix)
+			if err != nil {
+				return err
+			}
+			sys, err = sim.New(c, readers)
+			if err != nil {
+				return err
+			}
+			if _, err := sys.Run(); err != nil {
+				return err
+			}
+			var friendly, averse uint64
+			for _, pol := range sys.Built().PerSlice {
+				h := pol.(*hawkeye.Slice)
+				friendly += h.InsertFriendly
+				averse += h.InsertAverse
+			}
+			tot := friendly + averse
+			if tot == 0 {
+				tot = 1
+			}
+			fmt.Fprintf(w, "%-22s %-7s hawkeye inserts: rrip0(friendly)=%.1f%% rrip7(averse)=%.1f%%\n",
+				wl, view.label, 100*float64(friendly)/float64(tot), 100*float64(averse)/float64(tot))
+		}
+	}
+	fmt.Fprintln(w, "paper shape: xalan's myopic/global gap is larger than pr's")
+	return nil
+}
+
+// Fig05SetMPKA reproduces Fig 5: the per-set demand MPKA distribution for
+// mcf-like (skewed), gcc-like (intermediate), and lbm-like (uniform)
+// 16-core homogeneous mixes under LRU.
+func Fig05SetMPKA(p Params, w io.Writer) error {
+	header(w, "fig05", "per-set MPKA distributions", p)
+	const cores = 16
+	cfg := p.config(cores)
+	for _, wl := range []string{"mcf_s-1554B", "gcc_s-734B", "lbm_s-2676B"} {
+		mix, err := p.homoMix(cfg, cores, wl)
+		if err != nil {
+			return err
+		}
+		readers, err := sim.Readers(mix)
+		if err != nil {
+			return err
+		}
+		sys, err := sim.New(cfg, readers)
+		if err != nil {
+			return err
+		}
+		if _, err := sys.Run(); err != nil {
+			return err
+		}
+		var all []float64
+		for _, sl := range sys.Slices() {
+			all = append(all, sl.MPKAPerSet()...)
+		}
+		sort.Float64s(all)
+		n := len(all)
+		top := all[n*31/32:]
+		var topSum, total float64
+		for _, v := range all {
+			total += v
+		}
+		for _, v := range top {
+			topSum += v
+		}
+		share := 0.0
+		if total > 0 {
+			share = topSum / total
+		}
+		fmt.Fprintf(w, "%-22s sets=%d min=%.3f p50=%.3f p95=%.3f max=%.3f  top-3%%-sets-share=%.1f%%\n",
+			wl, n, all[0], all[n/2], all[n*95/100], all[n-1], share*100)
+	}
+	fmt.Fprintln(w, "paper shape: mcf heavily skewed, gcc milder, lbm uniform")
+	return nil
+}
+
+// Tab01SampledSetCases reproduces Table 1: Mockingjay speedup on a 16-core
+// mcf homogeneous mix when the sampled sets are the top-MPKA sets (I), the
+// bottom-MPKA sets (II), or half/half (III), relative to random selection.
+func Tab01SampledSetCases(p Params, w io.Writer) error {
+	header(w, "tab01", "MPKA-ranked sampled-set selection (Mockingjay, mcf homo)", p)
+	const cores = 16
+	cfg := p.config(cores)
+	mix, err := p.homoMix(cfg, cores, "mcf_s-1554B")
+	if err != nil {
+		return err
+	}
+
+	// Profile pass under LRU to rank sets by misses per slice.
+	readers, err := sim.Readers(mix)
+	if err != nil {
+		return err
+	}
+	profSys, err := sim.New(cfg, readers)
+	if err != nil {
+		return err
+	}
+	if _, err := profSys.Run(); err != nil {
+		return err
+	}
+	sets := cfg.SliceKB * 1024 / 64 / cfg.LLCWays
+	n := 32 * sets / 2048 // the paper's 32-of-2048, scaled
+	if n < 4 {
+		n = 4
+	}
+	topPer, botPer, mixPer := rankSets(profSys.Slices(), n)
+
+	ev, err := evalMix(cfg, mix)
+	if err != nil {
+		return err
+	}
+	baseSpec := policies.Spec{Name: "mockingjay", SampledSets: n}
+	baseOut, err := ev.runPolicy(cfg, baseSpec)
+	if err != nil {
+		return err
+	}
+	cases := []struct {
+		label string
+		per   [][]int
+	}{
+		{"I   (top MPKA)", topPer},
+		{"II  (bottom MPKA)", botPer},
+		{"III (half/half)", mixPer},
+	}
+	fmt.Fprintf(w, "random baseline (n=%d/slice): normWS=%.4f\n", n, baseOut.normWS)
+	for _, cse := range cases {
+		out, err := ev.runPolicy(cfg, policies.Spec{Name: "mockingjay", FixedPerSlice: cse.per})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "case %-18s normWS=%.4f  speedup over random=%+.2f%%\n",
+			cse.label, out.normWS, (out.normWS/baseOut.normWS-1)*100)
+	}
+	fmt.Fprintln(w, "paper shape: I > III > II (16.4 / 9.5 / 8.3% over Mockingjay-random)")
+	return nil
+}
+
+// rankSets builds per-slice top-n, bottom-n, and mixed set lists from a
+// profiling run's per-set miss counters.
+func rankSets(slices []*cache.Cache, n int) (top, bot, mixed [][]int) {
+	for _, sl := range slices {
+		topK := stats.TopK(sl.SetMisses, n)
+		botK := stats.BottomK(sl.SetMisses, n)
+		seen := map[int]bool{}
+		var mix []int
+		for _, s := range append(append([]int(nil), topK[:n/2]...), botK...) {
+			if !seen[s] {
+				seen[s] = true
+				mix = append(mix, s)
+			}
+			if len(mix) == n {
+				break
+			}
+		}
+		sort.Ints(mix)
+		top = append(top, topK)
+		bot = append(bot, botK)
+		mixed = append(mixed, mix)
+	}
+	return top, bot, mixed
+}

@@ -1,0 +1,276 @@
+// Package fabric implements reuse-predictor placement for sliced LLCs: the
+// full design space of Table 2 plus the baseline, with latency, traffic, and
+// broadcast accounting.
+//
+//	Local                  — per-slice predictor, per-slice sampled cache
+//	                         (the baseline; myopic view, no traffic)
+//	Centralized            — one predictor for all slices (global view,
+//	                         high bandwidth demand at one node)
+//	PerCoreGlobal          — Drishti: one predictor bank per core, placed at
+//	                         the core's home slice, reachable from every
+//	                         slice (global view, low traffic)
+//	GlobalSCCentralized    — centralized sampled cache training local
+//	                         predictors via broadcast (Fig 6)
+//	GlobalSCDistributed    — distributed-but-global sampled cache training
+//	                         local predictors via broadcast (Fig 7)
+//
+// Prediction lookups happen on every LLC fill and are therefore on the fill
+// critical path: their interconnect latency is returned to the caller and
+// charged to the fill (design decision D4; this is what Fig 11 measures).
+// Training happens on sampled-set accesses and is off the critical path;
+// it is recorded for traffic, bandwidth, and energy reporting only.
+package fabric
+
+import (
+	"fmt"
+
+	"drishti/internal/noc"
+)
+
+// Placement selects the predictor/sampled-cache organization.
+type Placement uint8
+
+// Placements (see package comment).
+const (
+	Local Placement = iota
+	Centralized
+	PerCoreGlobal
+	GlobalSCCentralized
+	GlobalSCDistributed
+)
+
+// String implements fmt.Stringer.
+func (p Placement) String() string {
+	switch p {
+	case Local:
+		return "local"
+	case Centralized:
+		return "centralized"
+	case PerCoreGlobal:
+		return "per-core-global"
+	case GlobalSCCentralized:
+		return "global-sc-centralized"
+	case GlobalSCDistributed:
+		return "global-sc-distributed"
+	default:
+		return fmt.Sprintf("Placement(%d)", uint8(p))
+	}
+}
+
+// GlobalView reports whether the placement gives predictors a global view of
+// reuse (mitigating the myopic problem of Section 3.1).
+func (p Placement) GlobalView() bool { return p != Local }
+
+// Broadcast reports whether training requires a broadcast to all local
+// predictors (the global-sampled-cache designs of Section 4.1.1).
+func (p Placement) Broadcast() bool {
+	return p == GlobalSCCentralized || p == GlobalSCDistributed
+}
+
+// Config builds a Fabric.
+type Config struct {
+	Placement  Placement
+	Slices     int
+	Cores      int
+	UseNocstar bool      // route slice↔predictor traffic over NOCSTAR
+	Mesh       *noc.Mesh // required unless every path is local
+	Star       *noc.Star // required when UseNocstar
+	// FixedPredLatency, when >0, overrides the interconnect entirely with a
+	// constant slice→predictor latency (the Fig 11b sensitivity knob).
+	FixedPredLatency uint32
+}
+
+// Stats aggregates fabric traffic.
+type Stats struct {
+	Lookups       uint64 // prediction reads (LLC fill path)
+	Trainings     uint64 // predictor updates from sampled caches
+	Broadcasts    uint64 // broadcast fan-out messages (GlobalSC designs)
+	LookupLatSum  uint64 // total prediction latency charged to fills
+	RemoteLookups uint64 // lookups that crossed the interconnect
+	RemoteTrains  uint64 // trainings that crossed the interconnect
+}
+
+// Fabric resolves which predictor bank an access uses and at what cost.
+type Fabric struct {
+	cfg    Config
+	center int // node index hosting the centralized structures
+
+	// Per-bank access counters (Fig 10: accesses per kilo-instruction to
+	// centralized vs per-core predictors).
+	BankAccesses []uint64
+
+	trainBuf []int // reused result buffer for TrainBanks
+
+	Stats Stats
+}
+
+// New builds a Fabric. It returns an error when the placement needs an
+// interconnect model that was not provided.
+func New(cfg Config) (*Fabric, error) {
+	if cfg.Slices <= 0 || cfg.Cores <= 0 {
+		return nil, fmt.Errorf("fabric: slices and cores must be positive")
+	}
+	needsNet := cfg.Placement != Local && cfg.FixedPredLatency == 0
+	if needsNet && cfg.UseNocstar && cfg.Star == nil {
+		return nil, fmt.Errorf("fabric: placement %v with NOCSTAR requires a Star model", cfg.Placement)
+	}
+	if needsNet && !cfg.UseNocstar && cfg.Mesh == nil {
+		return nil, fmt.Errorf("fabric: placement %v requires a Mesh model", cfg.Placement)
+	}
+	f := &Fabric{cfg: cfg, center: cfg.Slices / 2}
+	f.BankAccesses = make([]uint64, f.NumBanks())
+	return f, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(cfg Config) *Fabric {
+	f, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Config returns the fabric configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// Placement returns the configured placement.
+func (f *Fabric) Placement() Placement { return f.cfg.Placement }
+
+// NumBanks returns how many predictor table banks the policy must allocate.
+func (f *Fabric) NumBanks() int {
+	switch f.cfg.Placement {
+	case Centralized:
+		return 1
+	case PerCoreGlobal:
+		return f.cfg.Cores
+	default: // Local and the GlobalSC designs keep per-slice predictors.
+		return f.cfg.Slices
+	}
+}
+
+// transit returns the slice→target latency over the configured interconnect
+// and records the message.
+func (f *Fabric) transit(slice, target int, now uint64) uint32 {
+	if f.cfg.FixedPredLatency > 0 {
+		return f.cfg.FixedPredLatency
+	}
+	if f.cfg.UseNocstar {
+		return f.cfg.Star.Latency(slice, target, now)
+	}
+	return f.cfg.Mesh.Latency(slice%f.cfg.Mesh.Nodes(), target%f.cfg.Mesh.Nodes())
+}
+
+// PredictBank returns the bank that serves a prediction for (slice, core)
+// and the interconnect latency the fill must absorb. now is the current
+// cycle (for NOCSTAR link arbitration).
+func (f *Fabric) PredictBank(slice, core int, now uint64) (bank int, latency uint32) {
+	f.Stats.Lookups++
+	switch f.cfg.Placement {
+	case Local, GlobalSCCentralized, GlobalSCDistributed:
+		bank, latency = slice, 0
+	case Centralized:
+		bank = 0
+		latency = f.transit(slice, f.center, now)
+		f.Stats.RemoteLookups++
+	case PerCoreGlobal:
+		bank = core
+		// Predictor for core c sits at c's home slice; a lookup from that
+		// same slice is free.
+		if core%f.cfg.Slices == slice {
+			latency = 0
+		} else {
+			latency = f.transit(slice, core%f.cfg.Slices, now)
+			f.Stats.RemoteLookups++
+		}
+	}
+	f.BankAccesses[bank]++
+	f.Stats.LookupLatSum += uint64(latency)
+	return bank, latency
+}
+
+// TrainBanks returns the banks a sampled-cache training event from (slice,
+// core) must update. Training is off the fill critical path, so no latency
+// is returned; traffic is recorded. The returned slice is reused across
+// calls — do not retain it.
+func (f *Fabric) TrainBanks(slice, core int, now uint64) []int {
+	f.Stats.Trainings++
+	switch f.cfg.Placement {
+	case Local:
+		f.trainBuf = f.trainBuf[:0]
+		f.trainBuf = append(f.trainBuf, slice)
+	case Centralized:
+		f.trainBuf = f.trainBuf[:0]
+		f.trainBuf = append(f.trainBuf, 0)
+		f.countTrainTransit(slice, f.center, now)
+	case PerCoreGlobal:
+		f.trainBuf = f.trainBuf[:0]
+		f.trainBuf = append(f.trainBuf, core)
+		if core%f.cfg.Slices != slice {
+			f.countTrainTransit(slice, core%f.cfg.Slices, now)
+		}
+	case GlobalSCCentralized, GlobalSCDistributed:
+		// The (conceptually global) sampled cache broadcasts the training
+		// event to every slice's local predictor (Figs 6 and 7).
+		f.trainBuf = f.trainBuf[:0]
+		for s := 0; s < f.cfg.Slices; s++ {
+			f.trainBuf = append(f.trainBuf, s)
+			if s != slice {
+				f.Stats.Broadcasts++
+				f.countTrainTransit(slice, s, now)
+			}
+		}
+		if f.cfg.Placement == GlobalSCCentralized {
+			// Slice → central sampled cache hop happens first.
+			f.countTrainTransit(slice, f.center, now)
+		}
+	}
+	for _, b := range f.trainBuf {
+		f.BankAccesses[b]++
+	}
+	return f.trainBuf
+}
+
+func (f *Fabric) countTrainTransit(slice, target int, now uint64) {
+	f.Stats.RemoteTrains++
+	if f.cfg.FixedPredLatency > 0 {
+		return
+	}
+	if f.cfg.UseNocstar {
+		f.cfg.Star.Latency(slice, target, now)
+		return
+	}
+	f.cfg.Mesh.Latency(slice%f.cfg.Mesh.Nodes(), target%f.cfg.Mesh.Nodes())
+}
+
+// ResetStats clears traffic counters (end of warmup).
+func (f *Fabric) ResetStats() {
+	f.Stats = Stats{}
+	for i := range f.BankAccesses {
+		f.BankAccesses[i] = 0
+	}
+}
+
+// MaxBankAccesses returns the largest per-bank access count (the hot spot a
+// centralized predictor becomes, Fig 10).
+func (f *Fabric) MaxBankAccesses() uint64 {
+	var m uint64
+	for _, v := range f.BankAccesses {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// AvgBankAccesses returns the mean per-bank access count.
+func (f *Fabric) AvgBankAccesses() float64 {
+	if len(f.BankAccesses) == 0 {
+		return 0
+	}
+	var s uint64
+	for _, v := range f.BankAccesses {
+		s += v
+	}
+	return float64(s) / float64(len(f.BankAccesses))
+}

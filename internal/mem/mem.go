@@ -1,0 +1,82 @@
+// Package mem defines the memory-system vocabulary shared by every layer of
+// the simulator: access types, byte/block address helpers, and the request
+// record that flows down the cache hierarchy.
+package mem
+
+import "fmt"
+
+// BlockShift is log2 of the cache line size (64 bytes).
+const BlockShift = 6
+
+// BlockSize is the cache line size in bytes.
+const BlockSize = 1 << BlockShift
+
+// AccessType classifies a memory request as seen by a cache level.
+type AccessType uint8
+
+const (
+	// Load is a demand read.
+	Load AccessType = iota
+	// RFO is a demand write (read-for-ownership).
+	RFO
+	// Prefetch is a hardware-prefetch fill request. Prefetches carry the
+	// PC of the demand load that trained the prefetcher, plus a prefetch
+	// bit so reuse predictors can keep separate state (Section 3.3).
+	Prefetch
+	// Writeback is a dirty eviction from an upper level.
+	Writeback
+)
+
+// String implements fmt.Stringer.
+func (t AccessType) String() string {
+	switch t {
+	case Load:
+		return "load"
+	case RFO:
+		return "rfo"
+	case Prefetch:
+		return "prefetch"
+	case Writeback:
+		return "writeback"
+	default:
+		return fmt.Sprintf("AccessType(%d)", uint8(t))
+	}
+}
+
+// IsDemand reports whether the access is a demand load or store.
+func (t AccessType) IsDemand() bool { return t == Load || t == RFO }
+
+// Block converts a byte address to a block (line) address.
+func Block(addr uint64) uint64 { return addr >> BlockShift }
+
+// BlockBase converts a byte address to the first byte of its line.
+func BlockBase(addr uint64) uint64 { return addr &^ uint64(BlockSize-1) }
+
+// Request is a memory request as it travels down the hierarchy.
+type Request struct {
+	PC    uint64     // program counter of the triggering instruction
+	Addr  uint64     // byte address
+	Core  int        // originating core
+	Type  AccessType // access class
+	Cycle uint64     // core cycle at issue (for DRAM scheduling)
+}
+
+// Block returns the request's block address.
+func (r Request) Block() uint64 { return Block(r.Addr) }
+
+// FoldXor computes an n-bit XOR fold of v, used for slice hashing and
+// predictor indexing. It mixes all address bits so that strided and
+// sequential streams spread uniformly (after Kayaalp et al. [33] and
+// Maurice et al. [41] style complex addressing).
+func FoldXor(v uint64, bits uint) uint64 {
+	if bits == 0 || bits >= 64 {
+		return v
+	}
+	mask := (uint64(1) << bits) - 1
+	var out uint64
+	for v != 0 {
+		out ^= v & mask
+		v >>= bits
+	}
+	return out
+}

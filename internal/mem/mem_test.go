@@ -1,0 +1,83 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockHelpers(t *testing.T) {
+	if Block(0) != 0 || Block(63) != 0 || Block(64) != 1 {
+		t.Fatal("Block boundaries wrong")
+	}
+	if BlockBase(127) != 64 {
+		t.Fatalf("BlockBase(127) = %d", BlockBase(127))
+	}
+	if BlockSize != 64 || BlockShift != 6 {
+		t.Fatal("line size constants changed")
+	}
+}
+
+func TestAccessTypeStrings(t *testing.T) {
+	cases := map[AccessType]string{
+		Load: "load", RFO: "rfo", Prefetch: "prefetch", Writeback: "writeback",
+	}
+	for typ, want := range cases {
+		if typ.String() != want {
+			t.Fatalf("%v.String() = %q", uint8(typ), typ.String())
+		}
+	}
+	if AccessType(99).String() == "" {
+		t.Fatal("unknown type should still render")
+	}
+}
+
+func TestIsDemand(t *testing.T) {
+	if !Load.IsDemand() || !RFO.IsDemand() {
+		t.Fatal("demand types misclassified")
+	}
+	if Prefetch.IsDemand() || Writeback.IsDemand() {
+		t.Fatal("non-demand types misclassified")
+	}
+}
+
+func TestRequestBlock(t *testing.T) {
+	r := Request{Addr: 0x12345}
+	if r.Block() != 0x12345>>6 {
+		t.Fatal("Request.Block mismatch")
+	}
+}
+
+func TestFoldXorProperties(t *testing.T) {
+	// Output always fits in the requested bit width.
+	check := func(v uint64, bits8 uint8) bool {
+		bits := uint(bits8%20) + 1
+		return FoldXor(v, bits) < 1<<bits
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFoldXorMixesHighBits(t *testing.T) {
+	// Values differing only in high bits must (usually) fold differently.
+	diff := 0
+	for i := uint64(0); i < 1000; i++ {
+		a := FoldXor(i<<40, 10)
+		b := FoldXor((i+1)<<40, 10)
+		if a != b {
+			diff++
+		}
+	}
+	if diff < 900 {
+		t.Fatalf("high bits poorly mixed: only %d/1000 differ", diff)
+	}
+}
+
+func TestFoldXorEdge(t *testing.T) {
+	if FoldXor(12345, 0) != 12345 {
+		t.Fatal("bits=0 should be identity")
+	}
+	if FoldXor(12345, 64) != 12345 {
+		t.Fatal("bits=64 should be identity")
+	}
+}

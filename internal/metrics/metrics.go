@@ -1,0 +1,84 @@
+// Package metrics computes the multi-core performance and fairness metrics
+// of Section 5.2: weighted speedup (WS), harmonic mean of speedups (HS),
+// maximum individual slowdown (MIS), and unfairness, plus the cache-quality
+// rates (MPKI, WPKI, APKI).
+package metrics
+
+import "fmt"
+
+// Multi summarizes a multi-programmed run against per-core alone IPCs.
+type Multi struct {
+	IS         []float64 // individual speedups IPC_together / IPC_alone
+	WS         float64   // Σ IS_i
+	HS         float64   // N / Σ (1/IS_i)
+	MIS        float64   // max IS_i (reported as max slowdown in the paper)
+	Unfairness float64   // max IS / min IS
+}
+
+// Compute derives the metrics. together and alone must be the same length
+// and alone entries must be positive.
+func Compute(together, alone []float64) (Multi, error) {
+	if len(together) != len(alone) || len(together) == 0 {
+		return Multi{}, fmt.Errorf("metrics: mismatched IPC vectors (%d vs %d)", len(together), len(alone))
+	}
+	m := Multi{IS: make([]float64, len(together))}
+	var invSum float64
+	minIS, maxIS := 0.0, 0.0
+	for i := range together {
+		if alone[i] <= 0 {
+			return Multi{}, fmt.Errorf("metrics: non-positive alone IPC for core %d", i)
+		}
+		is := together[i] / alone[i]
+		m.IS[i] = is
+		m.WS += is
+		if is > 0 {
+			invSum += 1 / is
+		}
+		if i == 0 || is < minIS {
+			minIS = is
+		}
+		if i == 0 || is > maxIS {
+			maxIS = is
+		}
+	}
+	if invSum > 0 {
+		m.HS = float64(len(together)) / invSum
+	}
+	m.MIS = maxIS
+	if minIS > 0 {
+		m.Unfairness = maxIS / minIS
+	}
+	return m, nil
+}
+
+// MaxSlowdown returns the maximum individual slowdown 1 - min(IS), expressed
+// as a fraction (the paper's MIS metric reports how much the most-hurt core
+// loses).
+func (m Multi) MaxSlowdown() float64 {
+	if len(m.IS) == 0 {
+		return 0
+	}
+	minIS := m.IS[0]
+	for _, is := range m.IS[1:] {
+		if is < minIS {
+			minIS = is
+		}
+	}
+	return 1 - minIS
+}
+
+// PerKiloInstr normalizes an event count to per-kilo-instruction.
+func PerKiloInstr(events, instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(events) * 1000 / float64(instructions)
+}
+
+// SpeedupPct converts a ratio to the paper's "% improvement" convention.
+func SpeedupPct(policy, baseline float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return (policy/baseline - 1) * 100
+}

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeBasics(t *testing.T) {
+	m, err := Compute([]float64{1, 2}, []float64{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.WS-1.5) > 1e-9 {
+		t.Fatalf("WS %v", m.WS)
+	}
+	// HS = 2 / (1/0.5 + 1/1) = 2/3.
+	if math.Abs(m.HS-2.0/3.0) > 1e-9 {
+		t.Fatalf("HS %v", m.HS)
+	}
+	if math.Abs(m.Unfairness-2) > 1e-9 {
+		t.Fatalf("unfairness %v", m.Unfairness)
+	}
+	if math.Abs(m.MIS-1.0) > 1e-9 {
+		t.Fatalf("MIS %v", m.MIS)
+	}
+	if math.Abs(m.MaxSlowdown()-0.5) > 1e-9 {
+		t.Fatalf("max slowdown %v", m.MaxSlowdown())
+	}
+}
+
+func TestComputeIdenticalRuns(t *testing.T) {
+	m, err := Compute([]float64{1, 1, 1}, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WS != 3 || m.HS != 1 || m.Unfairness != 1 {
+		t.Fatalf("%+v", m)
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	if _, err := Compute([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Compute(nil, nil); err == nil {
+		t.Fatal("empty vectors accepted")
+	}
+	if _, err := Compute([]float64{1}, []float64{0}); err == nil {
+		t.Fatal("zero alone IPC accepted")
+	}
+}
+
+func TestHSAtMostWSOverN(t *testing.T) {
+	// Harmonic mean ≤ arithmetic mean, always.
+	check := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		together := make([]float64, len(raw))
+		alone := make([]float64, len(raw))
+		for i, r := range raw {
+			together[i] = float64(r%100) + 1
+			alone[i] = float64(r%37) + 1
+		}
+		m, err := Compute(together, alone)
+		if err != nil {
+			return false
+		}
+		return m.HS <= m.WS/float64(len(raw))+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerKiloInstr(t *testing.T) {
+	if PerKiloInstr(5, 1000) != 5 {
+		t.Fatal("PKI wrong")
+	}
+	if PerKiloInstr(5, 0) != 0 {
+		t.Fatal("zero instructions should not divide")
+	}
+}
+
+func TestSpeedupPct(t *testing.T) {
+	if SpeedupPct(1.1, 1.0) < 9.99 || SpeedupPct(1.1, 1.0) > 10.01 {
+		t.Fatal("speedup percent wrong")
+	}
+	if SpeedupPct(1, 0) != 0 {
+		t.Fatal("zero baseline should not divide")
+	}
+}

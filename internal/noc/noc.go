@@ -1,0 +1,146 @@
+// Package noc models the on-chip interconnects: the general-purpose mesh
+// that carries core↔LLC-slice traffic, and NOCSTAR — the dedicated,
+// latchless, circuit-switched side-band network Drishti uses for
+// slice↔predictor communication (Section 4.1.4).
+package noc
+
+import "fmt"
+
+// Mesh is an analytical 2D mesh: XY-routed hop counts with a fixed per-hop
+// latency (router + link), matching the paper's 2-stage wormhole router.
+type Mesh struct {
+	nodes    int
+	cols     int
+	rows     int
+	perHop   uint32 // cycles per hop (router traversal + link)
+	router   uint32 // fixed injection/ejection overhead
+	Messages uint64 // messages routed (for energy/traffic accounting)
+	HopSum   uint64 // total hops, for average-latency reporting
+}
+
+// NewMesh builds a mesh of n nodes in a near-square grid. perHop is the
+// per-hop cycle cost and router the fixed end overhead. With perHop=4 and
+// router=2 a 32-node (8×4) mesh averages ≈20 cycles, matching Section 4.1.3.
+func NewMesh(n int, perHop, router uint32) *Mesh {
+	if n <= 0 {
+		panic("noc: mesh with no nodes")
+	}
+	cols := 1
+	for cols*cols < n {
+		cols++
+	}
+	rows := (n + cols - 1) / cols
+	return &Mesh{nodes: n, cols: cols, rows: rows, perHop: perHop, router: router}
+}
+
+// Nodes returns the node count.
+func (m *Mesh) Nodes() int { return m.nodes }
+
+// Hops returns the XY-routing hop count between nodes a and b.
+func (m *Mesh) Hops(a, b int) uint32 {
+	ax, ay := a%m.cols, a/m.cols
+	bx, by := b%m.cols, b/m.cols
+	dx := ax - bx
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := ay - by
+	if dy < 0 {
+		dy = -dy
+	}
+	return uint32(dx + dy)
+}
+
+// Latency returns the one-way latency between nodes a and b and records the
+// message for traffic accounting.
+func (m *Mesh) Latency(a, b int) uint32 {
+	h := m.Hops(a, b)
+	m.Messages++
+	m.HopSum += uint64(h)
+	return m.router + h*m.perHop
+}
+
+// PeekLatency returns the latency without recording traffic.
+func (m *Mesh) PeekLatency(a, b int) uint32 {
+	return m.router + m.Hops(a, b)*m.perHop
+}
+
+// AvgLatency returns the observed mean message latency.
+func (m *Mesh) AvgLatency() float64 {
+	if m.Messages == 0 {
+		return 0
+	}
+	return float64(m.router) + float64(m.HopSum)/float64(m.Messages)*float64(m.perHop)
+}
+
+// Reset clears traffic counters.
+func (m *Mesh) Reset() { m.Messages, m.HopSum = 0, 0 }
+
+// String implements fmt.Stringer.
+func (m *Mesh) String() string {
+	return fmt.Sprintf("mesh %dx%d perHop=%d router=%d", m.cols, m.rows, m.perHop, m.router)
+}
+
+// Star models NOCSTAR: a side-band, latchless, circuit-switched interconnect
+// connecting every LLC slice to every per-core predictor bank with a fixed
+// three-cycle latency (one hop when uncontended; the paper measures three
+// cycles end to end). Bandwidth is low but predictor traffic is sparse
+// (≈2.5 accesses per kilo-instruction per core, Fig 10), so a simple
+// busy-until occupancy model captures contention.
+type Star struct {
+	latency  uint32
+	occupy   uint32      // cycles a transfer holds its link
+	links    [][2]uint64 // two dedicated links per endpoint (request/fill)
+	Messages uint64
+	Stalls   uint64 // cycles lost to link contention
+}
+
+// DefaultStarLatency is NOCSTAR's end-to-end latency in cycles.
+const DefaultStarLatency = 3
+
+// NewStar builds a NOCSTAR with one request/response link pair per endpoint
+// pairing class; links is typically the slice count.
+func NewStar(links int, latency uint32) *Star {
+	if links <= 0 {
+		links = 1
+	}
+	return &Star{latency: latency, occupy: 1, links: make([][2]uint64, links)}
+}
+
+// Latency returns the transfer latency from slice to the given predictor
+// bank at time now, including any wait for the link arbiter.
+func (s *Star) Latency(slice, bank int, now uint64) uint32 {
+	pair := &s.links[bank%len(s.links)]
+	// Pick the earlier-available of the endpoint's two links (the paper
+	// dedicates separate request and fill links).
+	l := &pair[0]
+	if pair[1] < pair[0] {
+		l = &pair[1]
+	}
+	wait := uint32(0)
+	if *l > now {
+		wait = uint32(*l - now)
+	}
+	*l = maxU64(*l, now) + uint64(s.occupy)
+	s.Messages++
+	s.Stalls += uint64(wait)
+	return s.latency + wait
+}
+
+// FixedLatency returns the uncontended latency (used for energy-only paths).
+func (s *Star) FixedLatency() uint32 { return s.latency }
+
+// Reset clears traffic counters and link reservations.
+func (s *Star) Reset() {
+	s.Messages, s.Stalls = 0, 0
+	for i := range s.links {
+		s.links[i] = [2]uint64{}
+	}
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,165 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMeshHops(t *testing.T) {
+	m := NewMesh(16, 4, 2) // 4×4
+	if h := m.Hops(0, 0); h != 0 {
+		t.Fatalf("self hops %d", h)
+	}
+	if h := m.Hops(0, 3); h != 3 {
+		t.Fatalf("row hops %d", h)
+	}
+	if h := m.Hops(0, 15); h != 6 { // (3,3) from (0,0)
+		t.Fatalf("corner hops %d", h)
+	}
+	if m.Hops(3, 0) != m.Hops(0, 3) {
+		t.Fatal("hops not symmetric")
+	}
+}
+
+func TestMeshLatencyAndTraffic(t *testing.T) {
+	m := NewMesh(16, 4, 2)
+	if lat := m.Latency(0, 0); lat != 2 {
+		t.Fatalf("self latency %d", lat)
+	}
+	if lat := m.Latency(0, 15); lat != 2+6*4 {
+		t.Fatalf("corner latency %d", lat)
+	}
+	if m.Messages != 2 || m.HopSum != 6 {
+		t.Fatalf("traffic %d msgs %d hops", m.Messages, m.HopSum)
+	}
+	if m.PeekLatency(0, 15) != 26 {
+		t.Fatal("peek mismatch")
+	}
+	if m.Messages != 2 {
+		t.Fatal("peek must not record traffic")
+	}
+	m.Reset()
+	if m.Messages != 0 || m.HopSum != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestMesh32AvgLatencyNearPaper(t *testing.T) {
+	// Section 4.1.3: the 32-core mesh averages ≈20 cycles.
+	m := NewMesh(32, 4, 2)
+	var sum float64
+	n := 0
+	for a := 0; a < 32; a++ {
+		for b := 0; b < 32; b++ {
+			if a == b {
+				continue
+			}
+			sum += float64(m.PeekLatency(a, b))
+			n++
+		}
+	}
+	avg := sum / float64(n)
+	if avg < 14 || avg > 26 {
+		t.Fatalf("32-node mesh average latency %.1f, want ≈20", avg)
+	}
+}
+
+func TestMeshHopsProperty(t *testing.T) {
+	m := NewMesh(64, 1, 0)
+	check := func(a8, b8, c8 uint8) bool {
+		a, b, c := int(a8)%64, int(b8)%64, int(c8)%64
+		// Symmetry and triangle inequality (Manhattan metric).
+		if m.Hops(a, b) != m.Hops(b, a) {
+			return false
+		}
+		return m.Hops(a, c) <= m.Hops(a, b)+m.Hops(b, c)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStarFixedLatency(t *testing.T) {
+	s := NewStar(16, DefaultStarLatency)
+	if lat := s.Latency(0, 5, 100); lat != 3 {
+		t.Fatalf("uncontended latency %d", lat)
+	}
+	if s.Messages != 1 {
+		t.Fatal("message not counted")
+	}
+}
+
+func TestStarContention(t *testing.T) {
+	s := NewStar(4, 3)
+	// Three transfers to the same bank at the same cycle: the first two
+	// take the endpoint's dedicated link pair; the third waits.
+	if lat := s.Latency(0, 1, 100); lat != 3 {
+		t.Fatalf("first transfer %d", lat)
+	}
+	if lat := s.Latency(2, 1, 100); lat != 3 {
+		t.Fatalf("second transfer (paired link) %d", lat)
+	}
+	if lat := s.Latency(3, 1, 100); lat != 4 {
+		t.Fatalf("contended transfer %d, want 4", lat)
+	}
+	if s.Stalls != 1 {
+		t.Fatalf("stalls %d", s.Stalls)
+	}
+	// Different bank: no contention.
+	if lat := s.Latency(0, 2, 100); lat != 3 {
+		t.Fatalf("other link %d", lat)
+	}
+}
+
+func TestStarReset(t *testing.T) {
+	s := NewStar(2, 3)
+	s.Latency(0, 0, 10)
+	s.Reset()
+	if s.Messages != 0 || s.Stalls != 0 {
+		t.Fatal("reset failed")
+	}
+	if lat := s.Latency(0, 0, 0); lat != 3 {
+		t.Fatalf("link reservation survived reset: %d", lat)
+	}
+}
+
+func TestStarMonotoneNoStarvation(t *testing.T) {
+	s := NewStar(1, 3)
+	// A burst of messages at the same cycle queues linearly across the
+	// two links, not worse.
+	for i := 0; i < 10; i++ {
+		lat := s.Latency(0, 0, 1000)
+		want := uint32(3 + i/2)
+		if lat != want {
+			t.Fatalf("message %d latency %d, want %d", i, lat, want)
+		}
+	}
+}
+
+func TestMeshAvgLatency(t *testing.T) {
+	m := NewMesh(4, 4, 2)
+	if m.AvgLatency() != 0 {
+		t.Fatal("avg latency before traffic")
+	}
+	m.Latency(0, 3) // 3 hops on a 2×2? (0,0)→(1,1): 2 hops
+	if m.AvgLatency() <= 0 {
+		t.Fatal("avg latency after traffic")
+	}
+	if m.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestStarFixedLatencyAccessor(t *testing.T) {
+	s := NewStar(4, 7)
+	if s.FixedLatency() != 7 {
+		t.Fatal("FixedLatency accessor")
+	}
+}
+
+func TestNewStarClampsLinks(t *testing.T) {
+	s := NewStar(0, 3)
+	if lat := s.Latency(0, 5, 0); lat != 3 {
+		t.Fatalf("clamped star latency %d", lat)
+	}
+}

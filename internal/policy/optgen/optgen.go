@@ -1,0 +1,95 @@
+// Package optgen implements the sampled OPTgen mechanism shared by
+// Hawkeye-family policies (Hawkeye, Glider): a bounded per-sampled-set
+// history of line accesses plus an occupancy vector that answers "would
+// Belady's OPT have hit this reuse?".
+package optgen
+
+// Entry is one tracked line in a sampled set's history. Sig and Core
+// identify the predictor entry of the access that brought the line in.
+type Entry struct {
+	Sig  uint32
+	Core uint16
+	TS   uint32
+	Meta uint64 // policy-private payload (e.g., Glider's history snapshot)
+}
+
+// Set is the OPTgen state of one sampled set.
+type Set struct {
+	entries map[uint64]*Entry
+	occ     []uint8
+	time    uint32
+	ways    int
+	maxEnt  int
+}
+
+// NewSet builds a sampled set tracking a window of window accesses for a
+// cache set with the given associativity.
+func NewSet(window, ways int) *Set {
+	s := &Set{ways: ways, maxEnt: window}
+	s.Reset(window)
+	return s
+}
+
+// Reset discards all history (dynamic sampled-set reselection).
+func (s *Set) Reset(window int) {
+	s.entries = make(map[uint64]*Entry)
+	s.occ = make([]uint8, window)
+	s.time = 0
+	s.maxEnt = window
+}
+
+// Time returns the set-local access clock.
+func (s *Set) Time() uint32 { return s.time }
+
+// Lookup returns the history entry for block, if tracked.
+func (s *Set) Lookup(block uint64) (*Entry, bool) {
+	e, ok := s.entries[block]
+	return e, ok
+}
+
+// OptHit answers whether OPT would have hit the reuse interval ending now
+// for an entry last touched at last, updating the occupancy vector on a hit.
+func (s *Set) OptHit(last uint32) bool {
+	window := uint32(len(s.occ))
+	if s.time-last >= window {
+		return false
+	}
+	for t := last; t != s.time; t++ {
+		if int(s.occ[t%window]) >= s.ways {
+			return false
+		}
+	}
+	for t := last; t != s.time; t++ {
+		s.occ[t%window]++
+	}
+	return true
+}
+
+// Insert tracks a new block, evicting the oldest tracked entry if the
+// history is full. The evicted entry (whose line aged out un-reused) is
+// returned so the caller can detrain it.
+func (s *Set) Insert(block uint64, e Entry) (evicted Entry, wasEvicted bool) {
+	if len(s.entries) >= s.maxEnt {
+		var (
+			oldBlock uint64
+			oldEnt   *Entry
+		)
+		for blk, ent := range s.entries {
+			if oldEnt == nil || s.time-ent.TS > s.time-oldEnt.TS {
+				oldBlock, oldEnt = blk, ent
+			}
+		}
+		delete(s.entries, oldBlock)
+		evicted, wasEvicted = *oldEnt, true
+	}
+	cp := e
+	s.entries[block] = &cp
+	return evicted, wasEvicted
+}
+
+// Advance opens the occupancy slot for the current time and ticks the clock.
+// Call once per sampled-set access, after Lookup/Insert.
+func (s *Set) Advance() {
+	s.occ[s.time%uint32(len(s.occ))] = 0
+	s.time++
+}

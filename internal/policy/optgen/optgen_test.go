@@ -1,0 +1,128 @@
+package optgen
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestShortReuseIsOptHit(t *testing.T) {
+	s := NewSet(32, 4)
+	s.Insert(100, Entry{TS: s.Time()})
+	s.Advance()
+	s.Advance()
+	e, ok := s.Lookup(100)
+	if !ok {
+		t.Fatal("entry lost")
+	}
+	if !s.OptHit(e.TS) {
+		t.Fatal("uncontended short reuse must be an OPT hit")
+	}
+}
+
+func TestBeyondWindowIsMiss(t *testing.T) {
+	s := NewSet(8, 4)
+	s.Insert(100, Entry{TS: s.Time()})
+	for i := 0; i < 9; i++ {
+		s.Advance()
+	}
+	if s.OptHit(0) {
+		t.Fatal("reuse beyond the modeled window must miss")
+	}
+}
+
+func TestCapacityPressureCausesOptMiss(t *testing.T) {
+	// A 2-way set with 3 overlapping reuse intervals: the third must miss
+	// under OPT (occupancy is full).
+	s := NewSet(32, 2)
+	for b := uint64(0); b < 3; b++ {
+		s.Insert(b, Entry{TS: s.Time()})
+		s.Advance()
+	}
+	hits := 0
+	for b := uint64(0); b < 3; b++ {
+		e, _ := s.Lookup(b)
+		if s.OptHit(e.TS) {
+			hits++
+		}
+		e.TS = s.Time()
+		s.Advance()
+	}
+	if hits != 2 {
+		t.Fatalf("2-way OPT admitted %d of 3 overlapping lines", hits)
+	}
+}
+
+func TestSequentialReuseAllHit(t *testing.T) {
+	// Non-overlapping (back-to-back) reuses never exceed occupancy 1.
+	s := NewSet(64, 1)
+	for b := uint64(0); b < 10; b++ {
+		s.Insert(b, Entry{TS: s.Time()})
+		s.Advance()
+		e, _ := s.Lookup(b)
+		if !s.OptHit(e.TS) {
+			t.Fatalf("block %d: serial reuse rejected by 1-way OPT", b)
+		}
+		e.TS = s.Time()
+		s.Advance()
+	}
+}
+
+func TestInsertEvictsOldest(t *testing.T) {
+	s := NewSet(4, 2) // capacity 4 entries
+	for b := uint64(0); b < 4; b++ {
+		s.Insert(b, Entry{Sig: uint32(b), TS: s.Time()})
+		s.Advance()
+	}
+	old, evicted := s.Insert(99, Entry{TS: s.Time()})
+	if !evicted || old.Sig != 0 {
+		t.Fatalf("expected eviction of the oldest entry (sig 0); got %+v evicted=%v", old, evicted)
+	}
+	if _, ok := s.Lookup(0); ok {
+		t.Fatal("evicted block still tracked")
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	s := NewSet(8, 2)
+	s.Insert(1, Entry{TS: 0})
+	s.Advance()
+	s.Reset(8)
+	if _, ok := s.Lookup(1); ok {
+		t.Fatal("reset kept entries")
+	}
+	if s.Time() != 0 {
+		t.Fatal("reset kept the clock")
+	}
+}
+
+func TestOptHitNeverExceedsWays(t *testing.T) {
+	// Property: in any access pattern, the number of concurrently admitted
+	// intervals covering one quantum never exceeds the associativity —
+	// i.e., occupancy values stay ≤ ways.
+	check := func(blocks []uint8) bool {
+		ways := 3
+		s := NewSet(24, ways)
+		admitted := 0
+		for _, b8 := range blocks {
+			b := uint64(b8 % 8)
+			if e, ok := s.Lookup(b); ok {
+				if s.OptHit(e.TS) {
+					admitted++
+				}
+				e.TS = s.Time()
+			} else {
+				s.Insert(b, Entry{TS: s.Time()})
+			}
+			s.Advance()
+			for _, v := range s.occ {
+				if int(v) > ways {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

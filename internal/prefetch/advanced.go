@@ -1,0 +1,405 @@
+package prefetch
+
+import "drishti/internal/mem"
+
+// This file holds the Fig 23 prefetchers: faithful-in-spirit "lite" versions
+// of SPP(+PPF), Bingo, IPCP, Berti, and Gaze. Each keeps the published
+// proposal's core mechanism (what it learns and when it fires) while
+// dropping microarchitectural plumbing that does not affect LLC-level
+// behavior. They differ in coverage/accuracy, which is what the Drishti
+// sensitivity study exercises.
+
+const pageShift = 12 // 4 KB pages
+const blocksPerPage = 1 << (pageShift - mem.BlockShift)
+
+func pageOf(addr uint64) uint64 { return addr >> pageShift }
+func offsetOf(addr uint64) int  { return int(addr>>mem.BlockShift) & (blocksPerPage - 1) }
+func addrOf(page uint64, off int) uint64 {
+	return page<<pageShift | uint64(off)<<mem.BlockShift
+}
+
+// --- SPP-lite -----------------------------------------------------------------
+
+type sppPage struct {
+	sig     uint16
+	lastOff int
+}
+
+type sppPattern struct {
+	delta int8
+	conf  uint8
+}
+
+// SPPLite is a signature-path prefetcher: per-page delta signatures index a
+// pattern table whose confidence gates a lookahead chain (Bhatia et al.'s
+// SPP+PPF, with the perceptron filter folded into the confidence threshold).
+type SPPLite struct {
+	pages    map[uint64]*sppPage
+	patterns map[uint16]*sppPattern
+	buf      []uint64
+	// MaxDepth bounds the lookahead chain.
+	MaxDepth int
+}
+
+// NewSPPLite builds an SPP-lite prefetcher.
+func NewSPPLite() *SPPLite {
+	return &SPPLite{
+		pages:    make(map[uint64]*sppPage),
+		patterns: make(map[uint16]*sppPattern),
+		MaxDepth: 4,
+		buf:      make([]uint64, 0, 4),
+	}
+}
+
+// Name implements Prefetcher.
+func (p *SPPLite) Name() string { return "spp" }
+
+// Train implements Prefetcher.
+func (p *SPPLite) Train(_, addr uint64, _ bool) []uint64 {
+	p.buf = p.buf[:0]
+	page := pageOf(addr)
+	off := offsetOf(addr)
+	pg, ok := p.pages[page]
+	if !ok {
+		if len(p.pages) > 1<<12 {
+			p.pages = make(map[uint64]*sppPage)
+		}
+		p.pages[page] = &sppPage{lastOff: off}
+		return nil
+	}
+	delta := int8(off - pg.lastOff)
+	if delta != 0 {
+		// Update the pattern for the old signature.
+		pat, ok := p.patterns[pg.sig]
+		if !ok {
+			if len(p.patterns) > 1<<14 {
+				p.patterns = make(map[uint16]*sppPattern)
+			}
+			p.patterns[pg.sig] = &sppPattern{delta: delta, conf: 1}
+		} else if pat.delta == delta {
+			if pat.conf < 7 {
+				pat.conf++
+			}
+		} else if pat.conf > 0 {
+			pat.conf--
+		} else {
+			pat.delta = delta
+		}
+		pg.sig = (pg.sig<<3 ^ uint16(delta)&0x3f) & 0xfff
+	}
+	pg.lastOff = off
+
+	// Walk the signature chain while confidence holds.
+	sig, cur := pg.sig, off
+	for depth := 0; depth < p.MaxDepth; depth++ {
+		pat, ok := p.patterns[sig]
+		if !ok || pat.conf < 2 {
+			break
+		}
+		cur += int(pat.delta)
+		if cur < 0 || cur >= blocksPerPage {
+			break // SPP-lite does not cross pages
+		}
+		p.buf = append(p.buf, addrOf(page, cur))
+		sig = (sig<<3 ^ uint16(pat.delta)&0x3f) & 0xfff
+	}
+	return p.buf
+}
+
+// --- Bingo-lite ---------------------------------------------------------------
+
+type bingoActive struct {
+	footprint uint64 // block bitmap for the page
+	trigger   uint64 // hash(PC, offset) of the first access
+}
+
+// BingoLite is a spatial footprint prefetcher: it records which blocks of a
+// page were touched, keyed by the (PC, trigger-offset) event that first
+// touched the page, and replays the footprint on the next occurrence.
+type BingoLite struct {
+	active  map[uint64]*bingoActive
+	history map[uint64]uint64 // trigger → footprint
+	buf     []uint64
+}
+
+// NewBingoLite builds a Bingo-lite prefetcher.
+func NewBingoLite() *BingoLite {
+	return &BingoLite{
+		active:  make(map[uint64]*bingoActive),
+		history: make(map[uint64]uint64),
+		buf:     make([]uint64, 0, blocksPerPage),
+	}
+}
+
+// Name implements Prefetcher.
+func (p *BingoLite) Name() string { return "bingo" }
+
+func bingoTrigger(pc uint64, off int) uint64 {
+	return pc*0x9e3779b97f4a7c15 ^ uint64(off)*0xbf58476d1ce4e5b9
+}
+
+// Train implements Prefetcher.
+func (p *BingoLite) Train(pc, addr uint64, _ bool) []uint64 {
+	p.buf = p.buf[:0]
+	page := pageOf(addr)
+	off := offsetOf(addr)
+	act, ok := p.active[page]
+	if ok {
+		act.footprint |= 1 << uint(off)
+		return nil
+	}
+	// New page: when the active-page table overflows, archive every
+	// tracked footprint (a batch flush keeps the model deterministic).
+	if len(p.active) > 64 {
+		for pg, a := range p.active {
+			p.history[a.trigger] = a.footprint
+			delete(p.active, pg)
+		}
+		if len(p.history) > 1<<14 {
+			p.history = make(map[uint64]uint64)
+		}
+	}
+	trig := bingoTrigger(pc, off)
+	p.active[page] = &bingoActive{footprint: 1 << uint(off), trigger: trig}
+	if fp, ok := p.history[trig]; ok {
+		for b := 0; b < blocksPerPage; b++ {
+			if b != off && fp&(1<<uint(b)) != 0 {
+				p.buf = append(p.buf, addrOf(page, b))
+			}
+		}
+	}
+	return p.buf
+}
+
+// --- IPCP-lite ----------------------------------------------------------------
+
+type ipcpEntry struct {
+	lastBlock uint64
+	stride    int64
+	strideCnt uint8
+	streamCnt uint8
+}
+
+// IPCPLite classifies instruction pointers (constant-stride vs global
+// stream) and prefetches per class, after Pakalapati & Panda's bouquet of
+// IP classifiers.
+type IPCPLite struct {
+	table   map[uint64]*ipcpEntry
+	lastBlk uint64
+	buf     []uint64
+}
+
+// NewIPCPLite builds an IPCP-lite prefetcher.
+func NewIPCPLite() *IPCPLite {
+	return &IPCPLite{table: make(map[uint64]*ipcpEntry), buf: make([]uint64, 0, 6)}
+}
+
+// Name implements Prefetcher.
+func (p *IPCPLite) Name() string { return "ipcp" }
+
+// Train implements Prefetcher.
+func (p *IPCPLite) Train(pc, addr uint64, _ bool) []uint64 {
+	p.buf = p.buf[:0]
+	blk := mem.Block(addr)
+	e, ok := p.table[pc]
+	if !ok {
+		if len(p.table) > 1<<14 {
+			p.table = make(map[uint64]*ipcpEntry)
+		}
+		p.table[pc] = &ipcpEntry{lastBlock: blk}
+		p.lastBlk = blk
+		return nil
+	}
+	stride := int64(blk) - int64(e.lastBlock)
+	if stride != 0 && stride == e.stride {
+		if e.strideCnt < 3 {
+			e.strideCnt++
+		}
+	} else if e.strideCnt > 0 {
+		e.strideCnt--
+	} else {
+		e.stride = stride
+	}
+	// Global-stream detection: monotonically advancing accesses.
+	if blk == p.lastBlk+1 {
+		if e.streamCnt < 3 {
+			e.streamCnt++
+		}
+	} else if e.streamCnt > 0 {
+		e.streamCnt--
+	}
+	e.lastBlock = blk
+	p.lastBlk = blk
+
+	switch {
+	case e.strideCnt >= 2 && e.stride != 0:
+		for d := 1; d <= 3; d++ {
+			nb := int64(blk) + e.stride*int64(d)
+			if nb > 0 {
+				p.buf = append(p.buf, uint64(nb)<<mem.BlockShift)
+			}
+		}
+	case e.streamCnt >= 2:
+		for d := 1; d <= 4; d++ {
+			p.buf = append(p.buf, (blk+uint64(d))<<mem.BlockShift)
+		}
+	}
+	return p.buf
+}
+
+// --- Berti-lite ---------------------------------------------------------------
+
+type bertiHist struct {
+	offs [8]int
+	n    int
+}
+
+type bertiPC struct {
+	hist      map[uint64]*bertiHist // page → recent offsets by this PC
+	bestDelta int
+	conf      uint8
+}
+
+// BertiLite learns each PC's best ("timely") local delta by scoring
+// candidate deltas against the PC's recent accesses within a page, after
+// Navarro-Torres et al.
+type BertiLite struct {
+	table map[uint64]*bertiPC
+	buf   []uint64
+}
+
+// NewBertiLite builds a Berti-lite prefetcher.
+func NewBertiLite() *BertiLite {
+	return &BertiLite{table: make(map[uint64]*bertiPC), buf: make([]uint64, 0, 2)}
+}
+
+// Name implements Prefetcher.
+func (p *BertiLite) Name() string { return "berti" }
+
+// Train implements Prefetcher.
+func (p *BertiLite) Train(pc, addr uint64, _ bool) []uint64 {
+	p.buf = p.buf[:0]
+	page := pageOf(addr)
+	off := offsetOf(addr)
+	e, ok := p.table[pc]
+	if !ok {
+		if len(p.table) > 1<<13 {
+			p.table = make(map[uint64]*bertiPC)
+		}
+		e = &bertiPC{hist: make(map[uint64]*bertiHist)}
+		p.table[pc] = e
+	}
+	h, ok := e.hist[page]
+	if !ok {
+		if len(e.hist) > 32 {
+			e.hist = make(map[uint64]*bertiHist)
+		}
+		h = &bertiHist{}
+		e.hist[page] = h
+	}
+	// Score the delta from the most recent access by this PC in the page;
+	// a delta that keeps recurring becomes the PC's best (timely) delta.
+	if h.n > 0 {
+		if d := off - h.offs[h.n-1]; d != 0 {
+			if d == e.bestDelta {
+				if e.conf < 7 {
+					e.conf++
+				}
+			} else if e.conf > 0 {
+				e.conf--
+			} else {
+				e.bestDelta = d
+			}
+		}
+	}
+	if h.n < len(h.offs) {
+		h.offs[h.n] = off
+		h.n++
+	} else {
+		copy(h.offs[:], h.offs[1:])
+		h.offs[len(h.offs)-1] = off
+	}
+	if e.conf >= 3 && e.bestDelta != 0 {
+		t := off + e.bestDelta
+		if t >= 0 && t < blocksPerPage {
+			p.buf = append(p.buf, addrOf(page, t))
+		}
+		t2 := off + 2*e.bestDelta
+		if t2 >= 0 && t2 < blocksPerPage {
+			p.buf = append(p.buf, addrOf(page, t2))
+		}
+	}
+	return p.buf
+}
+
+// --- Gaze-lite ----------------------------------------------------------------
+
+// GazeLite layers a temporal-correlation check on spatial footprints, after
+// Chen et al. (HPCA'25): like Bingo it replays page footprints, but only the
+// blocks that were touched soon after the trigger, which improves accuracy.
+type GazeLite struct {
+	bingo *BingoLite
+	order map[uint64][]uint8 // trigger → touch order (first 8 offsets)
+	cur   map[uint64][]uint8 // page → touch order being recorded
+	buf   []uint64
+}
+
+// NewGazeLite builds a Gaze-lite prefetcher.
+func NewGazeLite() *GazeLite {
+	return &GazeLite{
+		bingo: NewBingoLite(),
+		order: make(map[uint64][]uint8),
+		cur:   make(map[uint64][]uint8),
+		buf:   make([]uint64, 0, 8),
+	}
+}
+
+// Name implements Prefetcher.
+func (p *GazeLite) Name() string { return "gaze" }
+
+// Train implements Prefetcher.
+func (p *GazeLite) Train(pc, addr uint64, hit bool) []uint64 {
+	page := pageOf(addr)
+	off := offsetOf(addr)
+	if seq, ok := p.cur[page]; ok {
+		if len(seq) < 8 {
+			p.cur[page] = append(seq, uint8(off))
+		}
+	} else {
+		if len(p.cur) > 64 {
+			for pg, s := range p.cur {
+				p.order[bingoTrigger(pc, int(s[0]))] = s
+				delete(p.cur, pg)
+				break
+			}
+			if len(p.order) > 1<<13 {
+				p.order = make(map[uint64][]uint8)
+			}
+		}
+		p.cur[page] = []uint8{uint8(off)}
+	}
+	cands := p.bingo.Train(pc, addr, hit)
+	if len(cands) == 0 {
+		return cands
+	}
+	// Temporal filter: prefer blocks that appeared early in the recorded
+	// touch order for this trigger.
+	seq, ok := p.order[bingoTrigger(pc, off)]
+	if !ok {
+		return cands
+	}
+	p.buf = p.buf[:0]
+	for _, a := range cands {
+		o := uint8(offsetOf(a))
+		for _, s := range seq {
+			if s == o {
+				p.buf = append(p.buf, a)
+				break
+			}
+		}
+	}
+	if len(p.buf) == 0 {
+		return cands
+	}
+	return p.buf
+}

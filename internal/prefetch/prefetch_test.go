@@ -1,0 +1,188 @@
+package prefetch
+
+import (
+	"testing"
+
+	"drishti/internal/mem"
+)
+
+func TestFactory(t *testing.T) {
+	for _, name := range Names() {
+		p, err := New(name, 1)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if name != "none" && p.Name() != name {
+			t.Fatalf("New(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := New("bogus", 1); err == nil {
+		t.Fatal("unknown prefetcher accepted")
+	}
+	if p, err := New("", 1); err != nil || p.Name() != "none" {
+		t.Fatal("empty name should be a nop")
+	}
+}
+
+func TestNop(t *testing.T) {
+	if cands := (Nop{}).Train(1, 2, false); cands != nil {
+		t.Fatal("nop prefetched")
+	}
+}
+
+func TestNextLine(t *testing.T) {
+	p := NewNextLine()
+	cands := p.Train(0x400, 0x1000, false)
+	if len(cands) != 1 || cands[0] != 0x1040 {
+		t.Fatalf("next-line candidates %v", cands)
+	}
+}
+
+func TestIPStrideLearnsStride(t *testing.T) {
+	p := NewIPStride()
+	var cands []uint64
+	for i := 0; i < 6; i++ {
+		cands = p.Train(0x400, uint64(i)*128, false) // stride of 2 blocks
+	}
+	if len(cands) != p.Degree {
+		t.Fatalf("confident stride produced %d candidates", len(cands))
+	}
+	if cands[0] != 5*128+128 {
+		t.Fatalf("first candidate %#x", cands[0])
+	}
+}
+
+func TestIPStrideIgnoresRandom(t *testing.T) {
+	p := NewIPStride()
+	addrs := []uint64{0x1000, 0x9040, 0x2280, 0xff000, 0x3310, 0x88000}
+	issued := 0
+	for _, a := range addrs {
+		issued += len(p.Train(0x400, a, false))
+	}
+	if issued != 0 {
+		t.Fatalf("random stream triggered %d prefetches", issued)
+	}
+}
+
+func TestIPStridePerPC(t *testing.T) {
+	p := NewIPStride()
+	// Two PCs with different strides must not interfere.
+	for i := 0; i < 6; i++ {
+		p.Train(0xA, uint64(i)*64, false)
+		p.Train(0xB, uint64(i)*256, false)
+	}
+	// Train returns a reused buffer: copy before the next call.
+	a := append([]uint64(nil), p.Train(0xA, 6*64, false)...)
+	b := append([]uint64(nil), p.Train(0xB, 6*256, false)...)
+	if len(a) == 0 || len(b) == 0 {
+		t.Fatal("per-PC strides not learned")
+	}
+	if a[0] != 7*64 || b[0] != 7*256 {
+		t.Fatalf("stride confusion: %#x %#x", a[0], b[0])
+	}
+}
+
+func TestSPPLiteFollowsSignature(t *testing.T) {
+	p := NewSPPLite()
+	var got []uint64
+	// A steady +1 delta inside one page.
+	for off := 0; off < 20; off++ {
+		got = p.Train(0x400, uint64(off*64), false)
+	}
+	if len(got) == 0 {
+		t.Fatal("SPP never fired on a steady pattern")
+	}
+	if got[0] != 20*64 {
+		t.Fatalf("first candidate %#x, want next block", got[0])
+	}
+}
+
+func TestSPPLiteStaysInPage(t *testing.T) {
+	p := NewSPPLite()
+	var got []uint64
+	for off := 0; off < 64; off++ {
+		got = p.Train(0x400, uint64(off*64), false)
+	}
+	for _, c := range got {
+		if c>>12 != 0 {
+			t.Fatalf("SPP crossed the page: %#x", c)
+		}
+	}
+}
+
+func TestBingoReplaysFootprint(t *testing.T) {
+	p := NewBingoLite()
+	// Touch a footprint in page 0 triggered by PC 0x400 at offset 0.
+	offsets := []int{0, 3, 7, 12}
+	for _, off := range offsets {
+		p.Train(0x400, uint64(off*64), false)
+	}
+	// Force archive by touching many other pages.
+	for pg := 1; pg <= 70; pg++ {
+		p.Train(0x999, uint64(pg)<<12, false)
+	}
+	// Same trigger event on a new page: footprint must replay.
+	cands := p.Train(0x400, 200<<12, false)
+	if len(cands) == 0 {
+		t.Fatal("bingo did not replay the footprint")
+	}
+	want := map[uint64]bool{200<<12 | 3*64: true, 200<<12 | 7*64: true, 200<<12 | 12*64: true}
+	for _, c := range cands {
+		if !want[c] {
+			t.Fatalf("unexpected candidate %#x", c)
+		}
+	}
+}
+
+func TestIPCPStream(t *testing.T) {
+	p := NewIPCPLite()
+	var got []uint64
+	for i := 0; i < 8; i++ {
+		got = p.Train(0x400, uint64(i*64), false)
+	}
+	if len(got) == 0 {
+		t.Fatal("IPCP missed a unit stream")
+	}
+}
+
+func TestBertiLearnsDelta(t *testing.T) {
+	p := NewBertiLite()
+	var got []uint64
+	// PC touches offsets 0,2,4,6,... in one page: best delta 2.
+	for i := 0; i < 24; i++ {
+		got = p.Train(0x400, uint64(i*2*64), false)
+	}
+	if len(got) == 0 {
+		t.Fatal("berti never fired")
+	}
+}
+
+func TestGazeFiltersByOrder(t *testing.T) {
+	p := NewGazeLite()
+	for _, off := range []int{0, 1, 2} {
+		p.Train(0x400, uint64(off*64), false)
+	}
+	for pg := 1; pg <= 70; pg++ {
+		p.Train(0x999, uint64(pg)<<12, false)
+	}
+	cands := p.Train(0x400, 300<<12, false)
+	for _, c := range cands {
+		if mem.Block(c)>>6 != 300 {
+			t.Fatalf("gaze crossed pages: %#x", c)
+		}
+	}
+}
+
+func TestPrefetchersBounded(t *testing.T) {
+	// No prefetcher may return an unbounded candidate list on any access.
+	ps := []Prefetcher{NewNextLine(), NewIPStride(), NewSPPLite(), NewBingoLite(), NewIPCPLite(), NewBertiLite(), NewGazeLite()}
+	for i := 0; i < 50_000; i++ {
+		pc := uint64(0x400 + (i%37)*4)
+		addr := uint64((i * 7919) % (1 << 28))
+		for _, p := range ps {
+			if n := len(p.Train(pc, addr, i%3 == 0)); n > 64 {
+				t.Fatalf("%s returned %d candidates", p.Name(), n)
+			}
+		}
+	}
+}

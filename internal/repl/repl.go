@@ -1,0 +1,312 @@
+// Package repl defines the replacement-policy interface used by every cache
+// level, plus the classic baseline policies (LRU, Random, SRRIP, BRRIP,
+// DIP). State-of-the-art sampled-cache policies (Hawkeye, Mockingjay,
+// SHiP++, Glider, CHROME) live in internal/policy/*; they implement the same
+// interface.
+package repl
+
+import "drishti/internal/mem"
+
+// Bypass is the sentinel Victim result meaning "do not cache this fill".
+const Bypass = -1
+
+// Access describes one cache access as seen by a replacement policy.
+type Access struct {
+	PC    uint64         // program counter (prefetches carry the trigger PC)
+	Block uint64         // block address
+	Core  int            // originating core
+	Set   int            // set index within this cache (or slice)
+	Type  mem.AccessType // load / rfo / prefetch / writeback
+	Cycle uint64         // core cycle at issue (for interconnect arbitration)
+}
+
+// Policy makes per-set replacement decisions for one cache (or LLC slice).
+// Implementations are single-threaded; the simulator serializes accesses.
+type Policy interface {
+	// Name identifies the policy for reports.
+	Name() string
+	// OnHit is called when a lookup hits way in set.
+	OnHit(set, way int, a Access)
+	// Victim selects the way to evict for an incoming fill, or Bypass.
+	Victim(set int, a Access) int
+	// OnFill is called after the fill is installed in way.
+	OnFill(set, way int, a Access)
+	// OnEvict is called when the line in way is evicted (before OnFill of
+	// the replacing line). evictedBlock is the block being removed.
+	OnEvict(set, way int, evictedBlock uint64)
+}
+
+// Observer is an optional extension: policies that train on every access to
+// a set (sampled-cache policies) implement it to see accesses — including
+// hits and misses — before the hit/victim path runs.
+type Observer interface {
+	// OnAccess observes an access to set before it is serviced.
+	OnAccess(set int, a Access, hit bool)
+}
+
+// FillLatencier is an optional extension: policies whose fill path consults
+// a remote predictor report the extra cycles the last fill decision cost
+// (Drishti Section 4.1.3 — this is what makes Fig 11 reproducible).
+type FillLatencier interface {
+	// FillPenalty returns the interconnect cycles added to the last fill.
+	FillPenalty() uint32
+}
+
+// --- LRU -------------------------------------------------------------------
+
+// LRU is true least-recently-used replacement via per-line stamps.
+type LRU struct {
+	ways   int
+	stamps [][]uint64
+	clock  uint64
+}
+
+// NewLRU builds an LRU policy for a sets×ways cache.
+func NewLRU(sets, ways int) *LRU {
+	l := &LRU{ways: ways, stamps: make([][]uint64, sets)}
+	for i := range l.stamps {
+		l.stamps[i] = make([]uint64, ways)
+	}
+	return l
+}
+
+// Name implements Policy.
+func (l *LRU) Name() string { return "lru" }
+
+// OnHit implements Policy.
+func (l *LRU) OnHit(set, way int, _ Access) { l.touch(set, way) }
+
+// OnFill implements Policy.
+func (l *LRU) OnFill(set, way int, _ Access) { l.touch(set, way) }
+
+// OnEvict implements Policy.
+func (l *LRU) OnEvict(int, int, uint64) {}
+
+func (l *LRU) touch(set, way int) {
+	l.clock++
+	l.stamps[set][way] = l.clock
+}
+
+// Victim implements Policy: the way with the oldest stamp.
+func (l *LRU) Victim(set int, _ Access) int {
+	best, bestStamp := 0, l.stamps[set][0]
+	for w := 1; w < l.ways; w++ {
+		if l.stamps[set][w] < bestStamp {
+			best, bestStamp = w, l.stamps[set][w]
+		}
+	}
+	return best
+}
+
+// --- Random ------------------------------------------------------------------
+
+// Random evicts a pseudo-random way; the cheapest possible baseline.
+type Random struct {
+	ways  int
+	state uint64
+}
+
+// NewRandom builds a Random policy with the given seed.
+func NewRandom(ways int, seed uint64) *Random {
+	return &Random{ways: ways, state: seed | 1}
+}
+
+// Name implements Policy.
+func (r *Random) Name() string { return "random" }
+
+// OnHit implements Policy.
+func (r *Random) OnHit(int, int, Access) {}
+
+// OnFill implements Policy.
+func (r *Random) OnFill(int, int, Access) {}
+
+// OnEvict implements Policy.
+func (r *Random) OnEvict(int, int, uint64) {}
+
+// Victim implements Policy.
+func (r *Random) Victim(int, Access) int {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return int((r.state >> 33) % uint64(r.ways))
+}
+
+// --- SRRIP / BRRIP ----------------------------------------------------------
+
+// rrpvMax is the 2-bit re-reference prediction value ceiling.
+const rrpvMax = 3
+
+// SRRIP implements static re-reference interval prediction (Jaleel et al.,
+// ISCA'10): insert at long re-reference (rrpvMax-1), promote to 0 on hit.
+type SRRIP struct {
+	ways int
+	rrpv [][]uint8
+}
+
+// NewSRRIP builds an SRRIP policy for a sets×ways cache.
+func NewSRRIP(sets, ways int) *SRRIP {
+	s := &SRRIP{ways: ways, rrpv: make([][]uint8, sets)}
+	for i := range s.rrpv {
+		row := make([]uint8, ways)
+		for w := range row {
+			row[w] = rrpvMax
+		}
+		s.rrpv[i] = row
+	}
+	return s
+}
+
+// Name implements Policy.
+func (s *SRRIP) Name() string { return "srrip" }
+
+// OnHit implements Policy.
+func (s *SRRIP) OnHit(set, way int, _ Access) { s.rrpv[set][way] = 0 }
+
+// OnFill implements Policy.
+func (s *SRRIP) OnFill(set, way int, _ Access) { s.rrpv[set][way] = rrpvMax - 1 }
+
+// OnEvict implements Policy.
+func (s *SRRIP) OnEvict(set, way int, _ uint64) { s.rrpv[set][way] = rrpvMax }
+
+// Victim implements Policy: first way at rrpvMax, aging until one exists.
+func (s *SRRIP) Victim(set int, _ Access) int {
+	row := s.rrpv[set]
+	for {
+		for w, v := range row {
+			if v >= rrpvMax {
+				return w
+			}
+		}
+		for w := range row {
+			row[w]++
+		}
+	}
+}
+
+// BRRIP is bimodal RRIP: like SRRIP but inserts at distant re-reference
+// most of the time, protecting the cache from scans.
+type BRRIP struct {
+	SRRIP
+	ctr uint32
+}
+
+// NewBRRIP builds a BRRIP policy for a sets×ways cache.
+func NewBRRIP(sets, ways int) *BRRIP {
+	return &BRRIP{SRRIP: *NewSRRIP(sets, ways)}
+}
+
+// Name implements Policy.
+func (b *BRRIP) Name() string { return "brrip" }
+
+// OnFill implements Policy: 1-in-32 fills get rrpvMax-1, the rest rrpvMax.
+func (b *BRRIP) OnFill(set, way int, _ Access) {
+	b.ctr++
+	if b.ctr%32 == 0 {
+		b.rrpv[set][way] = rrpvMax - 1
+	} else {
+		b.rrpv[set][way] = rrpvMax
+	}
+}
+
+// --- DIP ---------------------------------------------------------------------
+
+// DIP implements the dynamic insertion policy (Qureshi et al., ISCA'07) via
+// set dueling between LRU insertion and bimodal insertion.
+type DIP struct {
+	lru      *LRU
+	sets     int
+	ways     int
+	leaderA  map[int]bool // LRU-insertion leader sets
+	leaderB  map[int]bool // BIP-insertion leader sets
+	psel     int32
+	pselMax  int32
+	bipCtr   uint32
+	fillsLRU bool // scratch: decision for the current fill
+}
+
+// NewDIP builds a DIP policy with 32 leader sets per team.
+func NewDIP(sets, ways int, seed uint64) *DIP {
+	d := &DIP{
+		lru:     NewLRU(sets, ways),
+		sets:    sets,
+		ways:    ways,
+		leaderA: map[int]bool{},
+		leaderB: map[int]bool{},
+		pselMax: 1024,
+		psel:    512,
+	}
+	// Deterministic leader selection: stride the sets. At most a quarter
+	// of the sets lead (an eighth per team) so followers always exist.
+	n := 32
+	if n > sets/8 {
+		n = sets / 8
+	}
+	if n == 0 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		d.leaderA[(i*sets)/n] = true
+		d.leaderB[(i*sets)/n+1] = true
+	}
+	_ = seed
+	return d
+}
+
+// Name implements Policy.
+func (d *DIP) Name() string { return "dip" }
+
+// OnHit implements Policy.
+func (d *DIP) OnHit(set, way int, a Access) { d.lru.OnHit(set, way, a) }
+
+// OnEvict implements Policy.
+func (d *DIP) OnEvict(int, int, uint64) {}
+
+// OnAccess implements Observer: misses in leader sets move PSEL.
+func (d *DIP) OnAccess(set int, a Access, hit bool) {
+	if hit || !a.Type.IsDemand() {
+		return
+	}
+	if d.leaderA[set] && d.psel < d.pselMax {
+		d.psel++ // LRU-insertion team missed → favor BIP
+	} else if d.leaderB[set] && d.psel > 0 {
+		d.psel--
+	}
+}
+
+// Victim implements Policy.
+func (d *DIP) Victim(set int, a Access) int { return d.lru.Victim(set, a) }
+
+// SetLeaders replaces the dueling leader sets. Drishti's dynamic sampled
+// cache uses this to duel on the highest-capacity-demand sets instead of a
+// static random selection (the Table 7 applicability of Enhancement II to
+// memoryless set-dueling policies).
+func (d *DIP) SetLeaders(teamLRU, teamBIP []int) {
+	d.leaderA = make(map[int]bool, len(teamLRU))
+	d.leaderB = make(map[int]bool, len(teamBIP))
+	for _, s := range teamLRU {
+		d.leaderA[s] = true
+	}
+	for _, s := range teamBIP {
+		d.leaderB[s] = true
+	}
+}
+
+// OnFill implements Policy: LRU insertion (MRU position) or bimodal
+// insertion (stay LRU except 1-in-32), chosen per set-dueling outcome.
+func (d *DIP) OnFill(set, way int, a Access) {
+	useLRU := d.psel < d.pselMax/2
+	if d.leaderA[set] {
+		useLRU = true
+	} else if d.leaderB[set] {
+		useLRU = false
+	}
+	if useLRU {
+		d.lru.OnFill(set, way, a)
+		return
+	}
+	d.bipCtr++
+	if d.bipCtr%32 == 0 {
+		d.lru.OnFill(set, way, a)
+		return
+	}
+	// Bimodal: leave the fill at the LRU position (stamp 0 → evict next).
+	d.lru.stamps[set][way] = 0
+}

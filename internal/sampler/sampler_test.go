@@ -1,0 +1,191 @@
+package sampler
+
+import (
+	"testing"
+	"testing/quick"
+
+	"drishti/internal/stats"
+)
+
+func TestStaticSelection(t *testing.T) {
+	s := NewStatic(256, 16, stats.NewRand(1))
+	if s.N() != 16 || len(s.SampledSets()) != 16 {
+		t.Fatalf("wrong count: %d", s.N())
+	}
+	seen := map[int]bool{}
+	for i, set := range s.SampledSets() {
+		if set < 0 || set >= 256 || seen[set] {
+			t.Fatalf("bad set %d", set)
+		}
+		seen[set] = true
+		idx, ok := s.IsSampled(set)
+		if !ok || idx != i {
+			t.Fatalf("IsSampled(%d) = %d,%v", set, idx, ok)
+		}
+	}
+	if _, ok := s.IsSampled(-1); ok {
+		t.Fatal("negative set sampled")
+	}
+	if g := s.Generation(); g != 0 {
+		t.Fatalf("static generation %d", g)
+	}
+}
+
+func TestStaticDeterminism(t *testing.T) {
+	a := NewStatic(128, 8, stats.NewRand(7))
+	b := NewStatic(128, 8, stats.NewRand(7))
+	for i, set := range a.SampledSets() {
+		if b.SampledSets()[i] != set {
+			t.Fatal("static selection not deterministic")
+		}
+	}
+}
+
+func TestFixed(t *testing.T) {
+	f := NewFixed([]int{3, 1, 4})
+	if f.N() != 3 {
+		t.Fatalf("N = %d", f.N())
+	}
+	if idx, ok := f.IsSampled(1); !ok || idx != 1 {
+		t.Fatalf("IsSampled(1) = %d,%v", idx, ok)
+	}
+}
+
+func TestDynamicConfigNormalize(t *testing.T) {
+	cfg := DynamicConfig{}.Normalize(2048, 16)
+	if cfg.Sets != 2048 || cfg.CounterBits != 8 || cfg.MonitorLen != 2048*16 ||
+		cfg.ActiveLen != 4*2048*16 || cfg.UniformThreshold != 100 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (DynamicConfig{Sets: 4, N: 8}).Validate(); err == nil {
+		t.Fatal("N > Sets accepted")
+	}
+}
+
+func TestDynamicSelectsHighMissSets(t *testing.T) {
+	cfg := DynamicConfig{Sets: 64, N: 4, CounterBits: 8, MonitorLen: 1024, ActiveLen: 4096, UniformThreshold: 100}
+	d, err := NewDynamic(cfg, stats.NewRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen0 := d.Generation()
+	// Sets 0-3 always miss; sets 4-7 always hit; the rest untouched. The
+	// missing sets' counters must exceed the uniform threshold.
+	for i := 0; i < 1024; i++ {
+		set := i % 8
+		d.OnAccess(set, set >= 4)
+	}
+	if d.Generation() == gen0 {
+		t.Fatal("no selection after monitor interval")
+	}
+	got := d.SampledSets()
+	want := map[int]bool{0: true, 1: true, 2: true, 3: true}
+	for _, s := range got {
+		if !want[s] {
+			t.Fatalf("selected %v, want the four missing sets", got)
+		}
+	}
+	if d.Selections != 1 || d.UniformFallbacks != 0 {
+		t.Fatalf("stats %d/%d", d.Selections, d.UniformFallbacks)
+	}
+}
+
+func TestDynamicUniformFallback(t *testing.T) {
+	cfg := DynamicConfig{Sets: 64, N: 4, CounterBits: 8, MonitorLen: 640, ActiveLen: 1280, UniformThreshold: 100}
+	d, err := NewDynamic(cfg, stats.NewRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform traffic: every set misses equally (lbm-like).
+	for i := 0; i < 640; i++ {
+		d.OnAccess(i%64, false)
+	}
+	if d.UniformFallbacks != 1 {
+		t.Fatalf("uniform demand not detected: %d fallbacks", d.UniformFallbacks)
+	}
+	if len(d.SampledSets()) != 4 {
+		t.Fatal("fallback selection missing")
+	}
+}
+
+func TestDynamicPhaseCycle(t *testing.T) {
+	cfg := DynamicConfig{Sets: 16, N: 2, CounterBits: 8, MonitorLen: 100, ActiveLen: 200, UniformThreshold: 10}
+	d, err := NewDynamic(cfg, stats.NewRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive several full monitor+active cycles; generation should bump once
+	// per cycle, and counters reset each time.
+	for cycle := 0; cycle < 3; cycle++ {
+		gen := d.Generation()
+		for i := 0; i < 100; i++ { // monitor
+			d.OnAccess(i%16, i%16 != 0) // set 0 misses
+		}
+		if d.Generation() != gen+1 {
+			t.Fatalf("cycle %d: generation %d, want %d", cycle, d.Generation(), gen+1)
+		}
+		if _, ok := d.IsSampled(0); !ok {
+			t.Fatalf("cycle %d: high-miss set 0 not sampled", cycle)
+		}
+		for i := 0; i < 200; i++ { // active
+			d.OnAccess(i%16, true)
+		}
+		// After active, counters must be back at init.
+		if d.Counter(0) != 128 {
+			t.Fatalf("counter not reset: %d", d.Counter(0))
+		}
+	}
+}
+
+func TestDynamicCounterSaturation(t *testing.T) {
+	cfg := DynamicConfig{Sets: 4, N: 1, CounterBits: 8, MonitorLen: 10000, ActiveLen: 100, UniformThreshold: 1}
+	d, err := NewDynamic(cfg, stats.NewRand(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		d.OnAccess(0, false) // misses: counter up
+		d.OnAccess(1, true)  // hits: counter down
+	}
+	if d.Counter(0) != 255 {
+		t.Fatalf("counter 0 = %d, want saturation at 255", d.Counter(0))
+	}
+	if d.Counter(1) != 0 {
+		t.Fatalf("counter 1 = %d, want floor 0", d.Counter(1))
+	}
+}
+
+func TestDynamicSampledSetsAlwaysValid(t *testing.T) {
+	check := func(seed uint64, accesses []uint16) bool {
+		cfg := DynamicConfig{Sets: 32, N: 4, CounterBits: 8, MonitorLen: 50, ActiveLen: 100, UniformThreshold: 20}
+		d, err := NewDynamic(cfg, stats.NewRand(seed))
+		if err != nil {
+			return false
+		}
+		for _, a := range accesses {
+			d.OnAccess(int(a)%32, a%3 == 0)
+		}
+		sets := d.SampledSets()
+		if len(sets) != 4 {
+			return false
+		}
+		seen := map[int]bool{}
+		for i, s := range sets {
+			if s < 0 || s >= 32 || seen[s] {
+				return false
+			}
+			seen[s] = true
+			idx, ok := d.IsSampled(s)
+			if !ok || idx != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,50 @@
+package sim
+
+// mshrFile models a miss-status holding register file: a bounded set of
+// outstanding misses. When every register is busy, the next miss must wait
+// for the earliest completion — the structural limit on memory-level
+// parallelism that Table 4 sizes at 8 (L1D), 16 (L2), and 64 (LLC slice).
+//
+// By default the simulator approximates MLP limits with the ROB window
+// alone (design decision D3); Config.ModelMSHRs enables these strict
+// per-level limits.
+type mshrFile struct {
+	completions []uint64
+	n           int
+	// Stalls counts cycles added to miss latencies by a full file.
+	Stalls uint64
+}
+
+func newMSHRFile(entries int) *mshrFile {
+	if entries <= 0 {
+		entries = 1
+	}
+	return &mshrFile{completions: make([]uint64, entries)}
+}
+
+// reserve allocates a register for a miss issued at now that will complete
+// at now+latency, returning the extra cycles the miss waits when the file
+// is full. Completed entries (completion ≤ now) are reclaimed first.
+func (m *mshrFile) reserve(now uint64, latency uint32) (wait uint32) {
+	// Reclaim finished entries.
+	if m.n == len(m.completions) {
+		// Find the earliest completion; if it is in the past the slot is
+		// free, otherwise the miss waits for it.
+		earliest := 0
+		for i := 1; i < m.n; i++ {
+			if m.completions[i] < m.completions[earliest] {
+				earliest = i
+			}
+		}
+		if c := m.completions[earliest]; c > now {
+			wait = uint32(c - now)
+			m.Stalls += uint64(wait)
+		}
+		// Reuse the slot for the new miss.
+		m.completions[earliest] = now + uint64(wait) + uint64(latency)
+		return wait
+	}
+	m.completions[m.n] = now + uint64(latency)
+	m.n++
+	return 0
+}

@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"drishti/internal/dram"
+	"drishti/internal/energy"
+	"drishti/internal/fabric"
+	"drishti/internal/metrics"
+	"drishti/internal/sampler"
+)
+
+// CoreResult summarizes one core's measured region.
+type CoreResult struct {
+	IPC          float64
+	Instructions uint64
+	Cycles       uint64
+	LLCAccesses  uint64 // demand accesses this core made to the LLC
+	LLCMisses    uint64 // demand misses
+}
+
+// LLCResult aggregates the sliced LLC.
+type LLCResult struct {
+	DemandAccesses uint64
+	DemandMisses   uint64
+	TotalAccesses  uint64
+	Writebacks     uint64 // dirty evictions to DRAM
+	Bypasses       uint64
+}
+
+// PCSliceStats summarizes the Fig 2 scatter tracker.
+type PCSliceStats struct {
+	PCs         int     // PCs with ≥2 demand loads at the LLC
+	OneSlicePCs int     // of those, PCs whose loads all hit one slice
+	FractionOne float64 // OneSlicePCs / PCs
+}
+
+// Result is everything a run produces.
+type Result struct {
+	PolicyName string
+	Cores      int
+
+	PerCore []CoreResult
+	LLC     LLCResult
+
+	MPKI float64 // LLC demand misses per kilo instruction (all cores)
+	WPKI float64 // LLC→DRAM writebacks per kilo instruction
+	APKI float64 // LLC demand accesses per kilo instruction
+
+	TotalInstructions uint64
+
+	Fabric     *fabric.Stats // nil for non-predictor policies
+	BankAPKI   []float64     // per-bank predictor accesses per kilo instr
+	MeshMsgs   uint64
+	MeshAvgLat float64
+	StarMsgs   uint64
+
+	DRAM dram.Stats
+
+	Energy energy.Breakdown
+
+	PrefetchesIssued  uint64
+	PrefetchesDropped uint64 // resident or bandwidth-throttled candidates
+
+	// Dynamic sampled cache activity (zero for static selection).
+	DSCSelections       uint64
+	DSCUniformFallbacks uint64
+
+	PCSlices *PCSliceStats // nil unless TrackPCSlices
+
+	Budget map[string]int // per-core policy storage, bytes
+}
+
+// IPCs returns the per-core IPC vector.
+func (r *Result) IPCs() []float64 {
+	out := make([]float64, 0, len(r.PerCore))
+	for _, c := range r.PerCore {
+		out = append(out, c.IPC)
+	}
+	return out
+}
+
+// IPCSum returns ΣIPC (throughput; used as a quick comparison metric).
+func (r *Result) IPCSum() float64 {
+	var s float64
+	for _, c := range r.PerCore {
+		s += c.IPC
+	}
+	return s
+}
+
+// collect builds the Result after Run completes.
+func (s *System) collect() *Result {
+	r := &Result{
+		PolicyName: s.cfg.Policy.DisplayName(),
+		Cores:      s.cfg.Cores,
+		Budget:     s.built.Budget,
+	}
+	for c := range s.cores {
+		rec := s.finishedAt[c]
+		r.PerCore = append(r.PerCore, CoreResult{
+			IPC:          rec.ipc,
+			Instructions: rec.instrs,
+			Cycles:       rec.cycles,
+			LLCAccesses:  s.coreLLCAccesses[c],
+			LLCMisses:    s.coreLLCMisses[c],
+		})
+		r.TotalInstructions += rec.instrs
+	}
+	for _, sl := range s.llc {
+		r.LLC.DemandAccesses += sl.Stats.DemandAccesses
+		r.LLC.DemandMisses += sl.Stats.DemandMisses
+		r.LLC.TotalAccesses += sl.Stats.Accesses
+		r.LLC.Writebacks += sl.Stats.Writebacks
+		r.LLC.Bypasses += sl.Stats.Bypasses
+	}
+	r.MPKI = metrics.PerKiloInstr(r.LLC.DemandMisses, r.TotalInstructions)
+	r.WPKI = metrics.PerKiloInstr(r.LLC.Writebacks, r.TotalInstructions)
+	r.APKI = metrics.PerKiloInstr(r.LLC.DemandAccesses, r.TotalInstructions)
+
+	if f := s.built.Fabric; f != nil {
+		st := f.Stats
+		r.Fabric = &st
+		perCoreInstr := r.TotalInstructions / uint64(s.cfg.Cores)
+		for _, acc := range f.BankAccesses {
+			r.BankAPKI = append(r.BankAPKI, metrics.PerKiloInstr(acc, perCoreInstr))
+		}
+	}
+	r.MeshMsgs = s.mesh.Messages
+	r.MeshAvgLat = s.mesh.AvgLatency()
+	r.StarMsgs = s.star.Messages
+	r.DRAM = s.ram.Stats
+	r.PrefetchesIssued = s.prefIssued
+	r.PrefetchesDropped = s.prefDropped
+	for _, sel := range s.built.Selectors {
+		if d, ok := sel.(*sampler.Dynamic); ok {
+			r.DSCSelections += d.Selections
+			r.DSCUniformFallbacks += d.UniformFallbacks
+		}
+	}
+
+	ev := energy.Events{
+		LLCAccesses:  r.LLC.TotalAccesses,
+		DRAMReads:    r.DRAM.Reads,
+		DRAMWrites:   r.DRAM.Writes,
+		MeshMessages: s.mesh.Messages,
+		MeshHops:     s.mesh.HopSum,
+		StarMessages: s.star.Messages,
+	}
+	if r.Fabric != nil {
+		ev.PredAccesses = r.Fabric.Lookups + r.Fabric.Trainings
+	}
+	r.Energy = energy.Default().Compute(ev)
+
+	if s.pcSlices != nil {
+		ps := &PCSliceStats{}
+		for _, t := range s.pcSlices {
+			if t.loads < 2 {
+				continue // exclude single-load PCs, as Fig 2 does
+			}
+			ps.PCs++
+			ones := popcount2(t.slices)
+			if ones == 1 {
+				ps.OneSlicePCs++
+			}
+		}
+		if ps.PCs > 0 {
+			ps.FractionOne = float64(ps.OneSlicePCs) / float64(ps.PCs)
+		}
+		r.PCSlices = ps
+	}
+	return r
+}
+
+func popcount2(v [2]uint64) int {
+	return popcount(v[0]) + popcount(v[1])
+}
+
+func popcount(v uint64) int {
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"fmt"
+
+	"drishti/internal/metrics"
+	"drishti/internal/trace"
+	"drishti/internal/workload"
+)
+
+// Readers builds the per-core trace readers for a mix.
+func Readers(mix workload.Mix) ([]trace.Reader, error) {
+	if err := mix.Validate(); err != nil {
+		return nil, err
+	}
+	readers := make([]trace.Reader, mix.Cores())
+	for c := range readers {
+		g, err := workload.NewGenerator(mix.Models[c], mix.Seeds[c])
+		if err != nil {
+			return nil, err
+		}
+		readers[c] = g
+	}
+	return readers, nil
+}
+
+// RunMix builds and runs a system over a workload mix.
+func RunMix(cfg Config, mix workload.Mix) (*Result, error) {
+	if mix.Cores() != cfg.Cores {
+		return nil, fmt.Errorf("sim: mix %s targets %d cores, config has %d", mix.Name, mix.Cores(), cfg.Cores)
+	}
+	readers, err := Readers(mix)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := New(cfg, readers)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Run()
+}
+
+// RunAlone measures each core's alone IPC: the same machine (all LLC slices
+// available) with only that core active, per the metric definitions in
+// Section 5.2. The returned vector aligns with the mix's cores.
+func RunAlone(cfg Config, mix workload.Mix) ([]float64, error) {
+	if mix.Cores() != cfg.Cores {
+		return nil, fmt.Errorf("sim: mix %s targets %d cores, config has %d", mix.Name, mix.Cores(), cfg.Cores)
+	}
+	out := make([]float64, cfg.Cores)
+	for c := 0; c < cfg.Cores; c++ {
+		readers := make([]trace.Reader, cfg.Cores)
+		g, err := workload.NewGenerator(mix.Models[c], mix.Seeds[c])
+		if err != nil {
+			return nil, err
+		}
+		readers[c] = g
+		sys, err := New(cfg, readers)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sys.Run()
+		if err != nil {
+			return nil, err
+		}
+		out[c] = res.PerCore[c].IPC
+	}
+	return out, nil
+}
+
+// MixOutcome bundles a together-run with its multi-core metrics.
+type MixOutcome struct {
+	Result  *Result
+	Metrics metrics.Multi
+}
+
+// RunWithMetrics runs the mix and computes WS/HS/MIS/unfairness against the
+// supplied alone-IPC vector (typically measured once per mix on the LRU
+// baseline and shared across policies; see DESIGN.md §4 scale note).
+func RunWithMetrics(cfg Config, mix workload.Mix, aloneIPC []float64) (*MixOutcome, error) {
+	res, err := RunMix(cfg, mix)
+	if err != nil {
+		return nil, err
+	}
+	m, err := metrics.Compute(res.IPCs(), aloneIPC)
+	if err != nil {
+		return nil, err
+	}
+	return &MixOutcome{Result: res, Metrics: m}, nil
+}

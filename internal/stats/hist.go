@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-bucket integer histogram.
+type Histogram struct {
+	buckets []uint64
+	// width is the value range covered by each bucket; the last bucket is
+	// an overflow bucket.
+	width int64
+	min   int64
+	total uint64
+}
+
+// NewHistogram covers [min, min+width*len) in len buckets plus overflow.
+func NewHistogram(min, width int64, n int) *Histogram {
+	if width <= 0 || n <= 0 {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{buckets: make([]uint64, n+1), width: width, min: min}
+}
+
+// Add records a value.
+func (h *Histogram) Add(v int64) {
+	i := (v - h.min) / h.width
+	if v < h.min {
+		i = 0
+	}
+	if i >= int64(len(h.buckets)-1) {
+		i = int64(len(h.buckets) - 1)
+	}
+	h.buckets[i]++
+	h.total++
+}
+
+// Count returns the number of samples recorded.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Bucket returns the count in bucket i (the last bucket is overflow).
+func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i] }
+
+// Buckets returns the number of buckets, including the overflow bucket.
+func (h *Histogram) Buckets() int { return len(h.buckets) }
+
+// Fraction returns the fraction of samples in bucket i, or 0 if empty.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.buckets[i]) / float64(h.total)
+}
+
+// String renders a compact one-line summary.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		lo := h.min + int64(i)*h.width
+		if i == len(h.buckets)-1 {
+			fmt.Fprintf(&b, " [%d+]=%d", lo, c)
+		} else {
+			fmt.Fprintf(&b, " [%d,%d)=%d", lo, lo+h.width, c)
+		}
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// TopK returns the indices of the k largest values in vals, ties broken by
+// lower index. It is used by the dynamic sampled cache to pick the
+// highest-MPKA sets.
+func TopK(vals []uint64, k int) []int {
+	if k > len(vals) {
+		k = len(vals)
+	}
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+	out := make([]int, k)
+	copy(out, idx[:k])
+	sort.Ints(out)
+	return out
+}
+
+// BottomK returns the indices of the k smallest values in vals.
+func BottomK(vals []uint64, k int) []int {
+	if k > len(vals) {
+		k = len(vals)
+	}
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return vals[idx[a]] < vals[idx[b]] })
+	out := make([]int, k)
+	copy(out, idx[:k])
+	sort.Ints(out)
+	return out
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs (all must be > 0).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, x := range xs {
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}

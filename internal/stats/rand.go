@@ -1,0 +1,157 @@
+// Package stats provides deterministic randomness, histograms, and small
+// statistical helpers used throughout the simulator.
+//
+// Every stochastic choice in the simulator flows through a Rand seeded from
+// the experiment configuration, so identical configurations always produce
+// identical results (design decision D5 in DESIGN.md).
+package stats
+
+import "math"
+
+// Rand is a small, fast, deterministic pseudo-random generator based on
+// splitmix64. It is not safe for concurrent use; give each component its own
+// stream via Fork.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed. A zero seed is valid.
+func NewRand(seed uint64) *Rand {
+	return &Rand{state: seed + 0x9e3779b97f4a7c15}
+}
+
+// Fork derives an independent stream labeled by tag. Streams forked with
+// different tags from the same parent are decorrelated.
+func (r *Rand) Fork(tag uint64) *Rand {
+	return NewRand(Mix64(r.state ^ Mix64(tag)))
+}
+
+// Uint64 returns the next value in the stream.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return Mix64(r.state)
+}
+
+// Mix64 is the splitmix64 finalizer: a cheap, high-quality bijective hash.
+func Mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("stats: Uint64n with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Choose returns k distinct values from [0, n) in pseudo-random order.
+// It panics if k > n.
+func (r *Rand) Choose(n, k int) []int {
+	if k > n {
+		panic("stats: Choose k > n")
+	}
+	p := r.Perm(n)
+	return p[:k]
+}
+
+// Geometric returns a sample from a geometric distribution with the given
+// mean (mean >= 0). A mean of zero always returns zero.
+func (r *Rand) Geometric(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	p := 1.0 / (mean + 1.0)
+	u := r.Float64()
+	// Inverse CDF of geometric starting at 0.
+	g := int(math.Floor(math.Log1p(-u) / math.Log1p(-p)))
+	if g < 0 {
+		g = 0
+	}
+	return g
+}
+
+// Zipf draws Zipf-distributed values over [0, n) with exponent s using
+// rejection-inversion. It is deterministic given the parent Rand stream.
+type Zipf struct {
+	r        *Rand
+	n        uint64
+	s        float64
+	hIntegN  float64
+	hIntegX1 float64
+	hX1      float64
+}
+
+// NewZipf builds a sampler over [0, n) with skew s (> 0, typically 0.6–1.2).
+func NewZipf(r *Rand, n uint64, s float64) *Zipf {
+	if n == 0 {
+		panic("stats: Zipf over empty range")
+	}
+	z := &Zipf{r: r, n: n, s: s}
+	z.hIntegX1 = z.hInteg(1.5) - 1.0
+	z.hIntegN = z.hInteg(float64(n) + 0.5)
+	z.hX1 = z.h(1.0)
+	return z
+}
+
+func (z *Zipf) h(x float64) float64 { return math.Exp(-z.s * math.Log(x)) }
+
+func (z *Zipf) hInteg(x float64) float64 {
+	if z.s == 1.0 {
+		return math.Log(x)
+	}
+	return math.Exp((1.0-z.s)*math.Log(x)) / (1.0 - z.s)
+}
+
+func (z *Zipf) hIntegInv(x float64) float64 {
+	if z.s == 1.0 {
+		return math.Exp(x)
+	}
+	return math.Exp(math.Log((1.0-z.s)*x) / (1.0 - z.s))
+}
+
+// Next returns the next sample in [0, n), with rank-0 most popular.
+func (z *Zipf) Next() uint64 {
+	for {
+		u := z.hIntegX1 + z.r.Float64()*(z.hIntegN-z.hIntegX1)
+		x := z.hIntegInv(u)
+		k := math.Floor(x + 0.5)
+		if k < 1 {
+			k = 1
+		}
+		if k > float64(z.n) {
+			k = float64(z.n)
+		}
+		if z.hInteg(k+0.5)-u <= z.h(k) || k <= 1.5 {
+			return uint64(k) - 1
+		}
+	}
+}

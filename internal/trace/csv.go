@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV serializes recs as human-readable CSV with a header row:
+// pc,addr,write,gap (pc and addr in hex). The binary format (Write/Read)
+// is the interchange format; CSV exists for inspection and for feeding
+// external tools.
+func WriteCSV(w io.Writer, recs []Rec) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "pc,addr,write,gap"); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		wr := 0
+		if r.Write {
+			wr = 1
+		}
+		if _, err := fmt.Fprintf(bw, "%#x,%#x,%d,%d\n", r.PC, r.Addr, wr, r.Gap); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses the CSV form produced by WriteCSV. Blank lines are
+// skipped; the header row is required.
+func ReadCSV(r io.Reader) ([]Rec, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	if got := strings.TrimSpace(sc.Text()); got != "pc,addr,write,gap" {
+		return nil, fmt.Errorf("trace: unexpected CSV header %q", got)
+	}
+	var recs []Rec
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("trace: line %d: %d fields, want 4", line, len(fields))
+		}
+		pc, err := strconv.ParseUint(strings.TrimSpace(fields[0]), 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d pc: %w", line, err)
+		}
+		addr, err := strconv.ParseUint(strings.TrimSpace(fields[1]), 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d addr: %w", line, err)
+		}
+		wr, err := strconv.ParseUint(strings.TrimSpace(fields[2]), 0, 8)
+		if err != nil || wr > 1 {
+			return nil, fmt.Errorf("trace: line %d write flag %q", line, fields[2])
+		}
+		gap, err := strconv.ParseUint(strings.TrimSpace(fields[3]), 0, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d gap: %w", line, err)
+		}
+		recs = append(recs, Rec{PC: pc, Addr: addr, Write: wr == 1, Gap: uint32(gap)})
+	}
+	return recs, sc.Err()
+}

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	recs := []Rec{
+		{PC: 0x400000, Addr: 0x10000000, Gap: 3},
+		{PC: 0x400004, Addr: 0x10000040, Write: true},
+		{PC: 1, Addr: 2, Gap: 4_000_000_000},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, recs)
+	}
+}
+
+func TestCSVHeaderRequired(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("0x1,0x2,0,0\n")); err == nil {
+		t.Fatal("missing header accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestCSVRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"pc,addr,write,gap\nnothex,0x2,0,0\n",
+		"pc,addr,write,gap\n0x1,0x2,7,0\n",
+		"pc,addr,write,gap\n0x1,0x2,0\n",
+		"pc,addr,write,gap\n0x1,0x2,0,notanum\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestCSVSkipsBlankLines(t *testing.T) {
+	in := "pc,addr,write,gap\n\n0x1,0x40,1,2\n\n"
+	got, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !got[0].Write || got[0].Gap != 2 {
+		t.Fatalf("parsed %+v", got)
+	}
+}

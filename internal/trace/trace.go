@@ -1,0 +1,191 @@
+// Package trace defines the instruction-trace abstraction consumed by the
+// simulator, together with an in-memory implementation and a compact binary
+// on-disk format.
+//
+// A trace is a stream of memory instructions. Each record carries the number
+// of non-memory instructions that retire before it (Gap), so a record stream
+// of length M represents M + sum(Gap) instructions — the same information a
+// ChampSim trace provides, at a fraction of the size.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Rec is one memory instruction plus its preceding non-memory instructions.
+type Rec struct {
+	PC    uint64 // program counter of the memory instruction
+	Addr  uint64 // effective byte address
+	Write bool   // true for stores (RFOs)
+	Gap   uint32 // non-memory instructions retired immediately before this one
+}
+
+// Instructions returns the number of instructions this record represents.
+func (r Rec) Instructions() uint64 { return uint64(r.Gap) + 1 }
+
+// Reader produces a (possibly infinite) stream of records.
+type Reader interface {
+	// Next returns the next record. ok is false when the stream is
+	// exhausted; finite readers stay exhausted until Reset.
+	Next() (rec Rec, ok bool)
+	// Reset rewinds the stream to its beginning.
+	Reset()
+}
+
+// SliceReader adapts a []Rec into a Reader.
+type SliceReader struct {
+	recs []Rec
+	pos  int
+}
+
+// NewSliceReader returns a Reader over recs. The slice is not copied.
+func NewSliceReader(recs []Rec) *SliceReader { return &SliceReader{recs: recs} }
+
+// Next implements Reader.
+func (s *SliceReader) Next() (Rec, bool) {
+	if s.pos >= len(s.recs) {
+		return Rec{}, false
+	}
+	r := s.recs[s.pos]
+	s.pos++
+	return r, true
+}
+
+// Reset implements Reader.
+func (s *SliceReader) Reset() { s.pos = 0 }
+
+// Len returns the number of records.
+func (s *SliceReader) Len() int { return len(s.recs) }
+
+// Collect drains up to n records from r into a slice. n <= 0 collects until
+// the reader is exhausted (do not use with infinite readers).
+func Collect(r Reader, n int) []Rec {
+	var out []Rec
+	for n <= 0 || len(out) < n {
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// LoopReader repeats an underlying finite reader forever.
+type LoopReader struct {
+	inner Reader
+}
+
+// NewLoopReader wraps inner; when inner is exhausted it is Reset and
+// reading continues. inner must produce at least one record.
+func NewLoopReader(inner Reader) *LoopReader { return &LoopReader{inner: inner} }
+
+// Next implements Reader.
+func (l *LoopReader) Next() (Rec, bool) {
+	rec, ok := l.inner.Next()
+	if ok {
+		return rec, true
+	}
+	l.inner.Reset()
+	rec, ok = l.inner.Next()
+	if !ok {
+		return Rec{}, false
+	}
+	return rec, true
+}
+
+// Reset implements Reader.
+func (l *LoopReader) Reset() { l.inner.Reset() }
+
+// --- binary format -------------------------------------------------------
+
+// magic identifies the drishti trace format, version 1.
+var magic = [8]byte{'D', 'R', 'T', 'R', 'A', 'C', 'E', 1}
+
+// Write serializes recs to w using delta + varint coding: PCs and addresses
+// are usually near their predecessors, so the stream compresses well.
+func Write(w io.Writer, recs []Rec) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putU := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putU(uint64(len(recs))); err != nil {
+		return err
+	}
+	var prevPC, prevAddr uint64
+	for _, r := range recs {
+		if err := putU(zigzag(int64(r.PC - prevPC))); err != nil {
+			return err
+		}
+		if err := putU(zigzag(int64(r.Addr - prevAddr))); err != nil {
+			return err
+		}
+		flags := uint64(r.Gap) << 1
+		if r.Write {
+			flags |= 1
+		}
+		if err := putU(flags); err != nil {
+			return err
+		}
+		prevPC, prevAddr = r.PC, r.Addr
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace written by Write.
+func Read(r io.Reader) ([]Rec, error) {
+	br := bufio.NewReader(r)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if got != magic {
+		return nil, errors.New("trace: bad magic (not a drishti trace)")
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	const maxRecs = 1 << 30
+	if n > maxRecs {
+		return nil, fmt.Errorf("trace: implausible record count %d", n)
+	}
+	recs := make([]Rec, 0, n)
+	var prevPC, prevAddr uint64
+	for i := uint64(0); i < n; i++ {
+		dpc, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d pc: %w", i, err)
+		}
+		daddr, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d addr: %w", i, err)
+		}
+		flags, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d flags: %w", i, err)
+		}
+		prevPC += uint64(unzigzag(dpc))
+		prevAddr += uint64(unzigzag(daddr))
+		recs = append(recs, Rec{
+			PC:    prevPC,
+			Addr:  prevAddr,
+			Write: flags&1 != 0,
+			Gap:   uint32(flags >> 1),
+		})
+	}
+	return recs, nil
+}
+
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(v uint64) int64 { return int64(v>>1) ^ -int64(v&1) }

@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSliceReader(t *testing.T) {
+	recs := []Rec{{PC: 1, Addr: 64}, {PC: 2, Addr: 128, Write: true, Gap: 3}}
+	r := NewSliceReader(recs)
+	got := Collect(r, 0)
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("collected %+v", got)
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("exhausted reader returned a record")
+	}
+	r.Reset()
+	if rec, ok := r.Next(); !ok || rec.PC != 1 {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func TestCollectLimit(t *testing.T) {
+	recs := make([]Rec, 10)
+	got := Collect(NewSliceReader(recs), 4)
+	if len(got) != 4 {
+		t.Fatalf("Collect(4) returned %d", len(got))
+	}
+}
+
+func TestLoopReader(t *testing.T) {
+	recs := []Rec{{PC: 1}, {PC: 2}}
+	l := NewLoopReader(NewSliceReader(recs))
+	var pcs []uint64
+	for i := 0; i < 5; i++ {
+		rec, ok := l.Next()
+		if !ok {
+			t.Fatal("loop reader exhausted")
+		}
+		pcs = append(pcs, rec.PC)
+	}
+	want := []uint64{1, 2, 1, 2, 1}
+	if !reflect.DeepEqual(pcs, want) {
+		t.Fatalf("loop sequence %v", pcs)
+	}
+}
+
+func TestLoopReaderEmptyInner(t *testing.T) {
+	l := NewLoopReader(NewSliceReader(nil))
+	if _, ok := l.Next(); ok {
+		t.Fatal("empty inner should not produce records")
+	}
+}
+
+func TestRecInstructions(t *testing.T) {
+	if (Rec{Gap: 4}).Instructions() != 5 {
+		t.Fatal("Instructions must count the memory op plus its gap")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	recs := []Rec{
+		{PC: 0x400000, Addr: 0x10000000, Gap: 3},
+		{PC: 0x400004, Addr: 0x10000040, Write: true},
+		{PC: 0x400000, Addr: 0x0fff0000, Gap: 1000000},
+		{PC: 0xffffffffffff, Addr: 1},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, recs)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	check := func(pcs []uint64, addrs []uint64, gaps []uint32) bool {
+		n := len(pcs)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		if len(gaps) < n {
+			n = len(gaps)
+		}
+		recs := make([]Rec, n)
+		for i := 0; i < n; i++ {
+			recs[i] = Rec{PC: pcs[i], Addr: addrs[i], Gap: gaps[i] & 0x7fffffff, Write: gaps[i]%3 == 0}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, recs); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a trace file"))); err == nil {
+		t.Fatal("expected magic error")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected EOF error")
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	recs := []Rec{{PC: 1, Addr: 64}, {PC: 2, Addr: 128}}
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-1]
+	if _, err := Read(bytes.NewReader(cut)); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty trace read %d records", len(got))
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 1 << 40, -(1 << 40), -9e18} {
+		if unzigzag(zigzag(v)) != v {
+			t.Fatalf("zigzag round trip failed for %d", v)
+		}
+	}
+}
+
+func TestCompression(t *testing.T) {
+	// Sequential records should delta-encode very compactly.
+	recs := make([]Rec, 10000)
+	for i := range recs {
+		recs[i] = Rec{PC: 0x400000, Addr: uint64(0x10000000 + i*64), Gap: 3}
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	if perRec := buf.Len() / len(recs); perRec > 6 {
+		t.Fatalf("sequential trace uses %d bytes/record; expected tight delta coding", perRec)
+	}
+}

@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"fmt"
+
+	"drishti/internal/stats"
+)
+
+// Mix assigns one model (and generator seed) to each core of a simulated
+// system, mirroring the paper's 35 homogeneous + 35 heterogeneous mixes.
+type Mix struct {
+	Name   string
+	Models []Model  // one per core
+	Seeds  []uint64 // one per core
+}
+
+// Cores returns the number of cores the mix targets.
+func (m Mix) Cores() int { return len(m.Models) }
+
+// Validate reports structural errors in the mix.
+func (m Mix) Validate() error {
+	if len(m.Models) == 0 {
+		return fmt.Errorf("workload: mix %s has no cores", m.Name)
+	}
+	if len(m.Seeds) != len(m.Models) {
+		return fmt.Errorf("workload: mix %s has %d seeds for %d cores", m.Name, len(m.Seeds), len(m.Models))
+	}
+	for _, mod := range m.Models {
+		if err := mod.Validate(); err != nil {
+			return fmt.Errorf("workload: mix %s: %w", m.Name, err)
+		}
+	}
+	return nil
+}
+
+// Homogeneous builds a mix where every core runs model. Per-core seeds
+// differ (different SimPoints of the same benchmark, per Section 5.1).
+func Homogeneous(model Model, cores int, seed uint64) Mix {
+	mix := Mix{Name: "homo-" + model.Name}
+	for c := 0; c < cores; c++ {
+		mix.Models = append(mix.Models, model)
+		mix.Seeds = append(mix.Seeds, stats.Mix64(seed+uint64(c)*1_000_003))
+	}
+	return mix
+}
+
+// HomogeneousMixes builds one homogeneous mix per model (the paper's 35).
+func HomogeneousMixes(models []Model, cores int, seed uint64) []Mix {
+	out := make([]Mix, 0, len(models))
+	for i, m := range models {
+		out = append(out, Homogeneous(m, cores, seed+uint64(i)*7919))
+	}
+	return out
+}
+
+// HeterogeneousMixes builds count random mixes drawing models from the
+// population, following the paper's random-mix methodology (Section 5.1).
+func HeterogeneousMixes(models []Model, cores, count int, seed uint64) []Mix {
+	rnd := stats.NewRand(seed)
+	out := make([]Mix, 0, count)
+	for i := 0; i < count; i++ {
+		mix := Mix{Name: fmt.Sprintf("hetero-%02d", i)}
+		for c := 0; c < cores; c++ {
+			m := models[rnd.Intn(len(models))]
+			mix.Models = append(mix.Models, m)
+			mix.Seeds = append(mix.Seeds, rnd.Uint64())
+		}
+		out = append(out, mix)
+	}
+	return out
+}
+
+// PaperMixes reproduces the paper's evaluation population: 35 homogeneous
+// plus 35 heterogeneous mixes from SPEC CPU2017 + GAP for the given core
+// count.
+func PaperMixes(cores int, seed uint64) []Mix {
+	models := AllSPECGAP()
+	mixes := HomogeneousMixes(models, cores, seed)
+	return append(mixes, HeterogeneousMixes(models, cores, 35, seed^0xdeadbeef)...)
+}
+
+// Fig19Mixes reproduces the Fig 19 population: 50 random mixes from the
+// CVP1 / CloudSuite / Google-datacenter / XSBench families.
+func Fig19Mixes(cores int, seed uint64) []Mix {
+	return HeterogeneousMixes(Fig19Models(), cores, 50, seed)
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"fmt"
+
+	"drishti/internal/trace"
+)
+
+// PhasedModel alternates between two or more component models on a fixed
+// record period, imitating application phase changes. The dynamic sampled
+// cache's re-monitoring cycle (Section 4.2's "phase change and count
+// reset") exists exactly for this behavior: the hot sets of one phase are
+// stale in the next, and the selector must re-identify them.
+type PhasedModel struct {
+	Name   string
+	Phases []Model
+	// Period is the number of memory records each phase lasts.
+	Period uint64
+}
+
+// Validate reports configuration errors.
+func (m PhasedModel) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("workload: phased model with empty name")
+	}
+	if len(m.Phases) < 2 {
+		return fmt.Errorf("workload: phased model %s needs ≥2 phases", m.Name)
+	}
+	if m.Period == 0 {
+		return fmt.Errorf("workload: phased model %s has zero period", m.Name)
+	}
+	for _, ph := range m.Phases {
+		if err := ph.Validate(); err != nil {
+			return fmt.Errorf("workload: phased model %s: %w", m.Name, err)
+		}
+	}
+	return nil
+}
+
+// PhasedGenerator implements trace.Reader over a PhasedModel.
+type PhasedGenerator struct {
+	model PhasedModel
+	seed  uint64
+	gens  []*Generator
+	pos   uint64
+}
+
+// NewPhasedGenerator builds a deterministic phased generator. All phases
+// share the seed, so a structure that appears in two phases keeps its
+// addresses (the realistic case: same data, different access pattern).
+func NewPhasedGenerator(model PhasedModel, seed uint64) (*PhasedGenerator, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	g := &PhasedGenerator{model: model, seed: seed}
+	for _, ph := range model.Phases {
+		pg, err := NewGenerator(ph, seed)
+		if err != nil {
+			return nil, err
+		}
+		g.gens = append(g.gens, pg)
+	}
+	return g, nil
+}
+
+// Next implements trace.Reader.
+func (g *PhasedGenerator) Next() (trace.Rec, bool) {
+	phase := int(g.pos/g.model.Period) % len(g.gens)
+	g.pos++
+	return g.gens[phase].Next()
+}
+
+// Reset implements trace.Reader.
+func (g *PhasedGenerator) Reset() {
+	g.pos = 0
+	for _, pg := range g.gens {
+		pg.Reset()
+	}
+}
+
+// Phase reports which phase the next record will come from.
+func (g *PhasedGenerator) Phase() int {
+	return int(g.pos/g.model.Period) % len(g.gens)
+}
+
+// PhasedMcf builds a phase-changing mcf-like workload: a pointer-chase
+// phase whose hot sets differ from the following scan phase. Period is in
+// memory records.
+func PhasedMcf(period uint64) PhasedModel {
+	chase := chaseModel("mcf-phaseA", SuiteSPEC, 48, 0.85, 0.5, 48, 16, 2.5)
+	scan := streamModel("mcf-phaseB", SuiteSPEC, 48, 0.2, 2.5, 8)
+	return PhasedModel{Name: "phased-mcf", Phases: []Model{chase, scan}, Period: period}
+}
+
+// ScalePhased applies Model.Scale to every phase.
+func ScalePhased(m PhasedModel, divisor, setBits int) PhasedModel {
+	out := m
+	out.Phases = make([]Model, len(m.Phases))
+	for i, ph := range m.Phases {
+		out.Phases[i] = ph.Scale(divisor, setBits)
+	}
+	return out
+}

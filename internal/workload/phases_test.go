@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"testing"
+
+	"drishti/internal/mem"
+)
+
+func TestPhasedValidate(t *testing.T) {
+	if err := (PhasedModel{}).Validate(); err == nil {
+		t.Fatal("empty phased model accepted")
+	}
+	one := PhasedModel{Name: "x", Phases: []Model{SPECModels()[0]}, Period: 10}
+	if err := one.Validate(); err == nil {
+		t.Fatal("single-phase model accepted")
+	}
+	if err := PhasedMcf(1000).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhasedAlternates(t *testing.T) {
+	m := PhasedMcf(100)
+	g, err := NewPhasedGenerator(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Phase() != 0 {
+		t.Fatal("must start in phase 0")
+	}
+	for i := 0; i < 100; i++ {
+		g.Next()
+	}
+	if g.Phase() != 1 {
+		t.Fatalf("after one period, phase %d", g.Phase())
+	}
+	for i := 0; i < 100; i++ {
+		g.Next()
+	}
+	if g.Phase() != 0 {
+		t.Fatal("phases must wrap")
+	}
+}
+
+func TestPhasedPhasesDiffer(t *testing.T) {
+	// PCs may coincide across phases (same code, phase-dependent
+	// behavior); what must differ is the access pattern. The scan phase
+	// streams (high distinct-block rate), the chase phase reuses.
+	g, err := NewPhasedGenerator(PhasedMcf(2000), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := func(n int) int {
+		blocks := map[uint64]bool{}
+		for i := 0; i < n; i++ {
+			r, _ := g.Next()
+			blocks[mem.Block(r.Addr)] = true
+		}
+		return len(blocks)
+	}
+	chasePhase := distinct(2000)
+	scanPhase := distinct(2000)
+	if scanPhase <= chasePhase {
+		t.Fatalf("scan phase distinct blocks %d ≤ chase phase %d; phases indistinguishable",
+			scanPhase, chasePhase)
+	}
+}
+
+func TestPhasedReset(t *testing.T) {
+	g, err := NewPhasedGenerator(PhasedMcf(50), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first []uint64
+	for i := 0; i < 120; i++ {
+		r, _ := g.Next()
+		first = append(first, r.Addr)
+	}
+	g.Reset()
+	for i := 0; i < 120; i++ {
+		r, _ := g.Next()
+		if r.Addr != first[i] {
+			t.Fatalf("reset not reproducible at %d", i)
+		}
+	}
+}
+
+func TestScalePhased(t *testing.T) {
+	m := ScalePhased(PhasedMcf(100), 8, 8)
+	for _, ph := range m.Phases {
+		if ph.SetIndexBits != 8 {
+			t.Fatal("scale not applied to all phases")
+		}
+	}
+}
+
+func TestPhasedAddressesStableAcrossPhases(t *testing.T) {
+	// Same seed ⇒ phases can share address regions (same data, different
+	// pattern); at minimum addresses must be non-zero and block-aligned
+	// reads must make sense.
+	g, err := NewPhasedGenerator(PhasedMcf(10), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		r, ok := g.Next()
+		if !ok || r.Addr == 0 {
+			t.Fatal("bad record")
+		}
+		_ = mem.Block(r.Addr)
+	}
+}

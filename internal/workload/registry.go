@@ -1,0 +1,243 @@
+package workload
+
+import "fmt"
+
+// The registry mirrors the paper's workload population: 23 memory-intensive
+// SPEC CPU2017 benchmarks plus 12 single-threaded GAP kernels (Section 5.1),
+// and the CVP1 / CloudSuite / Google-datacenter / XSBench families used in
+// Fig 19. Models are archetype-based: each named benchmark instantiates an
+// archetype with parameters chosen to match its published LLC behavior
+// (MPKI class, working-set size, PC population, set skew).
+
+// Archetype constructors ---------------------------------------------------
+
+// chaseModel imitates pointer-chasing integer codes (mcf, omnetpp):
+// a large skewed chase plus a medium LLC-friendly loop and narrow PCs.
+func chaseModel(name string, suite Suite, footMB int, skew, hotFrac float64, hotSets, pcs int, gap float64) Model {
+	return Model{
+		Name:    name,
+		Suite:   suite,
+		MeanGap: gap,
+		Streams: []StreamSpec{
+			// Register-spill / stack traffic that lives in the L1: the
+			// bulk of a real program's loads, invisible to the LLC.
+			{Kind: Loop, Weight: 13, FootprintKB: 32, PCs: 8, WriteFrac: 0.3},
+			{Kind: Chase, Weight: 5, FootprintKB: footMB * 1024, PCs: pcs, Skew: skew,
+				HotSetFrac: hotFrac, HotSets: hotSets, WriteFrac: 0.15},
+			{Kind: Loop, Weight: 3, FootprintKB: 1536, PCs: pcs / 2, WriteFrac: 0.05},
+			{Kind: Narrow, Weight: 2, FootprintKB: 4096, PCs: 3 * pcs, BlocksPerPC: 1},
+		},
+	}
+}
+
+// streamModel imitates streaming FP codes (lbm, bwaves): long sequential
+// sweeps with uniform per-set demand, so the dynamic sampled cache must
+// detect uniformity and fall back to random selection.
+func streamModel(name string, suite Suite, footMB int, writeFrac, gap float64, pcs int) Model {
+	return Model{
+		Name:    name,
+		Suite:   suite,
+		MeanGap: gap,
+		Streams: []StreamSpec{
+			{Kind: Loop, Weight: 10, FootprintKB: 32, PCs: 8, WriteFrac: 0.3},
+			{Kind: Sequential, Weight: 7, FootprintKB: footMB * 1024, PCs: pcs, WriteFrac: writeFrac},
+			{Kind: Sequential, Weight: 2, FootprintKB: footMB * 512, PCs: pcs, StrideBlk: 2, WriteFrac: writeFrac / 2},
+			{Kind: Loop, Weight: 1, FootprintKB: 256, PCs: 4},
+		},
+	}
+}
+
+// loopMixModel imitates codes with scan reuse near the LLC capacity
+// (xalancbmk, roms): LRU thrashes, OPT-like policies keep a resident
+// fraction. Wide PC populations scatter heavily across slices, which makes
+// these the prime beneficiaries of the per-core global predictor.
+func loopMixModel(name string, suite Suite, loopKB, pcs int, aversMB int, gap float64) Model {
+	return Model{
+		Name:    name,
+		Suite:   suite,
+		MeanGap: gap,
+		Streams: []StreamSpec{
+			{Kind: Loop, Weight: 10, FootprintKB: 32, PCs: 8, WriteFrac: 0.3},
+			{Kind: Loop, Weight: 5, FootprintKB: loopKB, PCs: pcs, WriteFrac: 0.1},
+			{Kind: Chase, Weight: 3, FootprintKB: aversMB * 1024, PCs: pcs / 2, WriteFrac: 0.1},
+			{Kind: Loop, Weight: 2, FootprintKB: 192, PCs: 8},
+		},
+	}
+}
+
+// mixedModel imitates balanced integer codes (gcc, perlbench): moderate
+// skew, moderate footprint, some narrow PCs.
+func mixedModel(name string, suite Suite, footMB int, skew float64, pcs int, gap float64) Model {
+	return Model{
+		Name:    name,
+		Suite:   suite,
+		MeanGap: gap,
+		Streams: []StreamSpec{
+			{Kind: Loop, Weight: 18, FootprintKB: 32, PCs: 8, WriteFrac: 0.3},
+			{Kind: Chase, Weight: 3, FootprintKB: footMB * 1024, PCs: pcs, Skew: skew,
+				HotSetFrac: 0.25, HotSets: 256, WriteFrac: 0.12},
+			{Kind: Loop, Weight: 3, FootprintKB: 1024, PCs: pcs, WriteFrac: 0.08},
+			{Kind: Sequential, Weight: 2, FootprintKB: 8192, PCs: 4, WriteFrac: 0.05},
+			{Kind: Narrow, Weight: 2, FootprintKB: 2048, PCs: 2 * pcs, BlocksPerPC: 2},
+		},
+	}
+}
+
+// graphModel imitates GAP kernels: a heavily skewed gather over a large
+// vertex/edge table (hot vertices reused, tail streamed) plus narrow
+// bookkeeping PCs. Narrow-heavy parameterizations give the high
+// "PCs map to one slice" fraction the paper reports for pr.
+func graphModel(name string, footMB int, skew float64, narrowPCs int, gap float64) Model {
+	return Model{
+		Name:    name,
+		Suite:   SuiteGAP,
+		MeanGap: gap,
+		Streams: []StreamSpec{
+			{Kind: Loop, Weight: 12, FootprintKB: 32, PCs: 8, WriteFrac: 0.3},
+			{Kind: Gather, Weight: 5, FootprintKB: footMB * 1024, PCs: 12, Skew: skew, WriteFrac: 0.1},
+			{Kind: Sequential, Weight: 2, FootprintKB: footMB * 256, PCs: 4, WriteFrac: 0.05},
+			{Kind: Narrow, Weight: 3, FootprintKB: 8192, PCs: narrowPCs, BlocksPerPC: 1},
+		},
+	}
+}
+
+// SPECModels returns the 23 SPEC CPU2017-like models.
+func SPECModels() []Model {
+	return []Model{
+		chaseModel("605.mcf_s-1554B", SuiteSPEC, 48, 0.85, 0.35, 96, 16, 2.5),
+		chaseModel("620.omnetpp_s-874B", SuiteSPEC, 24, 0.9, 0.35, 96, 24, 3.5),
+		loopMixModel("623.xalancbmk_s-202B", SuiteSPEC, 2560, 96, 16, 3.0),
+		loopMixModel("654.roms_s-842B", SuiteSPEC, 2048, 40, 24, 4.0),
+		streamModel("619.lbm_s-2676B", SuiteSPEC, 56, 0.45, 3.0, 6),
+		streamModel("603.bwaves_s-3699B", SuiteSPEC, 48, 0.2, 4.0, 8),
+		streamModel("649.fotonik3d_s-1176B", SuiteSPEC, 40, 0.3, 4.0, 8),
+		streamModel("628.pop2_s-17B", SuiteSPEC, 32, 0.25, 5.0, 10),
+		mixedModel("602.gcc_s-734B", SuiteSPEC, 16, 0.8, 32, 4.0),
+		mixedModel("600.perlbench_s-210B", SuiteSPEC, 8, 0.75, 40, 6.0),
+		mixedModel("623.xz_s-3167B", SuiteSPEC, 20, 0.7, 20, 4.5),
+		mixedModel("631.deepsjeng_s-928B", SuiteSPEC, 12, 0.8, 24, 6.0),
+		mixedModel("641.leela_s-800B", SuiteSPEC, 6, 0.7, 24, 7.0),
+		mixedModel("657.xz_s-2302B", SuiteSPEC, 24, 0.65, 18, 4.0),
+		chaseModel("605.mcf_s-665B", SuiteSPEC, 40, 0.8, 0.3, 96, 16, 3.0),
+		chaseModel("620.omnetpp_s-141B", SuiteSPEC, 20, 0.85, 0.3, 128, 24, 4.0),
+		streamModel("607.cactuBSSN_s-2421B", SuiteSPEC, 36, 0.3, 3.5, 10),
+		streamModel("621.wrf_s-6673B", SuiteSPEC, 28, 0.3, 5.0, 12),
+		streamModel("627.cam4_s-490B", SuiteSPEC, 24, 0.25, 5.0, 12),
+		loopMixModel("623.xalancbmk_s-700B", SuiteSPEC, 2816, 80, 12, 3.5),
+		mixedModel("602.gcc_s-2226B", SuiteSPEC, 14, 0.85, 36, 4.5),
+		streamModel("644.nab_s-5853B", SuiteSPEC, 16, 0.2, 6.0, 8),
+		loopMixModel("638.imagick_s-10316B", SuiteSPEC, 1792, 32, 8, 5.0),
+	}
+}
+
+// GAPModels returns the 12 GAP-like models (kernel × graph combinations).
+func GAPModels() []Model {
+	return []Model{
+		graphModel("pr-twitter", 64, 0.99, 160, 3.0),
+		graphModel("pr-web", 48, 0.9, 144, 3.5),
+		graphModel("pr-kron", 80, 1.05, 160, 3.0),
+		graphModel("bfs-twitter", 56, 0.8, 96, 3.5),
+		graphModel("bfs-road", 24, 0.6, 64, 4.0),
+		graphModel("cc-twitter", 56, 0.95, 128, 3.0),
+		graphModel("cc-web", 40, 0.85, 112, 3.5),
+		graphModel("bc-twitter", 64, 0.9, 128, 3.0),
+		graphModel("bc-urand", 72, 0.4, 96, 3.0),
+		graphModel("sssp-road", 28, 0.65, 80, 4.0),
+		graphModel("sssp-kron", 72, 1.0, 128, 3.0),
+		graphModel("tc-urand", 64, 0.3, 80, 3.5),
+	}
+}
+
+// CVP1Models returns server-like models for Fig 19 (CVP1 traces rebased by
+// Feliu et al., IISWC'23): large instruction-side tax approximated by many
+// narrow PCs plus moderate data footprints.
+func CVP1Models() []Model {
+	out := make([]Model, 0, 8)
+	for i := 0; i < 8; i++ {
+		out = append(out, Model{
+			Name:    fmt.Sprintf("cvp1-srv%d", i),
+			Suite:   SuiteCVP1,
+			MeanGap: 5.0 + float64(i%3),
+			Streams: []StreamSpec{
+				{Kind: Loop, Weight: 12, FootprintKB: 32, PCs: 12, WriteFrac: 0.3},
+				{Kind: Narrow, Weight: 4, FootprintKB: 4096 + 1024*i, PCs: 200 + 20*i, BlocksPerPC: 1},
+				{Kind: Chase, Weight: 3, FootprintKB: (8 + 2*i) * 1024, PCs: 32, Skew: 0.7, WriteFrac: 0.1},
+				{Kind: Loop, Weight: 3, FootprintKB: 768 + 128*i, PCs: 24, WriteFrac: 0.08},
+			},
+		})
+	}
+	return out
+}
+
+// CloudModels returns CloudSuite / Google-datacenter-like models for Fig 19:
+// flat reuse, huge code+data footprints, little exploitable locality.
+func CloudModels() []Model {
+	out := make([]Model, 0, 8)
+	for i := 0; i < 8; i++ {
+		out = append(out, Model{
+			Name:    fmt.Sprintf("cloud-dc%d", i),
+			Suite:   SuiteCloud,
+			MeanGap: 6.0,
+			Streams: []StreamSpec{
+				{Kind: Loop, Weight: 11, FootprintKB: 32, PCs: 12, WriteFrac: 0.3},
+				{Kind: Gather, Weight: 5, FootprintKB: (32 + 8*i) * 1024, PCs: 64, Skew: 0.5, WriteFrac: 0.15},
+				{Kind: Narrow, Weight: 3, FootprintKB: 8192, PCs: 300, BlocksPerPC: 1},
+				{Kind: Sequential, Weight: 2, FootprintKB: 16 * 1024, PCs: 8, WriteFrac: 0.1},
+			},
+		})
+	}
+	return out
+}
+
+// XSBenchModels returns XSBench-like models for Fig 19: the unionized
+// cross-section lookup is a uniform random gather over a table far larger
+// than the LLC.
+func XSBenchModels() []Model {
+	out := make([]Model, 0, 4)
+	for i := 0; i < 4; i++ {
+		out = append(out, Model{
+			Name:    fmt.Sprintf("xsbench-g%d", i),
+			Suite:   SuiteXS,
+			MeanGap: 3.0,
+			Streams: []StreamSpec{
+				{Kind: Loop, Weight: 13, FootprintKB: 32, PCs: 8, WriteFrac: 0.2},
+				{Kind: Gather, Weight: 7, FootprintKB: (96 + 32*i) * 1024, PCs: 6, Skew: 0.2},
+				{Kind: Loop, Weight: 2, FootprintKB: 512, PCs: 8},
+				{Kind: Narrow, Weight: 1, FootprintKB: 2048, PCs: 40, BlocksPerPC: 2},
+			},
+		})
+	}
+	return out
+}
+
+// AllSPECGAP returns the 35-benchmark population used for the main results.
+func AllSPECGAP() []Model {
+	return append(SPECModels(), GAPModels()...)
+}
+
+// Fig19Models returns the CVP1+Cloud+XSBench population used in Fig 19.
+func Fig19Models() []Model {
+	out := CVP1Models()
+	out = append(out, CloudModels()...)
+	out = append(out, XSBenchModels()...)
+	return out
+}
+
+// ByName returns the model with the given name from the full registry.
+func ByName(name string) (Model, bool) {
+	for _, m := range append(AllSPECGAP(), Fig19Models()...) {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Model{}, false
+}
+
+// Names returns the names of the given models, preserving order.
+func Names(models []Model) []string {
+	out := make([]string, len(models))
+	for i, m := range models {
+		out[i] = m.Name
+	}
+	return out
+}

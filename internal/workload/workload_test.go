@@ -1,0 +1,294 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"drishti/internal/mem"
+	"drishti/internal/trace"
+)
+
+func TestRegistryCounts(t *testing.T) {
+	if n := len(SPECModels()); n != 23 {
+		t.Fatalf("SPEC models %d, want 23 (Section 5.1)", n)
+	}
+	if n := len(GAPModels()); n != 12 {
+		t.Fatalf("GAP models %d, want 12", n)
+	}
+	if n := len(AllSPECGAP()); n != 35 {
+		t.Fatalf("population %d, want 35", n)
+	}
+	if len(Fig19Models()) == 0 {
+		t.Fatal("no Fig 19 models")
+	}
+}
+
+func TestRegistryValidates(t *testing.T) {
+	for _, m := range append(AllSPECGAP(), Fig19Models()...) {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestRegistryNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range append(AllSPECGAP(), Fig19Models()...) {
+		if seen[m.Name] {
+			t.Fatalf("duplicate model name %s", m.Name)
+		}
+		seen[m.Name] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("605.mcf_s-1554B"); !ok {
+		t.Fatal("mcf missing from registry")
+	}
+	if _, ok := ByName("not-a-benchmark"); ok {
+		t.Fatal("bogus name resolved")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	m := SPECModels()[0]
+	a := MustGenerator(m, 42)
+	b := MustGenerator(m, 42)
+	for i := 0; i < 5000; i++ {
+		ra, _ := a.Next()
+		rb, _ := b.Next()
+		if ra != rb {
+			t.Fatalf("streams diverged at %d: %+v vs %+v", i, ra, rb)
+		}
+	}
+}
+
+func TestGeneratorSeedsDisjoint(t *testing.T) {
+	m := SPECModels()[0]
+	a := MustGenerator(m, 1)
+	b := MustGenerator(m, 2)
+	blocksA := map[uint64]bool{}
+	for i := 0; i < 5000; i++ {
+		ra, _ := a.Next()
+		blocksA[mem.Block(ra.Addr)] = true
+	}
+	overlap := 0
+	for i := 0; i < 5000; i++ {
+		rb, _ := b.Next()
+		if blocksA[mem.Block(rb.Addr)] {
+			overlap++
+		}
+	}
+	if overlap > 0 {
+		t.Fatalf("different seeds shared %d blocks (address spaces must be disjoint)", overlap)
+	}
+}
+
+func TestGeneratorReset(t *testing.T) {
+	g := MustGenerator(GAPModels()[0], 9)
+	first := trace.Collect(g, 100)
+	g.Reset()
+	second := trace.Collect(g, 100)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("Reset not reproducible at %d", i)
+		}
+	}
+}
+
+func TestStreamPCsStableAcrossSeeds(t *testing.T) {
+	m := SPECModels()[2] // xalan-like
+	want := StreamPCs(m, 0)
+	for _, seed := range []uint64{1, 7, 99} {
+		g := MustGenerator(m, seed)
+		seen := map[uint64]bool{}
+		for i := 0; i < 20000; i++ {
+			r, _ := g.Next()
+			seen[r.PC] = true
+		}
+		found := 0
+		for _, pc := range want {
+			if seen[pc] {
+				found++
+			}
+		}
+		if found < len(want)/2 {
+			t.Fatalf("seed %d: only %d/%d stream-0 PCs observed", seed, found, len(want))
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	m := SPECModels()[0]
+	s := m.Scale(8, 8)
+	if s.SetIndexBits != 8 {
+		t.Fatal("set bits not applied")
+	}
+	for i, st := range s.Streams {
+		if st.FootprintKB > m.Streams[i].FootprintKB {
+			t.Fatal("scaling grew a footprint")
+		}
+		if st.FootprintKB < 4 {
+			t.Fatal("scaling below the floor")
+		}
+	}
+	// Scale(1, 0) is the identity.
+	id := m.Scale(1, 0)
+	if id.Streams[0] != m.Streams[0] {
+		t.Fatal("identity scale changed streams")
+	}
+}
+
+func TestHotSetSteeringStable(t *testing.T) {
+	// The same logical block must always land at the same address —
+	// otherwise steered blocks never reuse (the Table 1 poisoning bug).
+	m := Model{
+		Name: "steer", Suite: SuiteSPEC, MeanGap: 1,
+		Streams: []StreamSpec{{
+			Kind: Chase, Weight: 1, FootprintKB: 256, PCs: 4,
+			Skew: 0.9, HotSetFrac: 0.5, HotSets: 8,
+		}},
+		SetIndexBits: 6,
+	}
+	g := MustGenerator(m, 3)
+	addrByPCOrder := map[uint64]map[uint64]bool{}
+	for i := 0; i < 50000; i++ {
+		r, _ := g.Next()
+		blk := mem.Block(r.Addr)
+		if addrByPCOrder[blk] == nil {
+			addrByPCOrder[blk] = map[uint64]bool{}
+		}
+	}
+	// Reuse must exist: distinct blocks ≪ accesses.
+	if len(addrByPCOrder) > 45000 {
+		t.Fatalf("steering destroyed block identity: %d distinct blocks in 50000 accesses", len(addrByPCOrder))
+	}
+}
+
+func TestHotSetSkew(t *testing.T) {
+	m := Model{
+		Name: "skew", Suite: SuiteSPEC, MeanGap: 1,
+		Streams: []StreamSpec{{
+			Kind: Chase, Weight: 1, FootprintKB: 1024, PCs: 4,
+			Skew: 0.8, HotSetFrac: 0.5, HotSets: 64,
+		}},
+		SetIndexBits: 8,
+	}
+	g := MustGenerator(m, 5)
+	counts := make([]int, 256)
+	for i := 0; i < 100000; i++ {
+		r, _ := g.Next()
+		counts[int(mem.Block(r.Addr))&255]++
+	}
+	max, min := counts[0], counts[0]
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	if max < 4*min+4 {
+		t.Fatalf("no per-set skew: max=%d min=%d", max, min)
+	}
+}
+
+func TestMixes(t *testing.T) {
+	models := AllSPECGAP()
+	homo := HomogeneousMixes(models, 4, 1)
+	if len(homo) != 35 {
+		t.Fatalf("homogeneous mixes %d", len(homo))
+	}
+	for _, mix := range homo {
+		if err := mix.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if mix.Cores() != 4 {
+			t.Fatal("wrong core count")
+		}
+		// Same model, distinct seeds (distinct SimPoints).
+		if mix.Seeds[0] == mix.Seeds[1] {
+			t.Fatal("homogeneous cores share a seed")
+		}
+		if mix.Models[0].Name != mix.Models[3].Name {
+			t.Fatal("homogeneous mix mixes models")
+		}
+	}
+	het := HeterogeneousMixes(models, 8, 35, 2)
+	if len(het) != 35 {
+		t.Fatalf("heterogeneous mixes %d", len(het))
+	}
+	paper := PaperMixes(4, 1)
+	if len(paper) != 70 {
+		t.Fatalf("paper population %d, want 70", len(paper))
+	}
+	f19 := Fig19Mixes(16, 1)
+	if len(f19) != 50 {
+		t.Fatalf("fig19 mixes %d, want 50", len(f19))
+	}
+}
+
+func TestGapDistribution(t *testing.T) {
+	m := SPECModels()[0]
+	g := MustGenerator(m, 11)
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		r, _ := g.Next()
+		sum += float64(r.Gap)
+	}
+	mean := sum / n
+	if mean < m.MeanGap*0.8 || mean > m.MeanGap*1.2 {
+		t.Fatalf("gap mean %.2f, model says %.2f", mean, m.MeanGap)
+	}
+}
+
+func TestWriteFractionRoughlyMatches(t *testing.T) {
+	m := SPECModels()[4] // lbm-like, write-heavy
+	g := MustGenerator(m, 13)
+	writes := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		r, _ := g.Next()
+		if r.Write {
+			writes++
+		}
+	}
+	if writes == 0 {
+		t.Fatal("write-heavy model produced no writes")
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	bad := []Model{
+		{},
+		{Name: "x"},
+		{Name: "x", Streams: []StreamSpec{{Kind: Loop, Weight: 0, FootprintKB: 1, PCs: 1}}},
+		{Name: "x", Streams: []StreamSpec{{Kind: Loop, Weight: 1, FootprintKB: 0, PCs: 1}}},
+		{Name: "x", Streams: []StreamSpec{{Kind: Loop, Weight: 1, FootprintKB: 1, PCs: 0}}},
+		{Name: "x", Streams: []StreamSpec{{Kind: Loop, Weight: 1, FootprintKB: 1, PCs: 1, WriteFrac: 2}}},
+		{Name: "x", Streams: []StreamSpec{{Kind: Loop, Weight: 1, FootprintKB: 1, PCs: 1, HotSetFrac: 0.5}}},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("bad model %d accepted", i)
+		}
+	}
+}
+
+func TestGeneratorAddressesAlwaysInRegionProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		g := MustGenerator(GAPModels()[int(seed%uint64(len(GAPModels())))], seed)
+		for i := 0; i < 2000; i++ {
+			r, ok := g.Next()
+			if !ok || r.Addr == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
