@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test race verify bench
+
+# Tier-1 verification (ROADMAP.md): build + tests, then the race detector.
+# The experiment harness fans simulations out onto a worker pool, so any
+# data race is a correctness bug — `race` is part of `verify`, not optional.
+verify: build test race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

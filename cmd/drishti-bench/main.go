@@ -4,28 +4,41 @@
 //	drishti-bench fig13                  # run one experiment
 //	drishti-bench all                    # run every experiment in order
 //	drishti-bench -mixes 8 -instr 400000 fig13 fig14
+//	drishti-bench -parallel 1 fig13      # force the serial sweep path
 //
 // Scale flags (or DRISHTI_* environment variables) trade fidelity for time;
 // see EXPERIMENTS.md for the settings used in the recorded results.
+// Sweeps fan out onto a bounded worker pool (-parallel, default GOMAXPROCS
+// or $DRISHTI_PARALLEL); results are bit-identical at every setting.
+// -cpuprofile/-memprofile write pprof profiles for simulator perf work.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"drishti/internal/experiments"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run carries the real main so profile defers fire before the process
+// exits (os.Exit skips deferred calls).
+func run() int {
 	var (
-		list   = flag.Bool("list", false, "list experiments and exit")
-		scale  = flag.Int("scale", 0, "machine/workload shrink factor (default 8 or $DRISHTI_SCALE)")
-		instr  = flag.Uint64("instr", 0, "instructions per core (default 200000 or $DRISHTI_INSTR)")
-		warmup = flag.Uint64("warmup", 0, "warmup instructions per core")
-		mixes  = flag.Int("mixes", 0, "mixes per category")
-		seed   = flag.Uint64("seed", 0, "workload seed")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		scale      = flag.Int("scale", 0, "machine/workload shrink factor (default 8 or $DRISHTI_SCALE)")
+		instr      = flag.Uint64("instr", 0, "instructions per core (default 200000 or $DRISHTI_INSTR)")
+		warmup     = flag.Uint64("warmup", 0, "warmup instructions per core")
+		mixes      = flag.Int("mixes", 0, "mixes per category")
+		seed       = flag.Uint64("seed", 0, "workload seed")
+		parallel   = flag.Int("parallel", 0, "sweep worker-pool size (default GOMAXPROCS or $DRISHTI_PARALLEL; 1 = serial)")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to `file`")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to `file` at exit")
 	)
 	flag.Parse()
 
@@ -33,7 +46,7 @@ func main() {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	p := experiments.DefaultParams()
@@ -52,12 +65,43 @@ func main() {
 	if *seed > 0 {
 		p.Seed = *seed
 	}
+	if *parallel > 0 {
+		p.Parallelism = *parallel
+	}
 
 	args := flag.Args()
 	if len(args) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: drishti-bench [-list] [flags] <experiment-id>... | all")
 		fmt.Fprintln(os.Stderr, "run 'drishti-bench -list' to see experiment IDs")
-		os.Exit(2)
+		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drishti-bench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "drishti-bench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "drishti-bench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retention
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "drishti-bench: -memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	var ids []string
@@ -73,13 +117,14 @@ func main() {
 		e, ok := experiments.ByID(id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "drishti-bench: unknown experiment %q (try -list)\n", id)
-			os.Exit(2)
+			return 2
 		}
 		t0 := time.Now()
 		if err := e.Run(p, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "drishti-bench: %s: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("-- %s done in %v\n\n", id, time.Since(t0).Round(time.Millisecond))
 	}
+	return 0
 }

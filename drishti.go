@@ -105,8 +105,16 @@ func New(cfg Config, readers []TraceReader) (*System, error) { return sim.New(cf
 // RunMix builds and runs a system over a workload mix.
 func RunMix(cfg Config, mix Mix) (*Result, error) { return sim.RunMix(cfg, mix) }
 
-// RunAlone measures each core's alone IPC for the weighted-speedup metrics.
+// RunAlone measures each core's alone IPC for the weighted-speedup
+// metrics, running the independent per-core systems on up to GOMAXPROCS
+// workers. Results are identical at every parallelism.
 func RunAlone(cfg Config, mix Mix) ([]float64, error) { return sim.RunAlone(cfg, mix) }
+
+// RunAloneN is RunAlone with an explicit worker-pool bound
+// (parallelism <= 1 runs serially).
+func RunAloneN(cfg Config, mix Mix, parallelism int) ([]float64, error) {
+	return sim.RunAloneN(cfg, mix, parallelism)
+}
 
 // RunWithMetrics runs a mix and computes WS/HS/MIS/unfairness against the
 // supplied alone-IPC vector.

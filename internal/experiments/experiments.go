@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 
 	"drishti/internal/sim"
@@ -24,13 +25,26 @@ import (
 
 // Params control experiment scale. Environment variables override the
 // defaults for full-fidelity runs: DRISHTI_SCALE, DRISHTI_INSTR,
-// DRISHTI_WARMUP, DRISHTI_MIXES, DRISHTI_SEED.
+// DRISHTI_WARMUP, DRISHTI_MIXES, DRISHTI_SEED, DRISHTI_PARALLEL.
 type Params struct {
 	Scale        int    // machine + workload shrink factor
 	Instructions uint64 // measured instructions per core
 	Warmup       uint64 // warmup instructions per core
 	Mixes        int    // mixes per category (≤35 homogeneous + ≤35 hetero)
 	Seed         uint64
+
+	// Parallelism bounds the sweep worker pool: how many (mix, policy)
+	// simulations run concurrently. 0 means GOMAXPROCS. Results are
+	// bit-identical at every setting; 1 forces the serial path.
+	Parallelism int
+}
+
+// Parallel returns the effective worker-pool size (>= 1).
+func (p Params) Parallel() int {
+	if p.Parallelism > 0 {
+		return p.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // DefaultParams returns harness-scale defaults, honoring the DRISHTI_*
@@ -51,6 +65,9 @@ func DefaultParams() Params {
 	}
 	if v, ok := envInt("DRISHTI_SEED"); ok {
 		p.Seed = uint64(v)
+	}
+	if v, ok := envInt("DRISHTI_PARALLEL"); ok {
+		p.Parallelism = v
 	}
 	return p
 }

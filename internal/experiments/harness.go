@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strings"
 	"sync"
 
+	"drishti/internal/memo"
 	"drishti/internal/metrics"
 	"drishti/internal/policies"
 	"drishti/internal/sim"
@@ -16,92 +18,76 @@ func pow(x, y float64) float64 { return math.Pow(x, y) }
 
 // Cross-experiment memoization: several figures reuse the same runs
 // (fig13/fig14/tab05 share sweeps; fig10's traffic runs repeat per mix).
-// Keys include the full config and mix identity, so results are exact.
-var (
-	cacheMu    sync.Mutex
-	mixCache   = map[string]*sim.Result{}
-	sweepCache = map[string]*sweepResult{}
-	evalCache  = map[string]*mixEval{}
+// Keys are the explicit sim.Config / workload.Mix / policies.Spec key
+// builders, so results are exact. The caches are singleflight: concurrent
+// sweep workers asking for the same run block on one execution instead of
+// duplicating it or serializing unrelated runs. Capacities bound resident
+// results so `drishti-bench all` at large -mixes cannot grow without
+// limit; LRU eviction keeps the runs the current experiment is reusing.
+const (
+	mixCacheCap   = 1024
+	evalCacheCap  = 512
+	sweepCacheCap = 64
 )
 
-// ResetCache clears the cross-experiment memo (tests use it to bound
-// memory; the cmd binary never needs to).
+var (
+	mixCache   = memo.New[*sim.Result](mixCacheCap)
+	evalCache  = memo.New[*mixEval](evalCacheCap)
+	sweepCache = memo.New[*sweepResult](sweepCacheCap)
+)
+
+// ResetCache clears the cross-experiment memo (tests use it to isolate
+// runs and bound memory; the cmd binary never needs to).
 func ResetCache() {
-	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	mixCache = map[string]*sim.Result{}
-	sweepCache = map[string]*sweepResult{}
-	evalCache = map[string]*mixEval{}
+	mixCache.Reset()
+	evalCache.Reset()
+	sweepCache.Reset()
 }
 
+// cfgKey identifies one (machine, mix) simulation.
 func cfgKey(cfg sim.Config, mix workload.Mix) string {
-	return fmt.Sprintf("%+v|%s|%d", cfg, mix.Name, mix.Cores())
+	return cfg.Key() + "|" + mix.Key()
 }
 
 // runMixCached is sim.RunMix with cross-experiment memoization.
 func runMixCached(cfg sim.Config, mix workload.Mix) (*sim.Result, error) {
-	key := cfgKey(cfg, mix)
-	cacheMu.Lock()
-	if r, ok := mixCache[key]; ok {
-		cacheMu.Unlock()
-		return r, nil
-	}
-	cacheMu.Unlock()
-	r, err := sim.RunMix(cfg, mix)
-	if err != nil {
-		return nil, err
-	}
-	cacheMu.Lock()
-	mixCache[key] = r
-	cacheMu.Unlock()
-	return r, nil
+	return mixCache.Do(cfgKey(cfg, mix), func() (*sim.Result, error) {
+		return sim.RunMix(cfg, mix)
+	})
 }
 
-// evalMixCached is evalMix with memoization.
-func evalMixCached(cfg sim.Config, mix workload.Mix) (*mixEval, error) {
+// evalMixCached is evalMix with memoization. alonePar bounds the
+// fan-out of the per-core alone runs inside the eval.
+func evalMixCached(cfg sim.Config, mix workload.Mix, alonePar int) (*mixEval, error) {
 	base := cfg
 	base.Policy = policies.Spec{Name: "lru"}
-	key := cfgKey(base, mix)
-	cacheMu.Lock()
-	if e, ok := evalCache[key]; ok {
-		cacheMu.Unlock()
-		return e, nil
+	return evalCache.Do(cfgKey(base, mix), func() (*mixEval, error) {
+		return evalMix(cfg, mix, alonePar)
+	})
+}
+
+func sweepKey(cfg sim.Config, mixes []workload.Mix, specs []policies.Spec) string {
+	var b strings.Builder
+	b.WriteString(cfg.Key())
+	fmt.Fprintf(&b, "|mixes=%d", len(mixes))
+	for _, m := range mixes {
+		b.WriteByte('|')
+		b.WriteString(m.Key())
 	}
-	cacheMu.Unlock()
-	e, err := evalMix(cfg, mix)
-	if err != nil {
-		return nil, err
+	for _, s := range specs {
+		b.WriteByte('|')
+		b.WriteString(s.Key())
 	}
-	cacheMu.Lock()
-	evalCache[key] = e
-	cacheMu.Unlock()
-	return e, nil
+	return b.String()
 }
 
 // runSweepCached is runSweep with memoization keyed by config, mixes, and
-// the display names + full spec values of the policies.
-func runSweepCached(cfg sim.Config, mixes []workload.Mix, specs []policies.Spec) (*sweepResult, error) {
-	key := fmt.Sprintf("%+v|%d", cfg, len(mixes))
-	for _, m := range mixes {
-		key += "|" + m.Name
-	}
-	for _, s := range specs {
-		key += fmt.Sprintf("|%+v", s)
-	}
-	cacheMu.Lock()
-	if sr, ok := sweepCache[key]; ok {
-		cacheMu.Unlock()
-		return sr, nil
-	}
-	cacheMu.Unlock()
-	sr, err := runSweep(cfg, mixes, specs)
-	if err != nil {
-		return nil, err
-	}
-	cacheMu.Lock()
-	sweepCache[key] = sr
-	cacheMu.Unlock()
-	return sr, nil
+// specs. par is deliberately not part of the key: every parallelism
+// produces bit-identical results (asserted by TestSweepParallelMatchesSerial).
+func runSweepCached(cfg sim.Config, mixes []workload.Mix, specs []policies.Spec, par int) (*sweepResult, error) {
+	return sweepCache.Do(sweepKey(cfg, mixes, specs), func() (*sweepResult, error) {
+		return runSweep(cfg, mixes, specs, par)
+	})
 }
 
 // mixEval is the cached evaluation context for one mix: the LRU baseline run
@@ -114,11 +100,12 @@ type mixEval struct {
 	baseRes *sim.Result
 }
 
-// evalMix measures the LRU baseline and alone IPCs for a mix.
-func evalMix(cfg sim.Config, mix workload.Mix) (*mixEval, error) {
+// evalMix measures the LRU baseline and alone IPCs for a mix, running up
+// to alonePar of the per-core alone systems concurrently.
+func evalMix(cfg sim.Config, mix workload.Mix, alonePar int) (*mixEval, error) {
 	base := cfg
 	base.Policy = policies.Spec{Name: "lru"}
-	alone, err := sim.RunAlone(base, mix)
+	alone, err := sim.RunAloneN(base, mix, alonePar)
 	if err != nil {
 		return nil, fmt.Errorf("alone runs for %s: %w", mix.Name, err)
 	}
@@ -170,10 +157,23 @@ type sweepResult struct {
 	outcomes [][]*policyOutcome
 }
 
-func runSweep(cfg sim.Config, mixes []workload.Mix, specs []policies.Spec) (*sweepResult, error) {
+// runSweep evaluates every (mix, policy) cell on a bounded worker pool of
+// par goroutines; par <= 1 is the strictly serial path. Each cell is an
+// independent deterministic simulation, so results are bit-identical for
+// every parallelism. The per-mix LRU baseline a cell depends on is
+// resolved through evalCache's singleflight: the first worker to reach a
+// mix computes it, concurrent cells of the same mix block on that one
+// execution, and cells of other mixes proceed.
+//
+// On failure the sweep stops dispatching new cells and returns the error
+// of the cell with the lowest serial position — cells are dispatched in
+// serial order, so every cell preceding the winner has already run, which
+// makes the returned error exactly the serial path's.
+func runSweep(cfg sim.Config, mixes []workload.Mix, specs []policies.Spec, par int) (*sweepResult, error) {
 	sr := &sweepResult{
 		specs:    specs,
 		mixes:    mixes,
+		evals:    make([]*mixEval, len(mixes)),
 		normWS:   make([][]float64, len(specs)),
 		outcomes: make([][]*policyOutcome, len(specs)),
 	}
@@ -181,20 +181,81 @@ func runSweep(cfg sim.Config, mixes []workload.Mix, specs []policies.Spec) (*swe
 		sr.normWS[i] = make([]float64, len(mixes))
 		sr.outcomes[i] = make([]*policyOutcome, len(mixes))
 	}
-	for mi, mix := range mixes {
-		ev, err := evalMixCached(cfg, mix)
-		if err != nil {
-			return nil, err
-		}
-		sr.evals = append(sr.evals, ev)
-		for si, spec := range specs {
-			out, err := ev.runPolicy(cfg, spec)
+	nCells := len(mixes) * len(specs)
+	if par > nCells {
+		par = nCells
+	}
+	if par <= 1 {
+		for mi, mix := range mixes {
+			ev, err := evalMixCached(cfg, mix, 1)
 			if err != nil {
 				return nil, err
 			}
-			sr.normWS[si][mi] = out.normWS
-			sr.outcomes[si][mi] = out
+			sr.evals[mi] = ev
+			for si, spec := range specs {
+				out, err := ev.runPolicy(cfg, spec)
+				if err != nil {
+					return nil, err
+				}
+				sr.normWS[si][mi] = out.normWS
+				sr.outcomes[si][mi] = out
+			}
 		}
+		return sr, nil
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		errSeq   = nCells
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, par)
+	)
+	record := func(seq int, err error) {
+		mu.Lock()
+		if seq < errSeq {
+			errSeq, firstErr = seq, err
+		}
+		mu.Unlock()
+	}
+	for seq := 0; seq < nCells; seq++ {
+		mu.Lock()
+		failed := firstErr != nil
+		mu.Unlock()
+		if failed {
+			break
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(seq int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			mi, si := seq/len(specs), seq%len(specs)
+			// alonePar=1: the cell pool already owns the parallelism
+			// budget; nesting another fan-out would oversubscribe it.
+			ev, err := evalMixCached(cfg, mixes[mi], 1)
+			if err != nil {
+				// Serially the eval runs before any of the mix's cells.
+				record(mi*len(specs), err)
+				return
+			}
+			mu.Lock()
+			if sr.evals[mi] == nil {
+				sr.evals[mi] = ev
+			}
+			mu.Unlock()
+			out, err := ev.runPolicy(cfg, specs[si])
+			if err != nil {
+				record(seq, err)
+				return
+			}
+			sr.normWS[si][mi] = out.normWS // cell-private slots: no lock
+			sr.outcomes[si][mi] = out
+		}(seq)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return sr, nil
 }

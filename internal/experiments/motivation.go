@@ -293,7 +293,7 @@ func Tab01SampledSetCases(p Params, w io.Writer) error {
 	}
 	topPer, botPer, mixPer := rankSets(profSys.Slices(), n)
 
-	ev, err := evalMix(cfg, mix)
+	ev, err := evalMix(cfg, mix, p.Parallel())
 	if err != nil {
 		return err
 	}

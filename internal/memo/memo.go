@@ -1,0 +1,118 @@
+// Package memo provides a bounded, concurrency-safe memoization cache
+// with singleflight semantics: concurrent callers asking for the same
+// key block on a single execution of the compute function instead of
+// duplicating it, while callers with different keys proceed
+// independently (no lock is held around the computation itself).
+// Successful results are retained up to a capacity and evicted
+// least-recently-used; errors are delivered to every waiter but never
+// cached, so the next request for the key retries.
+//
+// The experiment harness uses it to share simulation results across
+// figures: dozens of workers can race for the same (config, mix) run and
+// exactly one simulation executes.
+package memo
+
+import (
+	"container/list"
+	"sync"
+)
+
+type entry[V any] struct {
+	key  string
+	val  V
+	err  error
+	done chan struct{} // closed once val/err are set
+	elem *list.Element // recency position; nil while in flight
+}
+
+// Cache memoizes the results of Do by string key. The zero value is not
+// usable; construct with New.
+type Cache[V any] struct {
+	mu      sync.Mutex
+	cap     int // max completed entries retained; <= 0 means unbounded
+	entries map[string]*entry[V]
+	recency *list.List // completed entries, most recent at the front
+}
+
+// New returns a cache retaining up to capacity completed results
+// (capacity <= 0 means unbounded). In-flight computations do not count
+// against the capacity.
+func New[V any](capacity int) *Cache[V] {
+	return &Cache[V]{
+		cap:     capacity,
+		entries: make(map[string]*entry[V]),
+		recency: list.New(),
+	}
+}
+
+// Do returns the cached value for key, or runs fn to compute it. If
+// another goroutine is already computing key, Do blocks until that
+// computation finishes and shares its outcome. fn runs in the calling
+// goroutine with no cache lock held, so unrelated keys never serialize
+// on each other.
+func (c *Cache[V]) Do(key string, fn func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		if e.elem != nil { // completed
+			c.recency.MoveToFront(e.elem)
+			c.mu.Unlock()
+			return e.val, e.err
+		}
+		c.mu.Unlock() // in flight: wait for the owner
+		<-e.done
+		return e.val, e.err
+	}
+	e := &entry[V]{key: key, done: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	e.val, e.err = fn()
+	close(e.done)
+
+	c.mu.Lock()
+	if c.entries[key] == e { // still current (not displaced by Reset)
+		if e.err != nil {
+			delete(c.entries, key)
+		} else {
+			e.elem = c.recency.PushFront(e)
+			for c.cap > 0 && c.recency.Len() > c.cap {
+				old := c.recency.Remove(c.recency.Back()).(*entry[V])
+				delete(c.entries, old.key)
+			}
+		}
+	}
+	c.mu.Unlock()
+	return e.val, e.err
+}
+
+// Get returns the completed value for key, if present.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok && e.elem != nil {
+		c.recency.MoveToFront(e.elem)
+		return e.val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Len returns the number of completed entries currently retained.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.recency.Len()
+}
+
+// Cap returns the retention capacity (<= 0 means unbounded).
+func (c *Cache[V]) Cap() int { return c.cap }
+
+// Reset drops every completed entry and detaches in-flight ones:
+// computations already running finish and deliver to their waiters, but
+// their results are not retained.
+func (c *Cache[V]) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*entry[V])
+	c.recency.Init()
+}

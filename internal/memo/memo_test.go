@@ -1,0 +1,221 @@
+package memo
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoCachesSuccess(t *testing.T) {
+	c := New[int](8)
+	calls := 0
+	fn := func() (int, error) { calls++; return 42, nil }
+	for i := 0; i < 3; i++ {
+		v, err := c.Do("k", fn)
+		if err != nil || v != 42 {
+			t.Fatalf("Do = %v, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestSingleflightConcurrent(t *testing.T) {
+	c := New[int](8)
+	var calls atomic.Int32
+	gate := make(chan struct{})
+	const workers = 16
+	var wg sync.WaitGroup
+	results := make([]int, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.Do("shared", func() (int, error) {
+				calls.Add(1)
+				<-gate // hold the computation open so everyone piles up
+				return 7, nil
+			})
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("computation ran %d times, want 1", n)
+	}
+	for i, v := range results {
+		if v != 7 {
+			t.Fatalf("worker %d got %d", i, v)
+		}
+	}
+}
+
+func TestUnrelatedKeysDoNotSerialize(t *testing.T) {
+	// A slow computation on key A must not block key B: B's Do completes
+	// while A is still in flight.
+	c := New[string](8)
+	aStarted := make(chan struct{})
+	aRelease := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		c.Do("a", func() (string, error) {
+			close(aStarted)
+			<-aRelease
+			return "a", nil
+		})
+		close(done)
+	}()
+	<-aStarted
+	if v, err := c.Do("b", func() (string, error) { return "b", nil }); err != nil || v != "b" {
+		t.Fatalf("Do(b) = %v, %v while a in flight", v, err)
+	}
+	close(aRelease)
+	<-done
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	c := New[int](8)
+	calls := 0
+	boom := errors.New("boom")
+	fn := func() (int, error) {
+		calls++
+		if calls == 1 {
+			return 0, boom
+		}
+		return 5, nil
+	}
+	if _, err := c.Do("k", fn); !errors.Is(err, boom) {
+		t.Fatalf("first Do err = %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("error retained: Len = %d", c.Len())
+	}
+	v, err := c.Do("k", fn)
+	if err != nil || v != 5 {
+		t.Fatalf("retry Do = %v, %v", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("fn ran %d times, want 2", calls)
+	}
+}
+
+func TestErrorSharedWithWaiters(t *testing.T) {
+	c := New[int](8)
+	gate := make(chan struct{})
+	boom := errors.New("boom")
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Do("k", func() (int, error) {
+				<-gate
+				return 0, boom
+			})
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Fatalf("waiter %d err = %v", i, err)
+		}
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New[int](2)
+	mk := func(i int) func() (int, error) { return func() (int, error) { return i, nil } }
+	c.Do("a", mk(1))
+	c.Do("b", mk(2))
+	c.Do("a", mk(99)) // refresh a's recency; must not recompute
+	c.Do("c", mk(3))  // evicts b, the least recently used
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("a = %v, %v; want cached 1", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || v != 3 {
+		t.Fatalf("c = %v, %v", v, ok)
+	}
+}
+
+func TestCapBoundsGrowth(t *testing.T) {
+	c := New[int](16)
+	for i := 0; i < 1000; i++ {
+		i := i
+		c.Do(fmt.Sprintf("k%d", i), func() (int, error) { return i, nil })
+	}
+	if c.Len() != 16 {
+		t.Fatalf("Len = %d, want cap 16", c.Len())
+	}
+}
+
+func TestUnboundedWhenCapZero(t *testing.T) {
+	c := New[int](0)
+	for i := 0; i < 100; i++ {
+		i := i
+		c.Do(fmt.Sprintf("k%d", i), func() (int, error) { return i, nil })
+	}
+	if c.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", c.Len())
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New[int](8)
+	c.Do("k", func() (int, error) { return 1, nil })
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", c.Len())
+	}
+	calls := 0
+	v, err := c.Do("k", func() (int, error) { calls++; return 2, nil })
+	if err != nil || v != 2 || calls != 1 {
+		t.Fatalf("post-Reset Do = %v, %v (calls %d)", v, err, calls)
+	}
+}
+
+func TestResetDuringFlight(t *testing.T) {
+	// Reset while a computation is in flight: the in-flight caller still
+	// gets its value, but the result is not retained.
+	c := New[int](8)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		v, err := c.Do("k", func() (int, error) {
+			close(started)
+			<-release
+			return 9, nil
+		})
+		if v != 9 {
+			err = errors.Join(err, fmt.Errorf("in-flight caller got %d", v))
+		}
+		done <- err
+	}()
+	<-started
+	c.Reset()
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("orphaned result retained: Len = %d", c.Len())
+	}
+}

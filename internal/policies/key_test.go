@@ -1,0 +1,57 @@
+package policies
+
+import (
+	"testing"
+
+	"drishti/internal/fabric"
+)
+
+func TestSpecKeyDistinguishesFields(t *testing.T) {
+	variants := map[string]Spec{
+		"lru":          {Name: "lru"},
+		"srrip":        {Name: "srrip"},
+		"drishti":      {Name: "lru", Drishti: true},
+		"place-local":  {Name: "lru", Placement: PlacementPtr(fabric.Local)},
+		"place-cent":   {Name: "lru", Placement: PlacementPtr(fabric.Centralized)},
+		"nocstar-on":   {Name: "lru", UseNocstar: BoolPtr(true)},
+		"nocstar-off":  {Name: "lru", UseNocstar: BoolPtr(false)},
+		"predlat":      {Name: "lru", FixedPredLatency: 5},
+		"dsc-on":       {Name: "lru", DynamicSampler: BoolPtr(true)},
+		"dsc-off":      {Name: "lru", DynamicSampler: BoolPtr(false)},
+		"ssets":        {Name: "lru", SampledSets: 4},
+		"fixed-1-2":    {Name: "lru", FixedSampledSets: []int{1, 2}},
+		"fixed-12":     {Name: "lru", FixedSampledSets: []int{12}},
+		"slice-1s2":    {Name: "lru", FixedPerSlice: [][]int{{1}, {2}}},
+		"slice-12":     {Name: "lru", FixedPerSlice: [][]int{{1, 2}}},
+		"slice-1-2s":   {Name: "lru", FixedPerSlice: [][]int{{1, 2}, {}}},
+	}
+	keys := map[string]string{}
+	for name, spec := range variants {
+		k := spec.Key()
+		for prev, pk := range keys {
+			if pk == k {
+				t.Errorf("spec %q collides with %q: %s", name, prev, k)
+			}
+		}
+		keys[name] = k
+	}
+}
+
+// TestSpecKeyValueSemantics: two specs equal in every resolved knob must
+// share a key even when their pointer fields are distinct allocations —
+// the collision-free replacement for the old %+v keys, which rendered
+// pointer addresses.
+func TestSpecKeyValueSemantics(t *testing.T) {
+	a := Spec{Name: "mockingjay", Placement: PlacementPtr(fabric.PerCoreGlobal),
+		UseNocstar: BoolPtr(true), DynamicSampler: BoolPtr(false)}
+	b := Spec{Name: "mockingjay", Placement: PlacementPtr(fabric.PerCoreGlobal),
+		UseNocstar: BoolPtr(true), DynamicSampler: BoolPtr(false)}
+	if a.Key() != b.Key() {
+		t.Fatalf("equal specs with distinct pointers differ:\n%s\n%s", a.Key(), b.Key())
+	}
+	// nil means "policy default", which Drishti flips — it must not alias
+	// any explicit setting.
+	if (Spec{Name: "lru"}).Key() == (Spec{Name: "lru", UseNocstar: BoolPtr(false)}).Key() {
+		t.Fatal("nil UseNocstar aliases explicit false")
+	}
+}

@@ -2,6 +2,8 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"drishti/internal/metrics"
 	"drishti/internal/trace"
@@ -42,30 +44,94 @@ func RunMix(cfg Config, mix workload.Mix) (*Result, error) {
 
 // RunAlone measures each core's alone IPC: the same machine (all LLC slices
 // available) with only that core active, per the metric definitions in
-// Section 5.2. The returned vector aligns with the mix's cores.
+// Section 5.2. The returned vector aligns with the mix's cores. The
+// per-core runs are independent systems and execute concurrently on up to
+// GOMAXPROCS workers; use RunAloneN to bound the pool explicitly.
 func RunAlone(cfg Config, mix workload.Mix) ([]float64, error) {
+	return RunAloneN(cfg, mix, runtime.GOMAXPROCS(0))
+}
+
+// RunAloneN is RunAlone with an explicit worker-pool bound. Each alone-run
+// is a deterministic, self-contained System, so the results are identical
+// for every parallelism; parallelism <= 1 runs strictly serially. On
+// failure the error of the lowest-numbered failing core is returned,
+// matching the serial path.
+func RunAloneN(cfg Config, mix workload.Mix, parallelism int) ([]float64, error) {
 	if mix.Cores() != cfg.Cores {
 		return nil, fmt.Errorf("sim: mix %s targets %d cores, config has %d", mix.Name, mix.Cores(), cfg.Cores)
 	}
 	out := make([]float64, cfg.Cores)
+	if parallelism > cfg.Cores {
+		parallelism = cfg.Cores
+	}
+	if parallelism <= 1 {
+		for c := 0; c < cfg.Cores; c++ {
+			ipc, err := runAloneCore(cfg, mix, c)
+			if err != nil {
+				return nil, err
+			}
+			out[c] = ipc
+		}
+		return out, nil
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		errCore  = cfg.Cores
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, parallelism)
+	)
 	for c := 0; c < cfg.Cores; c++ {
-		readers := make([]trace.Reader, cfg.Cores)
-		g, err := workload.NewGenerator(mix.Models[c], mix.Seeds[c])
-		if err != nil {
-			return nil, err
+		mu.Lock()
+		failed := firstErr != nil
+		mu.Unlock()
+		if failed {
+			// Every core below the recorded error has already been
+			// dispatched (dispatch is in core order), so the min-core
+			// error below is exactly the serial path's error.
+			break
 		}
-		readers[c] = g
-		sys, err := New(cfg, readers)
-		if err != nil {
-			return nil, err
-		}
-		res, err := sys.Run()
-		if err != nil {
-			return nil, err
-		}
-		out[c] = res.PerCore[c].IPC
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			ipc, err := runAloneCore(cfg, mix, c)
+			if err != nil {
+				mu.Lock()
+				if c < errCore {
+					errCore, firstErr = c, err
+				}
+				mu.Unlock()
+				return
+			}
+			out[c] = ipc
+		}(c)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return out, nil
+}
+
+// runAloneCore runs the machine with only core c active.
+func runAloneCore(cfg Config, mix workload.Mix, c int) (float64, error) {
+	readers := make([]trace.Reader, cfg.Cores)
+	g, err := workload.NewGenerator(mix.Models[c], mix.Seeds[c])
+	if err != nil {
+		return 0, err
+	}
+	readers[c] = g
+	sys, err := New(cfg, readers)
+	if err != nil {
+		return 0, err
+	}
+	res, err := sys.Run()
+	if err != nil {
+		return 0, err
+	}
+	return res.PerCore[c].IPC, nil
 }
 
 // MixOutcome bundles a together-run with its multi-core metrics.

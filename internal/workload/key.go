@@ -1,0 +1,38 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Key returns a stable identity string for the model: the name plus every
+// generation parameter. Name alone is not enough for cache keys — the
+// harness scales models per machine (Scale rewrites footprints and
+// SetIndexBits while keeping the name), so two same-named models can
+// generate different address streams.
+func (m Model) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s|gap=%g|bits=%d", m.Name, m.Suite, m.MeanGap, m.SetIndexBits)
+	for _, st := range m.Streams {
+		fmt.Fprintf(&b, "|s=%d,%g,%d,%d,%d,%g,%g,%d,%g,%d",
+			st.Kind, st.Weight, st.FootprintKB, st.PCs, st.BlocksPerPC,
+			st.WriteFrac, st.Skew, st.StrideBlk, st.HotSetFrac, st.HotSets)
+	}
+	return b.String()
+}
+
+// Key returns a stable identity string for the mix: its name plus the
+// per-core model keys and generator seeds, so mixes that share a name but
+// differ in population, scaling, or seeding never collide in memo caches.
+func (m Mix) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mix=%s|cores=%d", m.Name, m.Cores())
+	for c, mod := range m.Models {
+		var seed uint64
+		if c < len(m.Seeds) { // malformed mixes still key stably
+			seed = m.Seeds[c]
+		}
+		fmt.Fprintf(&b, "|c%d={%s}@%d", c, mod.Key(), seed)
+	}
+	return b.String()
+}

@@ -1,0 +1,37 @@
+package workload
+
+import "testing"
+
+func TestMixKeyDistinguishesScaleAndSeeds(t *testing.T) {
+	models := AllSPECGAP()
+	m := models[0]
+
+	full := Homogeneous(m, 2, 1)
+	scaled := Homogeneous(m.Scale(8, 7), 2, 1)
+	if full.Key() == scaled.Key() {
+		t.Fatal("scaled mix shares a key with the full-size mix (same name, different streams)")
+	}
+
+	reseeded := Homogeneous(m, 2, 2)
+	if full.Key() == reseeded.Key() {
+		t.Fatal("reseeded mix shares a key")
+	}
+
+	again := Homogeneous(m, 2, 1)
+	if full.Key() != again.Key() {
+		t.Fatal("identical mixes produce different keys")
+	}
+}
+
+func TestModelKeyCoversStreams(t *testing.T) {
+	a := AllSPECGAP()[0]
+	b := a
+	b.Streams = append([]StreamSpec(nil), a.Streams...)
+	if a.Key() != b.Key() {
+		t.Fatal("copied model differs")
+	}
+	b.Streams[0].FootprintKB++
+	if a.Key() == b.Key() {
+		t.Fatal("stream footprint change not reflected in key")
+	}
+}
