@@ -1,11 +1,13 @@
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: build test race verify bench
+.PHONY: build test race lint verify bench
 
-# Tier-1 verification (ROADMAP.md): build + tests, then the race detector.
-# The experiment harness fans simulations out onto a worker pool, so any
-# data race is a correctness bug — `race` is part of `verify`, not optional.
-verify: build test race
+# Tier-1 verification (ROADMAP.md): build + tests, then the race detector
+# and static checks. The experiment harness fans simulations out onto a
+# worker pool, so any data race is a correctness bug — `race` is part of
+# `verify`, not optional.
+verify: build test race lint
 
 build:
 	$(GO) build ./...
@@ -15,6 +17,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# lint: go vet plus a gofmt cleanliness check (fails listing unformatted
+# files; run `gofmt -w` on them to fix).
+lint:
+	$(GO) vet ./...
+	@out=$$($(GOFMT) -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

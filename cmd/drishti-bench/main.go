@@ -5,23 +5,31 @@
 //	drishti-bench all                    # run every experiment in order
 //	drishti-bench -mixes 8 -instr 400000 fig13 fig14
 //	drishti-bench -parallel 1 fig13      # force the serial sweep path
+//	drishti-bench -telemetry epochs.ndjson -telemetry-epoch 50000 fig13
+//	drishti-bench -http :8080 all        # serve /metrics + /debug/pprof
 //
 // Scale flags (or DRISHTI_* environment variables) trade fidelity for time;
 // see EXPERIMENTS.md for the settings used in the recorded results.
 // Sweeps fan out onto a bounded worker pool (-parallel, default GOMAXPROCS
 // or $DRISHTI_PARALLEL); results are bit-identical at every setting.
+// Observability is additive: sweep progress streams to stderr (suppressed
+// by -quiet), structured run logs go to stderr, -telemetry records the
+// per-epoch time series (see EXPERIMENTS.md "Observability"), and -http
+// serves live metrics and pprof. None of it changes simulation results.
 // -cpuprofile/-memprofile write pprof profiles for simulator perf work.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"time"
 
 	"drishti/internal/experiments"
+	"drishti/internal/obs"
 )
 
 func main() { os.Exit(run()) }
@@ -37,10 +45,16 @@ func run() int {
 		mixes      = flag.Int("mixes", 0, "mixes per category")
 		seed       = flag.Uint64("seed", 0, "workload seed")
 		parallel   = flag.Int("parallel", 0, "sweep worker-pool size (default GOMAXPROCS or $DRISHTI_PARALLEL; 1 = serial)")
+		quiet      = flag.Bool("quiet", false, "suppress progress and info-level run logs")
+		telemetry  = flag.String("telemetry", "", "write per-epoch telemetry to `file`")
+		telemEpoch = flag.Uint64("telemetry-epoch", 50_000, "LLC demand loads per telemetry epoch")
+		telemFmt   = flag.String("telemetry-format", "ndjson", "telemetry format: ndjson or csv")
+		httpAddr   = flag.String("http", "", "serve /metrics and /debug/pprof on `addr` (e.g. :8080)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to `file`")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to `file` at exit")
 	)
 	flag.Parse()
+	log := obs.NewLogger(os.Stderr, "drishti-bench", *quiet)
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -68,6 +82,7 @@ func run() int {
 	if *parallel > 0 {
 		p.Parallelism = *parallel
 	}
+	p.Logger = log
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -76,15 +91,54 @@ func run() int {
 		return 2
 	}
 
+	// The progress reporter always runs so -http /metrics reflects sweep
+	// state even under -quiet; quiet only silences the stderr status line.
+	reg := obs.NewRegistry()
+	progressOut := io.Writer(os.Stderr)
+	if *quiet {
+		progressOut = io.Discard
+	}
+	p.Progress = obs.NewProgress(progressOut, "sweep").Attach(reg, "sweep_cells")
+	defer p.Progress.Finish()
+
+	if *telemetry != "" {
+		f, err := os.Create(*telemetry)
+		if err != nil {
+			log.Error("telemetry file", "err", err)
+			return 1
+		}
+		defer f.Close()
+		switch *telemFmt {
+		case "ndjson":
+			p.TelemetrySink = obs.NewNDJSONWriter(f)
+		case "csv":
+			p.TelemetrySink = obs.NewCSVWriter(f)
+		default:
+			log.Error("unknown -telemetry-format", "format", *telemFmt)
+			return 2
+		}
+		p.TelemetryEpoch = *telemEpoch
+	}
+
+	if *httpAddr != "" {
+		srv, err := obs.Serve(*httpAddr, reg)
+		if err != nil {
+			log.Error("http server", "err", err)
+			return 1
+		}
+		defer srv.Close()
+		log.Info("serving metrics and pprof", "addr", srv.Addr)
+	}
+
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "drishti-bench: -cpuprofile: %v\n", err)
+			log.Error("-cpuprofile", "err", err)
 			return 1
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "drishti-bench: -cpuprofile: %v\n", err)
+			log.Error("-cpuprofile", "err", err)
 			return 1
 		}
 		defer pprof.StopCPUProfile()
@@ -93,13 +147,13 @@ func run() int {
 		defer func() {
 			f, err := os.Create(*memprofile)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "drishti-bench: -memprofile: %v\n", err)
+				log.Error("-memprofile", "err", err)
 				return
 			}
 			defer f.Close()
 			runtime.GC() // settle the heap so the profile shows retention
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "drishti-bench: -memprofile: %v\n", err)
+				log.Error("-memprofile", "err", err)
 			}
 		}()
 	}
@@ -121,10 +175,12 @@ func run() int {
 		}
 		t0 := time.Now()
 		if err := e.Run(p, os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "drishti-bench: %s: %v\n", id, err)
+			log.Error("experiment failed", "id", id, "err", err)
 			return 1
 		}
-		fmt.Printf("-- %s done in %v\n\n", id, time.Since(t0).Round(time.Millisecond))
+		elapsed := time.Since(t0).Round(time.Millisecond)
+		log.Info("experiment done", "id", id, "elapsed", elapsed)
+		fmt.Printf("-- %s done in %v\n\n", id, elapsed)
 	}
 	return 0
 }

@@ -4,17 +4,24 @@
 //
 //	drishti-sim -cores 16 -policy mockingjay -drishti -workload 605.mcf_s-1554B
 //	drishti-sim -cores 4 -policy hawkeye -mix hetero -instr 400000
+//	drishti-sim -cores 4 -policy hawkeye -drishti -telemetry epochs.ndjson
+//
+// -telemetry records the per-epoch time series (slice miss rates, predictor
+// bank activity, DSC utilization, NoC traffic) without changing the result;
+// see EXPERIMENTS.md "Observability" for the schema.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 	"strings"
 
 	"drishti/internal/dram"
+	"drishti/internal/obs"
 	"drishti/internal/policies"
 	"drishti/internal/sim"
 	"drishti/internal/workload"
@@ -38,8 +45,14 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit the full result as JSON instead of the report")
 		mshrs    = flag.Bool("mshrs", false, "enforce strict Table 4 MSHR limits (8/16/64)")
 		inclus   = flag.Bool("inclusive", false, "inclusive LLC (back-invalidating; baseline is non-inclusive)")
+		quiet    = flag.Bool("quiet", false, "suppress info-level run logs")
+
+		telemetry  = flag.String("telemetry", "", "write per-epoch telemetry to `file`")
+		telemEpoch = flag.Uint64("telemetry-epoch", 50_000, "LLC demand loads per telemetry epoch")
+		telemFmt   = flag.String("telemetry-format", "ndjson", "telemetry format: ndjson or csv")
 	)
 	flag.Parse()
+	log = obs.NewLogger(os.Stderr, "drishti-sim", *quiet)
 
 	cfg := sim.ScaledConfig(*cores, *scale)
 	cfg.Instructions = *instr
@@ -56,11 +69,32 @@ func main() {
 		cfg.DRAM = d
 	}
 
+	if *telemetry != "" {
+		f, err := os.Create(*telemetry)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		switch *telemFmt {
+		case "ndjson":
+			cfg.TelemetrySink = obs.NewNDJSONWriter(f)
+		case "csv":
+			cfg.TelemetrySink = obs.NewCSVWriter(f)
+		default:
+			fatal(fmt.Errorf("unknown -telemetry-format %q (ndjson|csv)", *telemFmt))
+		}
+		cfg.TelemetryEpoch = *telemEpoch
+	}
+
 	mix, err := buildMix(cfg, *mixKind, *wl, *cores, *scale, *seed)
 	if err != nil {
 		fatal(err)
 	}
 
+	log.Info("running",
+		"run", obs.RunID(cfg.Key(), mix.Key()),
+		"policy", cfg.Policy.DisplayName(), "mix", mix.Name,
+		"cores", *cores, "instr", *instr)
 	res, err := sim.RunMix(cfg, mix)
 	if err != nil {
 		fatal(err)
@@ -148,7 +182,11 @@ func report(cfg sim.Config, mix workload.Mix, res *sim.Result) {
 	}
 }
 
+// log is installed by main before any simulation; the default covers tests
+// calling helpers directly.
+var log *slog.Logger = obs.Discard()
+
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "drishti-sim:", err)
+	log.Error("fatal", "err", err)
 	os.Exit(1)
 }

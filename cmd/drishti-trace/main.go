@@ -9,11 +9,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 
 	"drishti/internal/analysis"
 	"drishti/internal/mem"
+	"drishti/internal/obs"
 	"drishti/internal/trace"
 	"drishti/internal/workload"
 )
@@ -31,8 +33,10 @@ func main() {
 		analyze = flag.Bool("analyze", false, "with -info: add a stack-distance (reuse) profile and miss-rate curve")
 		scale   = flag.Int("scale", 1, "footprint shrink factor")
 		setBits = flag.Int("setbits", 0, "slice set-index bits for hot-set steering (0 = full-size default)")
+		quiet   = flag.Bool("quiet", false, "suppress info-level diagnostics")
 	)
 	flag.Parse()
+	log = obs.NewLogger(os.Stderr, "drishti-trace", *quiet)
 
 	switch {
 	case *models:
@@ -63,8 +67,8 @@ func main() {
 		if err := write(f, recs); err != nil {
 			fatalf("writing trace: %v", err)
 		}
-		fmt.Printf("wrote %d records (%d instructions) to %s\n",
-			len(recs), totalInstructions(recs), *out)
+		log.Info("trace written", "records", len(recs),
+			"instructions", totalInstructions(recs), "path", *out)
 	case *info != "":
 		f, err := os.Open(*info)
 		if err != nil {
@@ -149,7 +153,10 @@ func profile(recs []trace.Rec) {
 	fmt.Printf("top-64-block access share: %.1f%%\n", analysis.TopBlockShare(recs, 64)*100)
 }
 
+// log is installed by main before any work; the default covers tests.
+var log *slog.Logger = obs.Discard()
+
 func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "drishti-trace: "+format+"\n", args...)
+	log.Error(fmt.Sprintf(format, args...))
 	os.Exit(1)
 }

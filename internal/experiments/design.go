@@ -86,7 +86,7 @@ func Fig11aNoNocstar(p Params, w io.Writer) error {
 	for _, cores := range []int{4, 16, 32} {
 		cfg := p.config(cores)
 		mixes := p.paperMixes(cfg, cores)
-		sr, err := runSweepCached(cfg, mixes, specs, p.Parallel())
+		sr, err := runSweepCached(cfg, mixes, specs, p)
 		if err != nil {
 			return err
 		}
@@ -112,7 +112,7 @@ func Fig11bLatencySweep(p Params, w io.Writer) error {
 	for _, lat := range latencies {
 		specs = append(specs, policies.Spec{Name: "mockingjay", Drishti: true, FixedPredLatency: lat})
 	}
-	sr, err := runSweepCached(cfg, mixes, specs, p.Parallel())
+	sr, err := runSweepCached(cfg, mixes, specs, p)
 	if err != nil {
 		return err
 	}

@@ -15,10 +15,12 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"runtime"
 	"strconv"
 
+	"drishti/internal/obs"
 	"drishti/internal/sim"
 	"drishti/internal/workload"
 )
@@ -37,6 +39,30 @@ type Params struct {
 	// simulations run concurrently. 0 means GOMAXPROCS. Results are
 	// bit-identical at every setting; 1 forces the serial path.
 	Parallelism int
+
+	// Logger receives the structured run log (one line per sweep cell with
+	// a stable run ID). Nil discards.
+	Logger *slog.Logger
+
+	// Progress, when non-nil, receives live sweep accounting (cells
+	// dispatched/completed). Sweeps served from the memo cache do no work
+	// and are not counted.
+	Progress *obs.Progress
+
+	// TelemetryEpoch/TelemetrySink enable the sim-level epoch snapshotter
+	// for every run of record (see sim.Config). The sink is shared by all
+	// concurrent cells and must be safe for concurrent use; epochs are
+	// tagged with the mix name and carry the policy name.
+	TelemetryEpoch uint64
+	TelemetrySink  obs.EpochSink
+}
+
+// logger returns the run log, defaulting to discard.
+func (p Params) logger() *slog.Logger {
+	if p.Logger != nil {
+		return p.Logger
+	}
+	return obs.Discard()
 }
 
 // Parallel returns the effective worker-pool size (>= 1).
@@ -143,6 +169,8 @@ func (p Params) config(cores int) sim.Config {
 	cfg.Instructions = p.Instructions
 	cfg.Warmup = p.Warmup
 	cfg.Seed = p.Seed
+	cfg.TelemetryEpoch = p.TelemetryEpoch
+	cfg.TelemetrySink = p.TelemetrySink
 	return cfg
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"drishti/internal/memo"
 	"drishti/internal/metrics"
+	"drishti/internal/obs"
 	"drishti/internal/policies"
 	"drishti/internal/sim"
 	"drishti/internal/workload"
@@ -82,11 +83,12 @@ func sweepKey(cfg sim.Config, mixes []workload.Mix, specs []policies.Spec) strin
 }
 
 // runSweepCached is runSweep with memoization keyed by config, mixes, and
-// specs. par is deliberately not part of the key: every parallelism
-// produces bit-identical results (asserted by TestSweepParallelMatchesSerial).
-func runSweepCached(cfg sim.Config, mixes []workload.Mix, specs []policies.Spec, par int) (*sweepResult, error) {
+// specs. Parallelism, logging, and progress are deliberately not part of
+// the key: every parallelism produces bit-identical results (asserted by
+// TestSweepParallelMatchesSerial), and observability never changes them.
+func runSweepCached(cfg sim.Config, mixes []workload.Mix, specs []policies.Spec, p Params) (*sweepResult, error) {
 	return sweepCache.Do(sweepKey(cfg, mixes, specs), func() (*sweepResult, error) {
-		return runSweep(cfg, mixes, specs, par)
+		return runSweep(cfg, mixes, specs, p)
 	})
 }
 
@@ -169,7 +171,7 @@ type sweepResult struct {
 // of the cell with the lowest serial position — cells are dispatched in
 // serial order, so every cell preceding the winner has already run, which
 // makes the returned error exactly the serial path's.
-func runSweep(cfg sim.Config, mixes []workload.Mix, specs []policies.Spec, par int) (*sweepResult, error) {
+func runSweep(cfg sim.Config, mixes []workload.Mix, specs []policies.Spec, p Params) (*sweepResult, error) {
 	sr := &sweepResult{
 		specs:    specs,
 		mixes:    mixes,
@@ -181,7 +183,19 @@ func runSweep(cfg sim.Config, mixes []workload.Mix, specs []policies.Spec, par i
 		sr.normWS[i] = make([]float64, len(mixes))
 		sr.outcomes[i] = make([]*policyOutcome, len(mixes))
 	}
+	par := p.Parallel()
+	log := p.logger()
 	nCells := len(mixes) * len(specs)
+	p.Progress.AddTotal(nCells)
+	cellDone := func(mix workload.Mix, spec policies.Spec, out *policyOutcome) {
+		p.Progress.Done(1)
+		c := cfg
+		c.Policy = spec
+		log.Info("cell done",
+			"run", obs.RunID(c.Key(), mix.Key()),
+			"mix", mix.Name, "policy", spec.DisplayName(),
+			"normWS", out.normWS, "mpki", out.res.MPKI)
+	}
 	if par > nCells {
 		par = nCells
 	}
@@ -199,6 +213,7 @@ func runSweep(cfg sim.Config, mixes []workload.Mix, specs []policies.Spec, par i
 				}
 				sr.normWS[si][mi] = out.normWS
 				sr.outcomes[si][mi] = out
+				cellDone(mix, spec, out)
 			}
 		}
 		return sr, nil
@@ -251,6 +266,7 @@ func runSweep(cfg sim.Config, mixes []workload.Mix, specs []policies.Spec, par i
 			}
 			sr.normWS[si][mi] = out.normWS // cell-private slots: no lock
 			sr.outcomes[si][mi] = out
+			cellDone(mixes[mi], specs[si], out)
 		}(seq)
 	}
 	wg.Wait()

@@ -32,12 +32,12 @@ func TestSweepParallelMatchesSerial(t *testing.T) {
 	cfg, mixes, specs := sweepFixture()
 
 	ResetCache()
-	serial, err := runSweep(cfg, mixes, specs, 1)
+	serial, err := runSweep(cfg, mixes, specs, Params{Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ResetCache() // force the parallel run to recompute everything
-	par, err := runSweep(cfg, mixes, specs, 8)
+	par, err := runSweep(cfg, mixes, specs, Params{Parallelism: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,13 +104,13 @@ func TestSweepErrorDeterministic(t *testing.T) {
 		{Name: "also-bogus"},
 	}
 	ResetCache()
-	_, errSerial := runSweep(cfg, mixes, specs, 1)
+	_, errSerial := runSweep(cfg, mixes, specs, Params{Parallelism: 1})
 	if errSerial == nil {
 		t.Fatal("serial sweep accepted a bogus policy")
 	}
 	for _, par := range []int{2, 8} {
 		ResetCache()
-		_, err := runSweep(cfg, mixes, specs, par)
+		_, err := runSweep(cfg, mixes, specs, Params{Parallelism: par})
 		if err == nil {
 			t.Fatalf("parallelism %d accepted a bogus policy", par)
 		}
@@ -135,12 +135,12 @@ func TestSweepEvalErrorDeterministic(t *testing.T) {
 	mixes[1].Models[0] = workload.Model{Name: "broken"}
 	specs := []policies.Spec{{Name: "lru"}, {Name: "srrip"}}
 	ResetCache()
-	_, errSerial := runSweep(cfg, mixes, specs, 1)
+	_, errSerial := runSweep(cfg, mixes, specs, Params{Parallelism: 1})
 	if errSerial == nil {
 		t.Fatal("serial sweep accepted a broken mix")
 	}
 	ResetCache()
-	_, errPar := runSweep(cfg, mixes, specs, 8)
+	_, errPar := runSweep(cfg, mixes, specs, Params{Parallelism: 8})
 	if errPar == nil {
 		t.Fatal("parallel sweep accepted a broken mix")
 	}
@@ -162,11 +162,11 @@ func TestRunSweepCachedSingleflight(t *testing.T) {
 	mixes := p.paperMixes(cfg, 2)[:1]
 	specs := []policies.Spec{{Name: "srrip"}}
 	ResetCache()
-	a, err := runSweepCached(cfg, mixes, specs, 1)
+	a, err := runSweepCached(cfg, mixes, specs, Params{Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := runSweepCached(cfg, mixes, specs, 4)
+	b, err := runSweepCached(cfg, mixes, specs, Params{Parallelism: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -96,8 +96,12 @@ type Fabric struct {
 	center int // node index hosting the centralized structures
 
 	// Per-bank access counters (Fig 10: accesses per kilo-instruction to
-	// centralized vs per-core predictors).
+	// centralized vs per-core predictors). BankLookups/BankTrains split the
+	// same traffic by kind for the telemetry epoch series
+	// (BankAccesses[i] == BankLookups[i] + BankTrains[i]).
 	BankAccesses []uint64
+	BankLookups  []uint64
+	BankTrains   []uint64
 
 	trainBuf []int // reused result buffer for TrainBanks
 
@@ -119,6 +123,8 @@ func New(cfg Config) (*Fabric, error) {
 	}
 	f := &Fabric{cfg: cfg, center: cfg.Slices / 2}
 	f.BankAccesses = make([]uint64, f.NumBanks())
+	f.BankLookups = make([]uint64, f.NumBanks())
+	f.BankTrains = make([]uint64, f.NumBanks())
 	return f, nil
 }
 
@@ -185,6 +191,7 @@ func (f *Fabric) PredictBank(slice, core int, now uint64) (bank int, latency uin
 		}
 	}
 	f.BankAccesses[bank]++
+	f.BankLookups[bank]++
 	f.Stats.LookupLatSum += uint64(latency)
 	return bank, latency
 }
@@ -227,6 +234,7 @@ func (f *Fabric) TrainBanks(slice, core int, now uint64) []int {
 	}
 	for _, b := range f.trainBuf {
 		f.BankAccesses[b]++
+		f.BankTrains[b]++
 	}
 	return f.trainBuf
 }
@@ -248,6 +256,8 @@ func (f *Fabric) ResetStats() {
 	f.Stats = Stats{}
 	for i := range f.BankAccesses {
 		f.BankAccesses[i] = 0
+		f.BankLookups[i] = 0
+		f.BankTrains[i] = 0
 	}
 }
 

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// Epoch is one telemetry snapshot of a running simulation. All activity
+// fields are deltas over the epoch (the demand loads since the previous
+// snapshot), not cumulative totals — plotting a field over Seq directly
+// gives the time series.
+//
+// The NDJSON export writes one Epoch object per line; the field names and
+// types below are the schema downstream plotting scripts depend on and are
+// pinned by TestEpochNDJSONGolden.
+type Epoch struct {
+	Run    string `json:"run,omitempty"`    // run tag (mix name or sweep cell ID)
+	Policy string `json:"policy,omitempty"` // policy display name
+	Seq    int    `json:"seq"`              // epoch number within the run, 0-based
+	Loads  uint64 `json:"loads"`            // LLC demand loads in this epoch
+	Warmup bool   `json:"warmup,omitempty"` // true for epochs inside the warmup region
+	Final  bool   `json:"final,omitempty"`  // true for the (possibly short) last epoch
+
+	Slices []SliceEpoch `json:"slices"`          // per LLC slice
+	Cores  []CoreEpoch  `json:"cores"`           // per core (demand traffic it sent to the LLC)
+	Banks  []BankEpoch  `json:"banks,omitempty"` // per predictor bank (empty for non-predictor policies)
+	DSC    []DSCEpoch   `json:"dsc,omitempty"`   // per slice with a dynamic sampled cache
+	Mesh   MeshEpoch    `json:"mesh"`
+	Star   StarEpoch    `json:"star"`
+}
+
+// SliceEpoch is one LLC slice's demand traffic over the epoch.
+type SliceEpoch struct {
+	Accesses uint64  `json:"accesses"`
+	Misses   uint64  `json:"misses"`
+	MissRate float64 `json:"missRate"` // Misses/Accesses, 0 when idle
+}
+
+// CoreEpoch is the demand traffic one core sent to the LLC over the epoch.
+type CoreEpoch struct {
+	Accesses uint64  `json:"accesses"`
+	Misses   uint64  `json:"misses"`
+	HitRate  float64 `json:"hitRate"` // 1 - Misses/Accesses, 0 when idle
+}
+
+// BankEpoch is one predictor bank's activity over the epoch. Under Drishti's
+// per-core-global placement bank i is core i's predictor, so this is the
+// per-core predictor lookup/train series.
+type BankEpoch struct {
+	Lookups uint64 `json:"lookups"`
+	Trains  uint64 `json:"trains"`
+}
+
+// DSCEpoch is one slice's dynamic-sampled-cache activity over the epoch.
+// Utilization is the fraction of the slice's demand misses that landed in
+// currently sampled sets — the quantity Enhancement II exists to raise
+// (randomly chosen sampled sets sit idle while hot sets go unsampled).
+type DSCEpoch struct {
+	SampledMisses    uint64  `json:"sampledMisses"`
+	UnsampledMisses  uint64  `json:"unsampledMisses"`
+	Utilization      float64 `json:"utilization"`
+	Selections       uint64  `json:"selections"`       // monitor→active transitions
+	UniformFallbacks uint64  `json:"uniformFallbacks"` // selections that fell back to random
+	Churn            uint64  `json:"churn"`            // sampled sets replaced by selections
+}
+
+// MeshEpoch is the mesh traffic over the epoch.
+type MeshEpoch struct {
+	Messages uint64 `json:"messages"`
+	Hops     uint64 `json:"hops"`
+}
+
+// StarEpoch is the NOCSTAR traffic over the epoch.
+type StarEpoch struct {
+	Messages uint64 `json:"messages"`
+	Stalls   uint64 `json:"stalls"` // cycles lost to link contention
+}
+
+// EpochSink receives epoch snapshots. Implementations must be safe for
+// concurrent use: parallel sweep cells share one sink.
+type EpochSink interface {
+	WriteEpoch(*Epoch) error
+}
+
+// --- NDJSON ------------------------------------------------------------------
+
+// NDJSONWriter writes one JSON object per line. Lines are written atomically
+// under a mutex, so interleaved runs stay line-separated.
+type NDJSONWriter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewNDJSONWriter wraps w.
+func NewNDJSONWriter(w io.Writer) *NDJSONWriter {
+	return &NDJSONWriter{enc: json.NewEncoder(w)}
+}
+
+// WriteEpoch implements EpochSink.
+func (n *NDJSONWriter) WriteEpoch(e *Epoch) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.enc.Encode(e)
+}
+
+// --- CSV ---------------------------------------------------------------------
+
+// csvHeader is the flattened long-format schema: one row per (epoch, kind,
+// idx), with columns unused by a kind left empty.
+const csvHeader = "run,policy,seq,warmup,final,loads,kind,idx," +
+	"accesses,misses,rate," +
+	"lookups,trains," +
+	"sampledMisses,unsampledMisses,utilization,selections,uniformFallbacks,churn," +
+	"messages,hops,stalls\n"
+
+// CSVWriter flattens epochs into long-format CSV rows (kind ∈ slice, core,
+// bank, dsc, mesh, star). Safe for concurrent use.
+type CSVWriter struct {
+	mu     sync.Mutex
+	w      io.Writer
+	header bool
+}
+
+// NewCSVWriter wraps w; the header row is emitted before the first epoch.
+func NewCSVWriter(w io.Writer) *CSVWriter { return &CSVWriter{w: w} }
+
+// WriteEpoch implements EpochSink.
+func (c *CSVWriter) WriteEpoch(e *Epoch) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.header {
+		if _, err := io.WriteString(c.w, csvHeader); err != nil {
+			return err
+		}
+		c.header = true
+	}
+	var buf []byte
+	prefix := fmt.Sprintf("%s,%s,%d,%t,%t,%d", csvEscape(e.Run), csvEscape(e.Policy),
+		e.Seq, e.Warmup, e.Final, e.Loads)
+	row := func(kind string, idx int, cols [14]string) {
+		buf = append(buf, prefix...)
+		buf = append(buf, ',')
+		buf = append(buf, kind...)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(idx), 10)
+		for _, col := range cols {
+			buf = append(buf, ',')
+			buf = append(buf, col...)
+		}
+		buf = append(buf, '\n')
+	}
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+	for i, s := range e.Slices {
+		row("slice", i, [14]string{0: u(s.Accesses), 1: u(s.Misses), 2: f(s.MissRate)})
+	}
+	for i, s := range e.Cores {
+		row("core", i, [14]string{0: u(s.Accesses), 1: u(s.Misses), 2: f(s.HitRate)})
+	}
+	for i, b := range e.Banks {
+		row("bank", i, [14]string{3: u(b.Lookups), 4: u(b.Trains)})
+	}
+	for i, d := range e.DSC {
+		row("dsc", i, [14]string{5: u(d.SampledMisses), 6: u(d.UnsampledMisses),
+			7: f(d.Utilization), 8: u(d.Selections), 9: u(d.UniformFallbacks), 10: u(d.Churn)})
+	}
+	row("mesh", 0, [14]string{11: u(e.Mesh.Messages), 12: u(e.Mesh.Hops)})
+	row("star", 0, [14]string{11: u(e.Star.Messages), 13: u(e.Star.Stalls)})
+	_, err := c.w.Write(buf)
+	return err
+}
+
+// csvEscape quotes a field if it contains CSV metacharacters. Mix names and
+// policy names are alphanumeric today; this guards future tags.
+func csvEscape(s string) string {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ',', '"', '\n', '\r':
+			return strconv.Quote(s)
+		}
+	}
+	return s
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// goldenEpochs is a fixed pair of epochs exercising every schema field.
+func goldenEpochs() []*Epoch {
+	return []*Epoch{
+		{
+			Run: "mix01", Policy: "d-mockingjay", Seq: 0, Loads: 4096, Warmup: true,
+			Slices: []SliceEpoch{{Accesses: 100, Misses: 25, MissRate: 0.25}, {}},
+			Cores:  []CoreEpoch{{Accesses: 60, Misses: 15, HitRate: 0.75}, {Accesses: 40, Misses: 10, HitRate: 0.75}},
+			Banks:  []BankEpoch{{Lookups: 30, Trains: 12}, {Lookups: 20, Trains: 8}},
+			DSC: []DSCEpoch{{SampledMisses: 5, UnsampledMisses: 20, Utilization: 0.2,
+				Selections: 1, UniformFallbacks: 0, Churn: 3}},
+			Mesh: MeshEpoch{Messages: 200, Hops: 420},
+			Star: StarEpoch{Messages: 42, Stalls: 2},
+		},
+		{
+			Run: "mix01", Policy: "d-mockingjay", Seq: 1, Loads: 512, Final: true,
+			Slices: []SliceEpoch{{Accesses: 12, Misses: 3, MissRate: 0.25}, {Accesses: 4, Misses: 4, MissRate: 1}},
+			Cores:  []CoreEpoch{{Accesses: 16, Misses: 7, HitRate: 0.5625}, {}},
+			Mesh:   MeshEpoch{Messages: 31, Hops: 62},
+			Star:   StarEpoch{},
+		},
+	}
+}
+
+// TestEpochNDJSONGolden pins the NDJSON epoch schema — field names, types,
+// and line framing — so downstream plotting scripts don't silently break.
+// If this fails because of an intentional schema change, update
+// testdata/epoch.golden AND the schema documentation in README.md.
+func TestEpochNDJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewNDJSONWriter(&buf)
+	for _, e := range goldenEpochs() {
+		if err := w.WriteEpoch(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile("testdata/epoch.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Fatalf("NDJSON schema drifted from testdata/epoch.golden\n got: %s\nwant: %s", got, want)
+	}
+	// Every line must be standalone-parseable JSON (NDJSON framing).
+	for i, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", i, err)
+		}
+	}
+}
+
+func TestEpochCSV(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewCSVWriter(&buf)
+	for _, e := range goldenEpochs() {
+		if err := w.WriteEpoch(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if !strings.HasPrefix(lines[0], "run,policy,seq,warmup,final,loads,kind,idx,") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// Epoch 0: 2 slices + 2 cores + 2 banks + 1 dsc + mesh + star = 9 rows.
+	// Epoch 1: 2 slices + 2 cores + mesh + star = 6 rows. Plus the header.
+	if len(lines) != 1+9+6 {
+		t.Fatalf("row count = %d:\n%s", len(lines), buf.String())
+	}
+	cols := strings.Count(lines[0], ",")
+	for i, l := range lines[1:] {
+		if strings.Count(l, ",") != cols {
+			t.Fatalf("row %d has ragged columns: %q", i, l)
+		}
+	}
+	if !strings.Contains(buf.String(), "mix01,d-mockingjay,0,true,false,4096,slice,0,100,25,0.25") {
+		t.Fatalf("slice row missing:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), ",dsc,0,,,,,,5,20,0.2,1,0,3,,,") {
+		t.Fatalf("dsc row missing:\n%s", buf.String())
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	if got := csvEscape("plain-name"); got != "plain-name" {
+		t.Fatalf("escaped plain string: %q", got)
+	}
+	if got := csvEscape(`a,b"c`); got != `"a,b\"c"` {
+		t.Fatalf("escape = %q", got)
+	}
+}
+
+// TestNDJSONWriterConcurrent checks that parallel runs sharing one sink keep
+// whole lines (and keeps -race honest about the writer's locking).
+func TestNDJSONWriterConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewNDJSONWriter(&buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e := &Epoch{Run: "r", Seq: i, Slices: []SliceEpoch{{}}, Cores: []CoreEpoch{{}}}
+			for j := 0; j < 50; j++ {
+				if err := w.WriteEpoch(e); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 200 {
+		t.Fatalf("line count = %d", len(lines))
+	}
+	for _, l := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(l), &m); err != nil {
+			t.Fatalf("interleaved line %q: %v", l, err)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is a running observability HTTP endpoint.
+type Server struct {
+	Addr string // bound address (resolves :0 to the actual port)
+	srv  *http.Server
+	done chan error
+}
+
+// Serve starts an HTTP server on addr exposing:
+//
+//	/metrics       JSON snapshot of reg
+//	/debug/pprof/  the standard pprof index, profiles, and traces
+//
+// It binds synchronously (so the caller sees port conflicts immediately)
+// and serves in a background goroutine. Use Close to shut it down.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(reg.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		done: make(chan error, 1),
+	}
+	go func() { s.done <- s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done // wait for Serve to return so no goroutine outlives Close
+	return err
+}

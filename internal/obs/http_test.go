@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestServeMetricsAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sweep_cells_done").Add(12)
+	s, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	resp, err := http.Get("http://" + s.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("/metrics not JSON: %v\n%s", err, body)
+	}
+	if m["sweep_cells_done"].(float64) != 12 {
+		t.Fatalf("/metrics = %v", m)
+	}
+
+	resp, err = http.Get("http://" + s.Addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", resp.StatusCode)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.256.256.256:0", NewRegistry()); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

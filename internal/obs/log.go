@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"hash/fnv"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the slog logger the CLIs share: key=value text lines to
+// w, tagged with the binary name. quiet raises the level to Warn so -quiet
+// suppresses informational chatter without hiding failures.
+func NewLogger(w io.Writer, name string, quiet bool) *slog.Logger {
+	level := slog.LevelInfo
+	if quiet {
+		level = slog.LevelWarn
+	}
+	h := slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})
+	return slog.New(h).With("bin", name)
+}
+
+// Discard returns a logger that drops everything (the default for library
+// callers that did not wire logging).
+func Discard() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 1}))
+}
+
+// RunID derives a short stable identifier from the given parts (typically a
+// config key plus a mix key). Equal inputs give equal IDs across processes,
+// so log lines and telemetry epochs of the same cell correlate.
+func RunID(parts ...string) string {
+	h := fnv.New64a()
+	for _, p := range parts {
+		io.WriteString(h, p)
+		h.Write([]byte{0})
+	}
+	const hex = "0123456789abcdef"
+	v := h.Sum64()
+	var b [12]byte
+	for i := len(b) - 1; i >= 0; i-- {
+		b[i] = hex[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, "drishti-bench", false)
+	log.Info("experiment done", "id", "fig13")
+	out := buf.String()
+	if !strings.Contains(out, "bin=drishti-bench") || !strings.Contains(out, "id=fig13") {
+		t.Fatalf("log line = %q", out)
+	}
+
+	buf.Reset()
+	quiet := NewLogger(&buf, "drishti-bench", true)
+	quiet.Info("suppressed")
+	if buf.Len() != 0 {
+		t.Fatalf("-quiet leaked info output: %q", buf.String())
+	}
+	quiet.Warn("kept")
+	if !strings.Contains(buf.String(), "kept") {
+		t.Fatalf("-quiet swallowed a warning: %q", buf.String())
+	}
+}
+
+func TestDiscardDropsEverything(t *testing.T) {
+	// Must not panic and must not write anywhere observable.
+	Discard().Error("nobody hears this")
+}
+
+func TestRunIDStableAndDistinct(t *testing.T) {
+	a := RunID("cfg|x", "mix|y")
+	if a != RunID("cfg|x", "mix|y") {
+		t.Fatal("RunID not deterministic")
+	}
+	if len(a) != 12 {
+		t.Fatalf("RunID length = %d", len(a))
+	}
+	if a == RunID("cfg|x", "mix|z") {
+		t.Fatal("different inputs collide")
+	}
+	// Part boundaries matter: ("ab","c") != ("a","bc").
+	if RunID("ab", "c") == RunID("a", "bc") {
+		t.Fatal("part boundaries ignored")
+	}
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress is a live completed/total reporter for the experiment worker
+// pool. Workers call Done as cells finish; the reporter rewrites one status
+// line (throttled) with completed/total, cells/sec, and an ETA. All methods
+// are safe for concurrent use and no-ops on a nil receiver, so callers
+// thread an optional *Progress without nil checks.
+type Progress struct {
+	mu        sync.Mutex
+	w         io.Writer
+	label     string
+	done      int
+	total     int
+	start     time.Time
+	last      time.Time
+	minPeriod time.Duration
+	wrote     bool // a status line is on screen (needs \r or final \n)
+
+	// Optional registry mirrors so an -http /metrics endpoint exposes the
+	// same numbers the status line shows.
+	cDone, cTotal *Counter
+	gRate         *Gauge
+}
+
+// NewProgress returns a reporter writing to w (typically os.Stderr).
+func NewProgress(w io.Writer, label string) *Progress {
+	return &Progress{
+		w:         w,
+		label:     label,
+		start:     time.Now(),
+		minPeriod: 200 * time.Millisecond,
+	}
+}
+
+// Attach mirrors the reporter's counters into reg under the given prefix
+// (<prefix>_done, <prefix>_total, <prefix>_per_sec).
+func (p *Progress) Attach(reg *Registry, prefix string) *Progress {
+	if p == nil || reg == nil {
+		return p
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cDone = reg.Counter(prefix + "_done")
+	p.cTotal = reg.Counter(prefix + "_total")
+	p.gRate = reg.Gauge(prefix + "_per_sec")
+	return p
+}
+
+// AddTotal grows the expected cell count (sweeps announce their size as
+// they start, so the total accretes across an experiment).
+func (p *Progress) AddTotal(n int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.total += n
+	if p.cTotal != nil {
+		p.cTotal.Set(uint64(p.total))
+	}
+	p.maybeRenderLocked(false)
+	p.mu.Unlock()
+}
+
+// Done records n completed cells.
+func (p *Progress) Done(n int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.done += n
+	if p.cDone != nil {
+		p.cDone.Set(uint64(p.done))
+	}
+	p.maybeRenderLocked(false)
+	p.mu.Unlock()
+}
+
+// Finish forces a final render and terminates the status line. A reporter
+// that never saw work stays silent.
+func (p *Progress) Finish() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.total > 0 || p.done > 0 {
+		p.maybeRenderLocked(true)
+	}
+	if p.wrote {
+		fmt.Fprintln(p.w)
+		p.wrote = false
+	}
+	p.mu.Unlock()
+}
+
+// maybeRenderLocked redraws the status line if the throttle allows (or
+// force). Callers hold p.mu.
+func (p *Progress) maybeRenderLocked(force bool) {
+	now := time.Now()
+	if !force && now.Sub(p.last) < p.minPeriod {
+		return
+	}
+	p.last = now
+	line := p.renderLocked(now)
+	if p.gRate != nil {
+		p.gRate.Set(p.rateLocked(now))
+	}
+	fmt.Fprintf(p.w, "\r\x1b[K%s", line)
+	p.wrote = true
+}
+
+// rateLocked returns completed cells per second so far.
+func (p *Progress) rateLocked(now time.Time) float64 {
+	el := now.Sub(p.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(p.done) / el
+}
+
+// renderLocked formats the status line. Callers hold p.mu.
+func (p *Progress) renderLocked(now time.Time) string {
+	rate := p.rateLocked(now)
+	eta := "--"
+	if rate > 0 && p.total > p.done {
+		eta = (time.Duration(float64(p.total-p.done)/rate) * time.Second).Round(time.Second).String()
+	}
+	return fmt.Sprintf("%s %d/%d cells  %.1f cells/s  ETA %s", p.label, p.done, p.total, rate, eta)
+}
+
+// Snapshot returns (done, total) for tests and callers that summarize.
+func (p *Progress) Snapshot() (done, total int) {
+	if p == nil {
+		return 0, 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.done, p.total
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestProgressAccounting(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "sweep")
+	p.AddTotal(10)
+	p.Done(3)
+	p.Finish()
+	done, total := p.Snapshot()
+	if done != 3 || total != 10 {
+		t.Fatalf("snapshot = %d/%d", done, total)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sweep 3/10 cells") {
+		t.Fatalf("status line missing counts: %q", out)
+	}
+	if !strings.Contains(out, "cells/s") || !strings.Contains(out, "ETA") {
+		t.Fatalf("status line missing rate/ETA: %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("Finish did not terminate the line: %q", out)
+	}
+}
+
+func TestProgressNilSafe(t *testing.T) {
+	var p *Progress
+	p.AddTotal(5)
+	p.Done(1)
+	p.Finish()
+	if d, tot := p.Snapshot(); d != 0 || tot != 0 {
+		t.Fatalf("nil snapshot = %d/%d", d, tot)
+	}
+}
+
+func TestProgressRegistryMirror(t *testing.T) {
+	var buf bytes.Buffer
+	reg := NewRegistry()
+	p := NewProgress(&buf, "sweep").Attach(reg, "sweep_cells")
+	p.AddTotal(4)
+	p.Done(2)
+	p.Finish()
+	if got := reg.Counter("sweep_cells_done").Value(); got != 2 {
+		t.Fatalf("mirrored done = %d", got)
+	}
+	if got := reg.Counter("sweep_cells_total").Value(); got != 4 {
+		t.Fatalf("mirrored total = %d", got)
+	}
+}
+
+// TestProgressConcurrent hammers the reporter from many goroutines; the
+// worker pool calls Done from every worker, so -race must stay clean.
+func TestProgressConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "sweep")
+	p.AddTotal(800)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				p.Done(1)
+			}
+		}()
+	}
+	wg.Wait()
+	p.Finish()
+	if done, _ := p.Snapshot(); done != 800 {
+		t.Fatalf("done = %d", done)
+	}
+	if !strings.Contains(buf.String(), "800/800") {
+		t.Fatalf("final line missing: %q", buf.String())
+	}
+}

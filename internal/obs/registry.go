@@ -1,0 +1,204 @@
+// Package obs is the simulator's observability layer: a low-overhead metric
+// registry (counters, gauges, histograms), an epoch time-series schema with
+// NDJSON/CSV sinks for per-run telemetry, a live progress reporter for the
+// experiment worker pool, structured-logging setup shared by the CLIs, and
+// an HTTP endpoint serving pprof plus a JSON snapshot of the registry.
+//
+// Everything here observes the simulation without perturbing it: telemetry
+// reads counters the simulator already maintains, and the disabled path is a
+// single nil check with no allocation (DESIGN.md D5 — observability must not
+// change results).
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"drishti/internal/stats"
+)
+
+// Counter is a monotonically increasing metric, safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Set forces the counter to v (used for totals that are discovered late,
+// e.g. a sweep's cell count).
+func (c *Counter) Set(v uint64) { c.v.Store(v) }
+
+// Gauge is a point-in-time float metric, safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last recorded value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a concurrency-safe wrapper over stats.Histogram for registry
+// use (the in-simulator epoch path uses stats.Histogram directly — it is
+// single-threaded and must stay lock-free).
+type Histogram struct {
+	mu sync.Mutex
+	h  *stats.Histogram
+}
+
+// Observe records a value.
+func (h *Histogram) Observe(v int64) {
+	h.mu.Lock()
+	h.h.Add(v)
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is the exported view of a Histogram.
+type HistogramSnapshot struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot summarizes the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Count: h.h.Count(),
+		Mean:  h.h.Mean(),
+		P50:   h.h.Quantile(0.5),
+		P99:   h.h.Quantile(0.99),
+	}
+}
+
+// Registry names and owns a set of metrics. Metric accessors create on first
+// use, so callers never register up front. All methods are safe for
+// concurrent use; the HTTP /metrics endpoint snapshots a registry while
+// sweep workers update it.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry the CLIs publish to.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given shape
+// ([min, min+width*n) in n buckets plus overflow) if needed. The shape of an
+// existing histogram is not changed.
+func (r *Registry) Histogram(name string, min, width int64, n int) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{h: stats.NewHistogram(min, width, n)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns a stable map of every metric's current value: counters as
+// uint64, gauges as float64, histograms as HistogramSnapshot.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	out := make(map[string]any, len(counters)+len(gauges)+len(hists))
+	for k, c := range counters {
+		out[k] = c.Value()
+	}
+	for k, g := range gauges {
+		out[k] = g.Value()
+	}
+	for k, h := range hists {
+		out[k] = h.Snapshot()
+	}
+	return out
+}
+
+// MarshalJSON renders the snapshot with sorted keys (json.Marshal on the
+// snapshot map already sorts, but going through Snapshot keeps locking in
+// one place).
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Snapshot())
+}
+
+// Names returns every metric name in sorted order (tests and debugging).
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for k := range r.counters {
+		names = append(names, k)
+	}
+	for k := range r.gauges {
+		names = append(names, k)
+	}
+	for k := range r.hists {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestRegistryCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cells_done")
+	c.Inc()
+	c.Add(4)
+	if got := r.Counter("cells_done").Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("rate")
+	g.Set(3.5)
+	if got := r.Gauge("rate").Value(); got != 3.5 {
+		t.Fatalf("gauge = %v, want 3.5", got)
+	}
+	// Same name returns the same metric, not a fresh one.
+	if r.Counter("cells_done") != c {
+		t.Fatal("Counter did not return the existing instance")
+	}
+}
+
+func TestRegistryHistogramSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", 0, 10, 10)
+	for _, v := range []int64{5, 15, 15, 25} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Mean != 15 {
+		t.Fatalf("mean = %v, want 15", s.Mean)
+	}
+	if s.P50 < 10 || s.P50 > 20 {
+		t.Fatalf("p50 = %v, want within [10,20]", s.P50)
+	}
+}
+
+func TestRegistrySnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(7)
+	r.Gauge("b").Set(1.5)
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["a"].(float64) != 7 || m["b"].(float64) != 1.5 {
+		t.Fatalf("snapshot = %v", m)
+	}
+}
+
+// TestRegistryConcurrent exercises creation and updates from many
+// goroutines; go test -race is the assertion.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared").Inc()
+				r.Gauge("g").Set(float64(j))
+				r.Histogram("h", 0, 1, 4).Observe(int64(j % 4))
+				if j%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if len(r.Names()) != 3 {
+		t.Fatalf("names = %v", r.Names())
+	}
+}

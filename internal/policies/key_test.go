@@ -8,22 +8,22 @@ import (
 
 func TestSpecKeyDistinguishesFields(t *testing.T) {
 	variants := map[string]Spec{
-		"lru":          {Name: "lru"},
-		"srrip":        {Name: "srrip"},
-		"drishti":      {Name: "lru", Drishti: true},
-		"place-local":  {Name: "lru", Placement: PlacementPtr(fabric.Local)},
-		"place-cent":   {Name: "lru", Placement: PlacementPtr(fabric.Centralized)},
-		"nocstar-on":   {Name: "lru", UseNocstar: BoolPtr(true)},
-		"nocstar-off":  {Name: "lru", UseNocstar: BoolPtr(false)},
-		"predlat":      {Name: "lru", FixedPredLatency: 5},
-		"dsc-on":       {Name: "lru", DynamicSampler: BoolPtr(true)},
-		"dsc-off":      {Name: "lru", DynamicSampler: BoolPtr(false)},
-		"ssets":        {Name: "lru", SampledSets: 4},
-		"fixed-1-2":    {Name: "lru", FixedSampledSets: []int{1, 2}},
-		"fixed-12":     {Name: "lru", FixedSampledSets: []int{12}},
-		"slice-1s2":    {Name: "lru", FixedPerSlice: [][]int{{1}, {2}}},
-		"slice-12":     {Name: "lru", FixedPerSlice: [][]int{{1, 2}}},
-		"slice-1-2s":   {Name: "lru", FixedPerSlice: [][]int{{1, 2}, {}}},
+		"lru":         {Name: "lru"},
+		"srrip":       {Name: "srrip"},
+		"drishti":     {Name: "lru", Drishti: true},
+		"place-local": {Name: "lru", Placement: PlacementPtr(fabric.Local)},
+		"place-cent":  {Name: "lru", Placement: PlacementPtr(fabric.Centralized)},
+		"nocstar-on":  {Name: "lru", UseNocstar: BoolPtr(true)},
+		"nocstar-off": {Name: "lru", UseNocstar: BoolPtr(false)},
+		"predlat":     {Name: "lru", FixedPredLatency: 5},
+		"dsc-on":      {Name: "lru", DynamicSampler: BoolPtr(true)},
+		"dsc-off":     {Name: "lru", DynamicSampler: BoolPtr(false)},
+		"ssets":       {Name: "lru", SampledSets: 4},
+		"fixed-1-2":   {Name: "lru", FixedSampledSets: []int{1, 2}},
+		"fixed-12":    {Name: "lru", FixedSampledSets: []int{12}},
+		"slice-1s2":   {Name: "lru", FixedPerSlice: [][]int{{1}, {2}}},
+		"slice-12":    {Name: "lru", FixedPerSlice: [][]int{{1, 2}}},
+		"slice-1-2s":  {Name: "lru", FixedPerSlice: [][]int{{1, 2}, {}}},
 	}
 	keys := map[string]string{}
 	for name, spec := range variants {

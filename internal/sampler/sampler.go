@@ -156,12 +156,22 @@ type Dynamic struct {
 	phaseLeft int
 
 	current    map[int]int
+	sampled    []bool // bitmap mirror of current, for branch-cheap membership
 	order      []int
 	generation uint64
 
 	// Selections and UniformFallbacks are exported for experiment reports.
 	Selections       uint64
 	UniformFallbacks uint64
+
+	// SampledMisses/UnsampledMisses split demand misses by whether they hit a
+	// currently sampled set — the utilization signal the telemetry layer
+	// reports (how much of the miss stream the sampled cache actually sees).
+	// Churn counts sets newly entering the selection across re-selections
+	// (the initial random selection is not churn).
+	SampledMisses   uint64
+	UnsampledMisses uint64
+	Churn           uint64
 }
 
 // NewDynamic builds the dynamic selector; the initial selection (before the
@@ -174,6 +184,7 @@ func NewDynamic(cfg DynamicConfig, rnd *stats.Rand) (*Dynamic, error) {
 		cfg:     cfg,
 		rnd:     rnd,
 		ctrs:    make([]uint16, cfg.Sets),
+		sampled: make([]bool, cfg.Sets),
 		ctrInit: uint16(1) << (cfg.CounterBits - 1),
 		ctrMax:  uint16(1)<<cfg.CounterBits - 1,
 	}
@@ -216,6 +227,13 @@ func (d *Dynamic) Counter(set int) uint16 { return d.ctrs[set] }
 
 // OnAccess implements SetSelector: drives the monitor state machine.
 func (d *Dynamic) OnAccess(set int, hit bool) {
+	if !hit {
+		if d.sampled[set] {
+			d.SampledMisses++
+		} else {
+			d.UnsampledMisses++
+		}
+	}
 	if d.phase == phaseMonitor {
 		c := &d.ctrs[set]
 		if hit {
@@ -274,10 +292,23 @@ func (d *Dynamic) selectSets() {
 }
 
 func (d *Dynamic) adopt(sets []int) {
+	// Churn counts sets absent from the previous selection; the initial
+	// random adoption has no predecessor and does not count.
+	if d.generation > 0 {
+		for _, s := range sets {
+			if !d.sampled[s] {
+				d.Churn++
+			}
+		}
+	}
 	d.generation++
 	d.order = sets
 	d.current = make(map[int]int, len(sets))
+	for i := range d.sampled {
+		d.sampled[i] = false
+	}
 	for i, s := range sets {
 		d.current[s] = i
+		d.sampled[s] = true
 	}
 }

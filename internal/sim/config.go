@@ -10,6 +10,7 @@ import (
 	"drishti/internal/cpu"
 	"drishti/internal/dram"
 	"drishti/internal/noc"
+	"drishti/internal/obs"
 	"drishti/internal/policies"
 )
 
@@ -76,6 +77,15 @@ type Config struct {
 	L1MSHRs  int
 	L2MSHRs  int
 	LLCMSHRs int
+
+	// TelemetryEpoch > 0 enables the epoch snapshotter: every TelemetryEpoch
+	// LLC demand accesses (summed across slices) one obs.Epoch of stat deltas
+	// is written to TelemetrySink. Zero disables telemetry entirely; the hot
+	// path then costs a single nil check. Telemetry is observational only —
+	// it must not change simulation results (design decision D5).
+	TelemetryEpoch uint64
+	TelemetrySink  obs.EpochSink
+	TelemetryTag   string // run label stamped on every epoch (e.g. a run ID)
 }
 
 // DefaultConfig returns the paper's baseline system for the given core
@@ -154,6 +164,9 @@ func (c Config) Validate() error {
 	}
 	if c.llcSetsPerSlice() <= 0 {
 		return fmt.Errorf("sim: slice %d KB too small for %d ways", c.SliceKB, c.LLCWays)
+	}
+	if c.TelemetryEpoch > 0 && c.TelemetrySink == nil {
+		return fmt.Errorf("sim: telemetry epoch %d with no sink", c.TelemetryEpoch)
 	}
 	return nil
 }

@@ -26,10 +26,14 @@ func Readers(mix workload.Mix) ([]trace.Reader, error) {
 	return readers, nil
 }
 
-// RunMix builds and runs a system over a workload mix.
+// RunMix builds and runs a system over a workload mix. When telemetry is on
+// and no tag was set, epochs are tagged with the mix name.
 func RunMix(cfg Config, mix workload.Mix) (*Result, error) {
 	if mix.Cores() != cfg.Cores {
 		return nil, fmt.Errorf("sim: mix %s targets %d cores, config has %d", mix.Name, mix.Cores(), cfg.Cores)
+	}
+	if cfg.TelemetryEpoch > 0 && cfg.TelemetryTag == "" {
+		cfg.TelemetryTag = mix.Name
 	}
 	readers, err := Readers(mix)
 	if err != nil {
@@ -115,8 +119,12 @@ func RunAloneN(cfg Config, mix workload.Mix, parallelism int) ([]float64, error)
 	return out, nil
 }
 
-// runAloneCore runs the machine with only core c active.
+// runAloneCore runs the machine with only core c active. Alone runs are
+// IPC calibration, not the run of record, so telemetry is disabled — the
+// concurrent per-core systems would otherwise interleave epochs under one
+// tag in the shared sink.
 func runAloneCore(cfg Config, mix workload.Mix, c int) (float64, error) {
+	cfg.TelemetryEpoch, cfg.TelemetrySink, cfg.TelemetryTag = 0, nil, ""
 	readers := make([]trace.Reader, cfg.Cores)
 	g, err := workload.NewGenerator(mix.Models[c], mix.Seeds[c])
 	if err != nil {

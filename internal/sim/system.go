@@ -56,6 +56,10 @@ type System struct {
 
 	// Fig 2 tracker: (core, PC) → slice bitmap + load count.
 	pcSlices map[uint64]*pcTrack
+
+	// Epoch telemetry (nil when Config.TelemetryEpoch is zero; the hot path
+	// pays one nil check).
+	telem *telemetry
 }
 
 type recorded struct {
@@ -159,6 +163,7 @@ func New(cfg Config, readers []trace.Reader) (*System, error) {
 	if cfg.TrackPCSlices {
 		s.pcSlices = make(map[uint64]*pcTrack)
 	}
+	s.telem = newTelemetry(s)
 	s.totalTarget = cfg.Warmup + cfg.Instructions
 	return s, nil
 }
@@ -266,6 +271,9 @@ func (s *System) accessLLC(coreID int, a repl.Access, now uint64) uint32 {
 
 	hit, _ := sl.Access(a)
 	if hit {
+		if s.telem != nil && a.Type.IsDemand() {
+			s.telem.tick(s)
+		}
 		return lat
 	}
 	if a.Type.IsDemand() {
@@ -281,6 +289,9 @@ func (s *System) accessLLC(coreID int, a repl.Access, now uint64) uint32 {
 	}
 	if ev.Valid {
 		s.retireLLCEviction(ev, now+uint64(lat))
+	}
+	if s.telem != nil && a.Type.IsDemand() {
+		s.telem.tick(s)
 	}
 	return lat
 }
@@ -460,6 +471,12 @@ func (s *System) Run() (*Result, error) {
 			return nil, fmt.Errorf("sim: run exceeded %d steps without completing:%s", guardMax, detail)
 		}
 	}
+	if s.telem != nil {
+		s.telem.flush(s, true)
+		if s.telem.err != nil {
+			return nil, fmt.Errorf("sim: telemetry sink: %w", s.telem.err)
+		}
+	}
 	return s.collect(), nil
 }
 
@@ -507,6 +524,11 @@ func (s *System) maybeFinishWarmup() {
 			return
 		}
 	}
+	if s.telem != nil {
+		// Close the partial warmup epoch while the cumulative counters it
+		// baselines against still exist — the resets below zero them.
+		s.telem.flush(s, false)
+	}
 	s.warmupDone = true
 	for c, rd := range s.readers {
 		if rd == nil {
@@ -532,5 +554,8 @@ func (s *System) maybeFinishWarmup() {
 	s.prefIssued, s.prefDropped = 0, 0
 	if s.pcSlices != nil {
 		s.pcSlices = make(map[uint64]*pcTrack)
+	}
+	if s.telem != nil {
+		s.telem.warmupReset()
 	}
 }

@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"drishti/internal/obs"
+	"drishti/internal/sampler"
+)
+
+// telemetry is the epoch snapshotter (Config.TelemetryEpoch). It samples the
+// simulator's existing cumulative counters every epoch's worth of LLC demand
+// accesses and emits the deltas as an obs.Epoch. It only reads state — the
+// simulation cannot observe it, which keeps results bit-identical with
+// telemetry on or off (design decision D5; TestTelemetryDeterminism).
+//
+// Baselines ("prev*") hold the cumulative value at the previous flush; an
+// epoch field is current−prev. Warmup complicates this: maybeFinishWarmup
+// resets cache/core/NoC/fabric stats to zero but NOT the sampler's counters,
+// so the warmup rebase zeroes the former baselines and re-reads the latter.
+type telemetry struct {
+	sink   obs.EpochSink
+	epoch  uint64 // LLC demand accesses per epoch
+	tag    string
+	policy string
+
+	seq   int
+	loads uint64 // demand accesses since the last flush
+	err   error  // first sink write error (returned from Run)
+
+	dsc []*sampler.Dynamic // dynamic selectors in slice order (nil when none)
+
+	prevSliceAcc  []uint64
+	prevSliceMiss []uint64
+	prevCoreAcc   []uint64
+	prevCoreMiss  []uint64
+	prevLookups   []uint64
+	prevTrains    []uint64
+
+	prevSampledMiss   []uint64
+	prevUnsampledMiss []uint64
+	prevSelections    []uint64
+	prevUniform       []uint64
+	prevChurn         []uint64
+
+	prevMeshMsgs, prevMeshHops   uint64
+	prevStarMsgs, prevStarStalls uint64
+}
+
+// newTelemetry sizes the baselines for s. Call after the system is fully
+// assembled; returns nil when telemetry is disabled.
+func newTelemetry(s *System) *telemetry {
+	cfg := s.cfg
+	if cfg.TelemetryEpoch == 0 {
+		return nil
+	}
+	t := &telemetry{
+		sink:   cfg.TelemetrySink,
+		epoch:  cfg.TelemetryEpoch,
+		tag:    cfg.TelemetryTag,
+		policy: cfg.Policy.DisplayName(),
+
+		prevSliceAcc:  make([]uint64, len(s.llc)),
+		prevSliceMiss: make([]uint64, len(s.llc)),
+		prevCoreAcc:   make([]uint64, cfg.Cores),
+		prevCoreMiss:  make([]uint64, cfg.Cores),
+	}
+	if f := s.built.Fabric; f != nil {
+		t.prevLookups = make([]uint64, len(f.BankLookups))
+		t.prevTrains = make([]uint64, len(f.BankTrains))
+	}
+	for _, sel := range s.built.Selectors {
+		if d, ok := sel.(*sampler.Dynamic); ok {
+			t.dsc = append(t.dsc, d)
+		}
+	}
+	if n := len(t.dsc); n > 0 {
+		t.prevSampledMiss = make([]uint64, n)
+		t.prevUnsampledMiss = make([]uint64, n)
+		t.prevSelections = make([]uint64, n)
+		t.prevUniform = make([]uint64, n)
+		t.prevChurn = make([]uint64, n)
+	}
+	return t
+}
+
+// tick records one LLC demand access and flushes a full epoch when due.
+func (t *telemetry) tick(s *System) {
+	t.loads++
+	if t.loads >= t.epoch {
+		t.flush(s, false)
+	}
+}
+
+// flush emits the epoch accumulated so far (a no-op when empty unless final)
+// and advances the baselines. final marks the closing partial epoch.
+func (t *telemetry) flush(s *System, final bool) {
+	if t.loads == 0 && !final {
+		return
+	}
+	e := &obs.Epoch{
+		Run:    t.tag,
+		Policy: t.policy,
+		Seq:    t.seq,
+		Loads:  t.loads,
+		Warmup: !s.warmupDone,
+		Final:  final,
+		Slices: make([]obs.SliceEpoch, len(s.llc)),
+		Cores:  make([]obs.CoreEpoch, len(s.coreLLCAccesses)),
+	}
+	for i, sl := range s.llc {
+		acc := sl.Stats.DemandAccesses - t.prevSliceAcc[i]
+		miss := sl.Stats.DemandMisses - t.prevSliceMiss[i]
+		se := obs.SliceEpoch{Accesses: acc, Misses: miss}
+		if acc > 0 {
+			se.MissRate = float64(miss) / float64(acc)
+		}
+		e.Slices[i] = se
+		t.prevSliceAcc[i] = sl.Stats.DemandAccesses
+		t.prevSliceMiss[i] = sl.Stats.DemandMisses
+	}
+	for i := range s.coreLLCAccesses {
+		acc := s.coreLLCAccesses[i] - t.prevCoreAcc[i]
+		miss := s.coreLLCMisses[i] - t.prevCoreMiss[i]
+		ce := obs.CoreEpoch{Accesses: acc, Misses: miss}
+		if acc > 0 {
+			ce.HitRate = 1 - float64(miss)/float64(acc)
+		}
+		e.Cores[i] = ce
+		t.prevCoreAcc[i] = s.coreLLCAccesses[i]
+		t.prevCoreMiss[i] = s.coreLLCMisses[i]
+	}
+	if f := s.built.Fabric; f != nil {
+		e.Banks = make([]obs.BankEpoch, len(f.BankLookups))
+		for i := range f.BankLookups {
+			e.Banks[i] = obs.BankEpoch{
+				Lookups: f.BankLookups[i] - t.prevLookups[i],
+				Trains:  f.BankTrains[i] - t.prevTrains[i],
+			}
+			t.prevLookups[i] = f.BankLookups[i]
+			t.prevTrains[i] = f.BankTrains[i]
+		}
+	}
+	if len(t.dsc) > 0 {
+		e.DSC = make([]obs.DSCEpoch, len(t.dsc))
+		for i, d := range t.dsc {
+			de := obs.DSCEpoch{
+				SampledMisses:    d.SampledMisses - t.prevSampledMiss[i],
+				UnsampledMisses:  d.UnsampledMisses - t.prevUnsampledMiss[i],
+				Selections:       d.Selections - t.prevSelections[i],
+				UniformFallbacks: d.UniformFallbacks - t.prevUniform[i],
+				Churn:            d.Churn - t.prevChurn[i],
+			}
+			if tot := de.SampledMisses + de.UnsampledMisses; tot > 0 {
+				de.Utilization = float64(de.SampledMisses) / float64(tot)
+			}
+			e.DSC[i] = de
+			t.prevSampledMiss[i] = d.SampledMisses
+			t.prevUnsampledMiss[i] = d.UnsampledMisses
+			t.prevSelections[i] = d.Selections
+			t.prevUniform[i] = d.UniformFallbacks
+			t.prevChurn[i] = d.Churn
+		}
+	}
+	e.Mesh = obs.MeshEpoch{Messages: s.mesh.Messages - t.prevMeshMsgs, Hops: s.mesh.HopSum - t.prevMeshHops}
+	t.prevMeshMsgs, t.prevMeshHops = s.mesh.Messages, s.mesh.HopSum
+	e.Star = obs.StarEpoch{Messages: s.star.Messages - t.prevStarMsgs, Stalls: s.star.Stalls - t.prevStarStalls}
+	t.prevStarMsgs, t.prevStarStalls = s.star.Messages, s.star.Stalls
+
+	t.seq++
+	t.loads = 0
+	if err := t.sink.WriteEpoch(e); err != nil && t.err == nil {
+		t.err = err
+	}
+}
+
+// warmupReset follows maybeFinishWarmup's stat resets: everything that was
+// zeroed gets a zero baseline; the sampler's counters survive warmup, so
+// their baselines re-read the current values instead.
+func (t *telemetry) warmupReset() {
+	zero := func(v []uint64) {
+		for i := range v {
+			v[i] = 0
+		}
+	}
+	zero(t.prevSliceAcc)
+	zero(t.prevSliceMiss)
+	zero(t.prevCoreAcc)
+	zero(t.prevCoreMiss)
+	zero(t.prevLookups)
+	zero(t.prevTrains)
+	for i, d := range t.dsc {
+		t.prevSampledMiss[i] = d.SampledMisses
+		t.prevUnsampledMiss[i] = d.UnsampledMisses
+		t.prevSelections[i] = d.Selections
+		t.prevUniform[i] = d.UniformFallbacks
+		t.prevChurn[i] = d.Churn
+	}
+	t.prevMeshMsgs, t.prevMeshHops = 0, 0
+	t.prevStarMsgs, t.prevStarStalls = 0, 0
+}

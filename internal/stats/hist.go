@@ -15,6 +15,7 @@ type Histogram struct {
 	width int64
 	min   int64
 	total uint64
+	sum   int64 // sum of recorded values (exact, unclamped)
 }
 
 // NewHistogram covers [min, min+width*len) in len buckets plus overflow.
@@ -36,6 +37,55 @@ func (h *Histogram) Add(v int64) {
 	}
 	h.buckets[i]++
 	h.total++
+	h.sum += v
+}
+
+// Mean returns the arithmetic mean of every recorded value (exact: values
+// are summed before bucketing, so clamped and overflowed samples contribute
+// their true value). Returns 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Quantile estimates the p-quantile (0 ≤ p ≤ 1) from the bucket counts: the
+// bucket holding the rank-⌈p·total⌉ sample, linearly interpolated within the
+// bucket. Samples in the overflow bucket are indistinguishable beyond its
+// lower edge, so quantiles landing there return that edge. Returns 0 for an
+// empty histogram.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(h.total)
+	var cum float64
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next || i == len(h.buckets)-1 {
+			lo := h.min + int64(i)*h.width
+			if i == len(h.buckets)-1 {
+				return float64(lo) // overflow: lower edge is all we know
+			}
+			frac := (rank - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return float64(lo) + frac*float64(h.width)
+		}
+		cum = next
+	}
+	return 0 // unreachable: total > 0 implies a non-empty bucket
 }
 
 // Count returns the number of samples recorded.

@@ -205,6 +205,75 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	if m := h.Mean(); m != 0 {
+		t.Fatalf("empty mean = %v", m)
+	}
+	for _, v := range []int64{0, 10, 20} {
+		h.Add(v)
+	}
+	if m := h.Mean(); m != 10 {
+		t.Fatalf("mean = %v, want 10", m)
+	}
+	// Clamped (below min) and overflowed samples contribute their true
+	// values, not their bucket edges.
+	h2 := NewHistogram(0, 10, 2)
+	h2.Add(-20)
+	h2.Add(1000)
+	if m := h2.Mean(); m != 490 {
+		t.Fatalf("clamped mean = %v, want 490", m)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 10, 10) // [0,100) + overflow
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+	for v := int64(0); v < 100; v++ {
+		h.Add(v)
+	}
+	// Uniform fill: quantiles track p*100 to within one bucket width.
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		if q := h.Quantile(p); math.Abs(q-p*100) > 10 {
+			t.Fatalf("Quantile(%v) = %v", p, q)
+		}
+	}
+	if q := h.Quantile(0); q != 0 {
+		t.Fatalf("Quantile(0) = %v", q)
+	}
+	if q := h.Quantile(1); q != 100 {
+		t.Fatalf("Quantile(1) = %v, want 100 (top of last real bucket)", q)
+	}
+	// Out-of-range p clamps instead of panicking.
+	if q := h.Quantile(-1); q != h.Quantile(0) {
+		t.Fatalf("Quantile(-1) = %v", q)
+	}
+	if q := h.Quantile(2); q != h.Quantile(1) {
+		t.Fatalf("Quantile(2) = %v", q)
+	}
+}
+
+func TestHistogramQuantileEdgeBuckets(t *testing.T) {
+	h := NewHistogram(0, 10, 3) // [0,30) + overflow at 30+
+	h.Add(-5)                   // clamps into bucket 0
+	h.Add(5)
+	if q := h.Quantile(0.25); q < 0 || q >= 10 {
+		t.Fatalf("first-bucket quantile = %v", q)
+	}
+	// All mass in the overflow bucket: every quantile reports its lower
+	// edge (the histogram cannot resolve beyond it).
+	ho := NewHistogram(0, 10, 3)
+	ho.Add(31)
+	ho.Add(500)
+	for _, p := range []float64{0, 0.5, 1} {
+		if q := ho.Quantile(p); q != 30 {
+			t.Fatalf("overflow Quantile(%v) = %v, want 30", p, q)
+		}
+	}
+}
+
 func TestTopKBottomK(t *testing.T) {
 	vals := []uint64{5, 1, 9, 3, 9, 0}
 	top := TopK(vals, 2)
