@@ -1,13 +1,15 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test race lint verify bench
+.PHONY: build test race race-serve lint verify bench serve
 
 # Tier-1 verification (ROADMAP.md): build + tests, then the race detector
 # and static checks. The experiment harness fans simulations out onto a
 # worker pool, so any data race is a correctness bug — `race` is part of
-# `verify`, not optional.
-verify: build test race lint
+# `verify`, not optional. race-serve adds a short-mode -race pass focused
+# on the job service and durable store, whose concurrency (worker pool,
+# queue, atomic same-key writers) is their whole point.
+verify: build test race race-serve lint
 
 build:
 	$(GO) build ./...
@@ -18,6 +20,9 @@ test:
 race:
 	$(GO) test -race ./...
 
+race-serve:
+	$(GO) test -race -short ./internal/serve/ ./internal/store/
+
 # lint: go vet plus a gofmt cleanliness check (fails listing unformatted
 # files; run `gofmt -w` on them to fix).
 lint:
@@ -27,3 +32,8 @@ lint:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# serve: build and run the simulation job service (README "Running the
+# service"). Results and the persisted queue land in ./drishti.store.
+serve:
+	$(GO) run ./cmd/drishti-served -addr :8411 -store drishti.store

@@ -28,6 +28,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"drishti/internal/buildinfo"
 	"drishti/internal/experiments"
 	"drishti/internal/obs"
 )
@@ -38,6 +39,7 @@ func main() { os.Exit(run()) }
 // exits (os.Exit skips deferred calls).
 func run() int {
 	var (
+		version    = flag.Bool("version", false, "print version and exit")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		scale      = flag.Int("scale", 0, "machine/workload shrink factor (default 8 or $DRISHTI_SCALE)")
 		instr      = flag.Uint64("instr", 0, "instructions per core (default 200000 or $DRISHTI_INSTR)")
@@ -56,6 +58,10 @@ func run() int {
 	flag.Parse()
 	log := obs.NewLogger(os.Stderr, "drishti-bench", *quiet)
 
+	if *version {
+		fmt.Println("drishti-bench", buildinfo.Read())
+		return 0
+	}
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)

@@ -1,0 +1,90 @@
+// Command drishti-served runs the simulation job service: an HTTP API that
+// queues sweep requests, executes them on a bounded worker pool with
+// per-job cancellation and timeouts, and memoizes every (config, mix) cell
+// in a durable content-addressed store so repeated sweeps are served from
+// disk without re-simulating.
+//
+//	drishti-served -addr :8411 -store ./results.store
+//	curl -s localhost:8411/v1/jobs -d '{"cores":8,"policies":[{"name":"lru"}],"workloads":["mcf"]}'
+//	curl -s localhost:8411/v1/jobs/<id>
+//	curl -s localhost:8411/v1/jobs/<id>/result
+//
+// SIGINT/SIGTERM drain gracefully: in-flight jobs finish (bounded by
+// -drain), still-queued jobs are persisted into the store directory and
+// restored on the next start. See README.md "Running the service".
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"drishti/internal/buildinfo"
+	"drishti/internal/obs"
+	"drishti/internal/serve"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		addr    = flag.String("addr", ":8411", "HTTP listen address")
+		dir     = flag.String("store", "drishti.store", "result store / queue directory")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 64, "queue capacity before 429 backpressure")
+		timeout = flag.Duration("timeout", 0, "default per-job timeout (0 = none)")
+		retries = flag.Int("retries", 2, "retry budget for transient job failures")
+		drain   = flag.Duration("drain", time.Minute, "shutdown drain bound for in-flight jobs")
+		quiet   = flag.Bool("quiet", false, "log warnings and errors only")
+		version = flag.Bool("version", false, "print build information and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println("drishti-served", buildinfo.Read())
+		return 0
+	}
+	log := obs.NewLogger(os.Stderr, "drishti-served", *quiet)
+
+	svc, err := serve.New(serve.Options{
+		StoreDir:       *dir,
+		Workers:        *workers,
+		QueueCap:       *queue,
+		DefaultTimeout: *timeout,
+		MaxRetries:     *retries,
+		Logger:         log,
+		Registry:       obs.Default(),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "drishti-served:", err)
+		return 1
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Info("serving", "addr", *addr, "store", *dir, "queueCap", *queue)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Info("signal received, draining", "signal", sig.String(), "bound", *drain)
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "drishti-served:", err)
+		return 1
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	srv.Shutdown(ctx)
+	if err := svc.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "drishti-served: shutdown:", err)
+		return 1
+	}
+	return 0
+}

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"strings"
 
+	"drishti/internal/buildinfo"
 	"drishti/internal/dram"
 	"drishti/internal/obs"
 	"drishti/internal/policies"
@@ -29,6 +30,7 @@ import (
 
 func main() {
 	var (
+		version  = flag.Bool("version", false, "print version and exit")
 		cores    = flag.Int("cores", 4, "number of cores (= LLC slices)")
 		policy   = flag.String("policy", "lru", "replacement policy: "+strings.Join(policies.KnownPolicies(), ", "))
 		drishti  = flag.Bool("drishti", false, "apply Drishti's enhancements (D-<policy>)")
@@ -53,6 +55,11 @@ func main() {
 	)
 	flag.Parse()
 	log = obs.NewLogger(os.Stderr, "drishti-sim", *quiet)
+
+	if *version {
+		fmt.Println("drishti-sim", buildinfo.Read())
+		return
+	}
 
 	cfg := sim.ScaledConfig(*cores, *scale)
 	cfg.Instructions = *instr

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"drishti/internal/analysis"
+	"drishti/internal/buildinfo"
 	"drishti/internal/mem"
 	"drishti/internal/obs"
 	"drishti/internal/trace"
@@ -22,6 +23,7 @@ import (
 
 func main() {
 	var (
+		version = flag.Bool("version", false, "print version and exit")
 		gen     = flag.Bool("gen", false, "generate a trace")
 		info    = flag.String("info", "", "summarize an existing trace file")
 		models  = flag.Bool("models", false, "list workload models and exit")
@@ -39,6 +41,8 @@ func main() {
 	log = obs.NewLogger(os.Stderr, "drishti-trace", *quiet)
 
 	switch {
+	case *version:
+		fmt.Println("drishti-trace", buildinfo.Read())
 	case *models:
 		for _, m := range append(workload.AllSPECGAP(), workload.Fig19Models()...) {
 			fmt.Printf("%-28s suite=%-8s streams=%d meanGap=%.1f\n",

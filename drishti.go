@@ -26,6 +26,7 @@
 package drishti
 
 import (
+	"context"
 	"io"
 
 	"drishti/internal/experiments"
@@ -104,6 +105,13 @@ func New(cfg Config, readers []TraceReader) (*System, error) { return sim.New(cf
 
 // RunMix builds and runs a system over a workload mix.
 func RunMix(cfg Config, mix Mix) (*Result, error) { return sim.RunMix(cfg, mix) }
+
+// RunMixContext is RunMix with cooperative cancellation: the simulation
+// aborts with a wrapped ctx.Err() once ctx is done. An uncancelled context
+// produces results bit-identical to RunMix.
+func RunMixContext(ctx context.Context, cfg Config, mix Mix) (*Result, error) {
+	return sim.RunMixContext(ctx, cfg, mix)
+}
 
 // RunAlone measures each core's alone IPC for the weighted-speedup
 // metrics, running the independent per-core systems on up to GOMAXPROCS

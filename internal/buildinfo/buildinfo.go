@@ -1,0 +1,63 @@
+// Package buildinfo derives a single version string for every drishti
+// binary from the build metadata the Go toolchain embeds, so -version and
+// the service's /v1/version endpoint agree without any ldflags plumbing.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info describes the running binary.
+type Info struct {
+	Module    string `json:"module"`    // main module path
+	Version   string `json:"version"`   // module version or "(devel)"
+	Revision  string `json:"revision"`  // VCS commit, if stamped
+	Modified  bool   `json:"modified"`  // working tree was dirty at build
+	GoVersion string `json:"goVersion"` // toolchain that built the binary
+}
+
+// Read collects the binary's build metadata. Binaries built outside module
+// mode (or test binaries) degrade to "unknown"/"(devel)" rather than
+// failing: version reporting must never break a tool.
+func Read() Info {
+	info := Info{Module: "unknown", Version: "(devel)", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Path != "" {
+		info.Module = bi.Main.Path
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the one-line form the -version flags print:
+//
+//	drishti (devel) rev 0123abcd (modified) go1.24.0
+func (i Info) String() string {
+	s := fmt.Sprintf("%s %s", i.Module, i.Version)
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev " + rev
+		if i.Modified {
+			s += " (modified)"
+		}
+	}
+	return s + " " + i.GoVersion
+}

@@ -1,0 +1,29 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadNeverEmpty(t *testing.T) {
+	i := Read()
+	if i.Module == "" || i.Version == "" || i.GoVersion == "" {
+		t.Fatalf("Read returned empty fields: %+v", i)
+	}
+	if !strings.HasPrefix(i.GoVersion, "go") {
+		t.Errorf("GoVersion %q does not look like a toolchain version", i.GoVersion)
+	}
+}
+
+func TestStringContainsParts(t *testing.T) {
+	i := Info{Module: "drishti", Version: "v1.2.3", Revision: "0123456789abcdef0123", Modified: true, GoVersion: "go1.24.0"}
+	s := i.String()
+	for _, want := range []string{"drishti", "v1.2.3", "rev 0123456789ab", "(modified)", "go1.24.0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	if strings.Contains(s, "0123456789abc") {
+		t.Errorf("revision not truncated to 12 chars: %q", s)
+	}
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// A cancelled Params.Context must abort a sweep on both the serial and the
+// parallel path with an error wrapping context.Canceled.
+func TestSweepCancelled(t *testing.T) {
+	cfg, mixes, specs := sweepFixture()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, par := range []int{1, 4} {
+		ResetCache()
+		_, err := runSweep(cfg, mixes, specs, Params{Parallelism: par, Context: ctx})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("parallelism %d: got %v, want context.Canceled", par, err)
+		}
+	}
+	ResetCache()
+}
+
+// The zero-value Context must run to completion exactly like before.
+func TestSweepZeroContextCompletes(t *testing.T) {
+	cfg, mixes, specs := sweepFixture()
+	ResetCache()
+	sr, err := runSweep(cfg, mixes, specs, Params{Parallelism: 2})
+	ResetCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sr.normWS); got != len(specs) {
+		t.Fatalf("sweep returned %d spec rows, want %d", got, len(specs))
+	}
+}

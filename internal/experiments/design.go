@@ -28,7 +28,7 @@ func Fig10PredictorAPKI(p Params, w io.Writer) error {
 					Placement:        policies.PlacementPtr(place),
 					FixedPredLatency: 1, // isolate traffic from timing effects
 				}
-				res, err := runMixCached(c, mix)
+				res, err := runMixCached(p.ctx(), c, mix)
 				if err != nil {
 					return err
 				}

@@ -42,7 +42,7 @@ func Tab02DesignSpace(p Params, w io.Writer) error {
 			Placement:        policies.PlacementPtr(row.place),
 			FixedPredLatency: 1, // isolate traffic from timing
 		}
-		res, err := runMixCached(c, mix)
+		res, err := runMixCached(p.ctx(), c, mix)
 		if err != nil {
 			return err
 		}

@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log/slog"
@@ -35,6 +36,12 @@ type Params struct {
 	Mixes        int    // mixes per category (≤35 homogeneous + ≤35 hetero)
 	Seed         uint64
 
+	// Context, when non-nil, cancels in-flight experiments: sweeps stop
+	// dispatching cells and running simulations abort with a wrapped
+	// ctx.Err(). The zero value behaves exactly like context.Background —
+	// results are bit-identical to an uncancellable run.
+	Context context.Context
+
 	// Parallelism bounds the sweep worker pool: how many (mix, policy)
 	// simulations run concurrently. 0 means GOMAXPROCS. Results are
 	// bit-identical at every setting; 1 forces the serial path.
@@ -55,6 +62,14 @@ type Params struct {
 	// tagged with the mix name and carry the policy name.
 	TelemetryEpoch uint64
 	TelemetrySink  obs.EpochSink
+}
+
+// ctx returns the cancellation context, defaulting to Background.
+func (p Params) ctx() context.Context {
+	if p.Context != nil {
+		return p.Context
+	}
+	return context.Background()
 }
 
 // logger returns the run log, defaulting to discard.

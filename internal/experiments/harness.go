@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -50,20 +51,23 @@ func cfgKey(cfg sim.Config, mix workload.Mix) string {
 	return cfg.Key() + "|" + mix.Key()
 }
 
-// runMixCached is sim.RunMix with cross-experiment memoization.
-func runMixCached(cfg sim.Config, mix workload.Mix) (*sim.Result, error) {
+// runMixCached is sim.RunMix with cross-experiment memoization. ctx cancels
+// the computation if this caller owns it; waiters sharing the singleflight
+// see the owner's outcome (a cancellation error is never cached, so the
+// next request retries).
+func runMixCached(ctx context.Context, cfg sim.Config, mix workload.Mix) (*sim.Result, error) {
 	return mixCache.Do(cfgKey(cfg, mix), func() (*sim.Result, error) {
-		return sim.RunMix(cfg, mix)
+		return sim.RunMixContext(ctx, cfg, mix)
 	})
 }
 
 // evalMixCached is evalMix with memoization. alonePar bounds the
 // fan-out of the per-core alone runs inside the eval.
-func evalMixCached(cfg sim.Config, mix workload.Mix, alonePar int) (*mixEval, error) {
+func evalMixCached(ctx context.Context, cfg sim.Config, mix workload.Mix, alonePar int) (*mixEval, error) {
 	base := cfg
 	base.Policy = policies.Spec{Name: "lru"}
 	return evalCache.Do(cfgKey(base, mix), func() (*mixEval, error) {
-		return evalMix(cfg, mix, alonePar)
+		return evalMix(ctx, cfg, mix, alonePar)
 	})
 }
 
@@ -104,10 +108,10 @@ type mixEval struct {
 
 // evalMix measures the LRU baseline and alone IPCs for a mix, running up
 // to alonePar of the per-core alone systems concurrently.
-func evalMix(cfg sim.Config, mix workload.Mix, alonePar int) (*mixEval, error) {
+func evalMix(ctx context.Context, cfg sim.Config, mix workload.Mix, alonePar int) (*mixEval, error) {
 	base := cfg
 	base.Policy = policies.Spec{Name: "lru"}
-	alone, err := sim.RunAloneN(base, mix, alonePar)
+	alone, err := sim.RunAloneNContext(ctx, base, mix, alonePar)
 	if err != nil {
 		return nil, fmt.Errorf("alone runs for %s: %w", mix.Name, err)
 	}
@@ -116,7 +120,7 @@ func evalMix(cfg sim.Config, mix workload.Mix, alonePar int) (*mixEval, error) {
 			return nil, fmt.Errorf("mix %s core %d: zero alone IPC", mix.Name, i)
 		}
 	}
-	res, err := sim.RunMix(base, mix)
+	res, err := sim.RunMixContext(ctx, base, mix)
 	if err != nil {
 		return nil, fmt.Errorf("baseline run for %s: %w", mix.Name, err)
 	}
@@ -135,9 +139,9 @@ type policyOutcome struct {
 }
 
 // runPolicy evaluates spec on the mix against the cached baseline.
-func (e *mixEval) runPolicy(cfg sim.Config, spec policies.Spec) (*policyOutcome, error) {
+func (e *mixEval) runPolicy(ctx context.Context, cfg sim.Config, spec policies.Spec) (*policyOutcome, error) {
 	cfg.Policy = spec
-	res, err := sim.RunMix(cfg, e.mix)
+	res, err := sim.RunMixContext(ctx, cfg, e.mix)
 	if err != nil {
 		return nil, fmt.Errorf("%s on %s: %w", spec.DisplayName(), e.mix.Name, err)
 	}
@@ -185,6 +189,7 @@ func runSweep(cfg sim.Config, mixes []workload.Mix, specs []policies.Spec, p Par
 	}
 	par := p.Parallel()
 	log := p.logger()
+	ctx := p.ctx()
 	nCells := len(mixes) * len(specs)
 	p.Progress.AddTotal(nCells)
 	cellDone := func(mix workload.Mix, spec policies.Spec, out *policyOutcome) {
@@ -201,13 +206,13 @@ func runSweep(cfg sim.Config, mixes []workload.Mix, specs []policies.Spec, p Par
 	}
 	if par <= 1 {
 		for mi, mix := range mixes {
-			ev, err := evalMixCached(cfg, mix, 1)
+			ev, err := evalMixCached(ctx, cfg, mix, 1)
 			if err != nil {
 				return nil, err
 			}
 			sr.evals[mi] = ev
 			for si, spec := range specs {
-				out, err := ev.runPolicy(cfg, spec)
+				out, err := ev.runPolicy(ctx, cfg, spec)
 				if err != nil {
 					return nil, err
 				}
@@ -234,6 +239,12 @@ func runSweep(cfg sim.Config, mixes []workload.Mix, specs []policies.Spec, p Par
 		mu.Unlock()
 	}
 	for seq := 0; seq < nCells; seq++ {
+		if err := ctx.Err(); err != nil {
+			// Cancelled: stop dispatching. Workers already in flight
+			// observe the same context and abort on their own.
+			record(seq, err)
+			break
+		}
 		mu.Lock()
 		failed := firstErr != nil
 		mu.Unlock()
@@ -248,7 +259,7 @@ func runSweep(cfg sim.Config, mixes []workload.Mix, specs []policies.Spec, p Par
 			mi, si := seq/len(specs), seq%len(specs)
 			// alonePar=1: the cell pool already owns the parallelism
 			// budget; nesting another fan-out would oversubscribe it.
-			ev, err := evalMixCached(cfg, mixes[mi], 1)
+			ev, err := evalMixCached(ctx, cfg, mixes[mi], 1)
 			if err != nil {
 				// Serially the eval runs before any of the mix's cells.
 				record(mi*len(specs), err)
@@ -259,7 +270,7 @@ func runSweep(cfg sim.Config, mixes []workload.Mix, specs []policies.Spec, p Par
 				sr.evals[mi] = ev
 			}
 			mu.Unlock()
-			out, err := ev.runPolicy(cfg, specs[si])
+			out, err := ev.runPolicy(ctx, cfg, specs[si])
 			if err != nil {
 				record(seq, err)
 				return

@@ -26,7 +26,7 @@ func Fig02PCScatter(p Params, w io.Writer) error {
 	mixes := p.paperMixes(cfg, cores)
 	var fracs []float64
 	for _, mix := range mixes {
-		res, err := sim.RunMix(cfg, mix)
+		res, err := sim.RunMixContext(p.ctx(), cfg, mix)
 		if err != nil {
 			return err
 		}
@@ -293,12 +293,12 @@ func Tab01SampledSetCases(p Params, w io.Writer) error {
 	}
 	topPer, botPer, mixPer := rankSets(profSys.Slices(), n)
 
-	ev, err := evalMix(cfg, mix, p.Parallel())
+	ev, err := evalMix(p.ctx(), cfg, mix, p.Parallel())
 	if err != nil {
 		return err
 	}
 	baseSpec := policies.Spec{Name: "mockingjay", SampledSets: n}
-	baseOut, err := ev.runPolicy(cfg, baseSpec)
+	baseOut, err := ev.runPolicy(p.ctx(), cfg, baseSpec)
 	if err != nil {
 		return err
 	}
@@ -312,7 +312,7 @@ func Tab01SampledSetCases(p Params, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "random baseline (n=%d/slice): normWS=%.4f\n", n, baseOut.normWS)
 	for _, cse := range cases {
-		out, err := ev.runPolicy(cfg, policies.Spec{Name: "mockingjay", FixedPerSlice: cse.per})
+		out, err := ev.runPolicy(p.ctx(), cfg, policies.Spec{Name: "mockingjay", FixedPerSlice: cse.per})
 		if err != nil {
 			return err
 		}

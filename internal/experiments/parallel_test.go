@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"testing"
 
 	"drishti/internal/policies"
@@ -200,7 +202,7 @@ func TestCachesBounded(t *testing.T) {
 	p := tinyParams()
 	cfg := p.config(2)
 	mixes := p.paperMixes(cfg, 2)[:1]
-	if _, err := runMixCached(cfg, mixes[0]); err != nil {
+	if _, err := runMixCached(context.Background(), cfg, mixes[0]); err != nil {
 		t.Fatal(err)
 	}
 	if mixCache.Len() == 0 {

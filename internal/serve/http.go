@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/pprof"
+
+	"drishti/internal/buildinfo"
+)
+
+// Handler builds the service's HTTP API on a Go 1.22 pattern mux:
+//
+//	POST   /v1/jobs            submit (202; 400 invalid, 429 full, 503 draining)
+//	GET    /v1/jobs            list job statuses
+//	GET    /v1/jobs/{id}        one job's status
+//	GET    /v1/jobs/{id}/result a done job's result (409 until terminal)
+//	DELETE /v1/jobs/{id}        cancel (queued or running)
+//	GET    /v1/store/stats      durable-store counters + disk usage
+//	GET    /v1/version          build metadata
+//	GET    /metrics             registry snapshot
+//	/debug/pprof/*              live profiling
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/store/stats", s.handleStoreStats)
+	mux.HandleFunc("GET /v1/version", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, buildinfo.Read())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.reg.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{"bad request body: " + err.Error()})
+		return
+	}
+	v, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusTooManyRequests, apiError{err.Error()})
+		return
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, apiError{err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id":     v.ID,
+		"status": v.Status,
+	})
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.List()})
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{"no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, status, ok := s.Result(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{"no such job"})
+		return
+	}
+	if !status.Terminal() {
+		writeJSON(w, http.StatusConflict, apiError{"job is " + string(status) + "; result not ready"})
+		return
+	}
+	if res == nil {
+		writeJSON(w, http.StatusConflict, apiError{"job finished " + string(status) + " with no result"})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	status, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{"no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": r.PathValue("id"), "status": status})
+}
+
+func (s *Service) handleStoreStats(w http.ResponseWriter, r *http.Request) {
+	entries, bytes, err := s.st.DiskStats()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, apiError{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"counters":   s.st.Stats(),
+		"entries":    entries,
+		"diskBytes":  bytes,
+		"dir":        s.st.Dir(),
+		"queueDepth": s.q.depth(),
+	})
+}

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sync"
+	"time"
+
+	"drishti/internal/store"
+)
+
+// fifo is the bounded job queue. Bounding happens at submission time (the
+// HTTP layer rejects with 429 once depth reaches capacity); the structure
+// itself is elastic so a restored queue larger than the current capacity
+// still loads completely.
+type fifo struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	jobs   []*Job
+	closed bool
+}
+
+func newFifo() *fifo {
+	q := &fifo{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends a job. Returns false once the queue is closed.
+func (q *fifo) push(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.jobs = append(q.jobs, j)
+	q.cond.Signal()
+	return true
+}
+
+// pop blocks until a job is available or the queue closes. On close it
+// returns immediately even if jobs remain — shutdown wants them persisted,
+// not executed.
+func (q *fifo) pop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.jobs) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return nil, false
+	}
+	j := q.jobs[0]
+	q.jobs = q.jobs[1:]
+	return j, true
+}
+
+// depth returns the number of queued jobs.
+func (q *fifo) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.jobs)
+}
+
+// close wakes every waiter; subsequent pushes fail and pops drain nothing.
+func (q *fifo) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// drain returns and removes every queued job (used after close to persist).
+func (q *fifo) drain() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := q.jobs
+	q.jobs = nil
+	return out
+}
+
+// --- durable queue state ----------------------------------------------------
+
+// queueSchemaVersion guards the persisted-queue layout, like the store's
+// SchemaVersion guards entries.
+const queueSchemaVersion = 1
+
+type persistedJob struct {
+	ID         string     `json:"id"`
+	Request    JobRequest `json:"request"`
+	EnqueuedAt time.Time  `json:"enqueuedAt"`
+}
+
+type persistedQueue struct {
+	Version int            `json:"v"`
+	Jobs    []persistedJob `json:"jobs"`
+}
+
+// saveQueue atomically writes the still-queued jobs to path. An empty
+// queue removes the file so a clean shutdown leaves no residue.
+func saveQueue(path string, jobs []*Job) error {
+	if len(jobs) == 0 {
+		err := os.Remove(path)
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	pq := persistedQueue{Version: queueSchemaVersion}
+	for _, j := range jobs {
+		pq.Jobs = append(pq.Jobs, persistedJob{ID: j.ID, Request: j.Request, EnqueuedAt: j.EnqueuedAt})
+	}
+	raw, err := json.MarshalIndent(pq, "", "  ")
+	if err != nil {
+		return err
+	}
+	return store.WriteFileAtomic(path, raw, 0o644)
+}
+
+// loadQueue reads a persisted queue, tolerating a missing file (fresh
+// start) and rejecting an incompatible schema.
+func loadQueue(path string) ([]persistedJob, error) {
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var pq persistedQueue
+	if err := json.Unmarshal(raw, &pq); err != nil {
+		return nil, fmt.Errorf("serve: corrupt queue file %s: %w", path, err)
+	}
+	if pq.Version != queueSchemaVersion {
+		return nil, fmt.Errorf("serve: queue file %s has schema v%d, want v%d", path, pq.Version, queueSchemaVersion)
+	}
+	return pq.Jobs, nil
+}

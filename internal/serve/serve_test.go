@@ -1,0 +1,361 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"drishti/internal/obs"
+	"drishti/internal/workload"
+)
+
+// testService builds a Service on a fresh registry and temp store, plus a
+// live httptest server in front of its Handler.
+func testService(t *testing.T, opts Options) (*Service, *httptest.Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	opts.Registry = reg
+	if opts.StoreDir == "" {
+		opts.StoreDir = t.TempDir()
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return s, srv, reg
+}
+
+// smallSweep is a 2-policy sweep small enough to simulate in well under a
+// second per cell.
+func smallSweep(t *testing.T) JobRequest {
+	t.Helper()
+	name := workload.AllSPECGAP()[0].Name
+	return JobRequest{
+		Cores:        2,
+		Scale:        8,
+		Instructions: 20_000,
+		Warmup:       5_000,
+		Policies:     []PolicyRequest{{Name: "lru"}, {Name: "srrip"}},
+		Workloads:    []string{name},
+	}
+}
+
+func postJob(t *testing.T, srv *httptest.Server, req JobRequest) (string, *http.Response) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		ID     string `json:"id"`
+		Status Status `json:"status"`
+	}
+	json.NewDecoder(resp.Body).Decode(&out)
+	return out.ID, resp
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// waitTerminal polls a job until it reaches a terminal status.
+func waitTerminal(t *testing.T, srv *httptest.Server, id string, timeout time.Duration) view {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		var v view
+		if code := getJSON(t, srv.URL+"/v1/jobs/"+id, &v); code != http.StatusOK {
+			t.Fatalf("GET job %s: HTTP %d", id, code)
+		}
+		if v.Status.Terminal() {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s after %v", id, v.Status, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func fetchResult(t *testing.T, srv *httptest.Server, id string) JobResult {
+	t.Helper()
+	var res JobResult
+	if code := getJSON(t, srv.URL+"/v1/jobs/"+id+"/result", &res); code != http.StatusOK {
+		t.Fatalf("GET result %s: HTTP %d", id, code)
+	}
+	return res
+}
+
+// TestE2ESecondSweepServedFromStore is the acceptance test: the same sweep
+// submitted twice against a live server completes the second time entirely
+// from the durable store, without invoking the simulator — asserted via the
+// registry's store-hit counter and the per-cell FromStore flags.
+func TestE2ESecondSweepServedFromStore(t *testing.T) {
+	s, srv, reg := testService(t, Options{Workers: 2})
+	defer s.Shutdown(shortCtx(t))
+
+	req := smallSweep(t)
+	id1, resp := postJob(t, srv, req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	if v := waitTerminal(t, srv, id1, 30*time.Second); v.Status != StatusDone {
+		t.Fatalf("first job: %s (%s)", v.Status, v.Error)
+	}
+	res1 := fetchResult(t, srv, id1)
+	cells := len(req.Policies) * len(req.Workloads)
+	if len(res1.Cells) != cells || res1.StoreMisses != cells || res1.StoreHits != 0 {
+		t.Fatalf("cold run: %d cells, hits=%d misses=%d", len(res1.Cells), res1.StoreHits, res1.StoreMisses)
+	}
+
+	hitsBefore := reg.Counter("store_hits").Value()
+	id2, _ := postJob(t, srv, req)
+	if v := waitTerminal(t, srv, id2, 30*time.Second); v.Status != StatusDone {
+		t.Fatalf("second job: %s (%s)", v.Status, v.Error)
+	}
+	res2 := fetchResult(t, srv, id2)
+	if res2.StoreHits != cells || res2.StoreMisses != 0 {
+		t.Fatalf("warm run not fully from store: hits=%d misses=%d", res2.StoreHits, res2.StoreMisses)
+	}
+	for _, c := range res2.Cells {
+		if !c.FromStore {
+			t.Fatalf("cell %s/%s recomputed on warm run", c.Policy, c.Mix)
+		}
+	}
+	if got := reg.Counter("store_hits").Value() - hitsBefore; got != uint64(cells) {
+		t.Fatalf("store-hit counter advanced by %d, want %d (simulator was invoked)", got, cells)
+	}
+	// Results must be bit-identical across cold and warm paths.
+	for i := range res1.Cells {
+		if res1.Cells[i].MPKI != res2.Cells[i].MPKI || res1.Cells[i].IPCSum != res2.Cells[i].IPCSum {
+			t.Fatalf("store round-trip changed results: %+v vs %+v", res1.Cells[i], res2.Cells[i])
+		}
+	}
+}
+
+// TestCancelRunningJob is the second acceptance clause: cancelling a running
+// job stops its worker via context and the job reports status "cancelled".
+func TestCancelRunningJob(t *testing.T) {
+	s, srv, _ := testService(t, Options{Workers: 1})
+	defer s.Shutdown(shortCtx(t))
+
+	req := smallSweep(t)
+	req.Instructions = 80_000_000 // long enough to still be running when cancelled
+	req.Warmup = 0
+	id, _ := postJob(t, srv, req)
+
+	// Wait until the worker has actually picked it up.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var v view
+		getJSON(t, srv.URL+"/v1/jobs/"+id, &v)
+		if v.Status == StatusRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started (status %s)", v.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	httpDelete(t, srv, id)
+	start := time.Now()
+	v := waitTerminal(t, srv, id, 10*time.Second)
+	if v.Status != StatusCancelled {
+		t.Fatalf("status %s after cancel, want cancelled", v.Status)
+	}
+	// The simulator polls its context every 1024 steps, so the worker must
+	// come back far faster than the job would have taken to finish.
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("cancel took %v; worker did not stop promptly", took)
+	}
+	if code := getJSON(t, srv.URL+"/v1/jobs/"+id+"/result", nil); code != http.StatusConflict {
+		t.Fatalf("result of cancelled job: HTTP %d, want 409", code)
+	}
+}
+
+func httpDelete(t *testing.T, srv *httptest.Server, id string) {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: HTTP %d", resp.StatusCode)
+	}
+}
+
+// TestCancelQueuedJob: a job cancelled before any worker picks it up flips
+// straight to cancelled and is skipped when popped.
+func TestCancelQueuedJob(t *testing.T) {
+	s, srv, _ := testService(t, Options{Workers: -1})
+	defer s.Shutdown(shortCtx(t))
+	id, _ := postJob(t, srv, smallSweep(t))
+	httpDelete(t, srv, id)
+	var v view
+	getJSON(t, srv.URL+"/v1/jobs/"+id, &v)
+	if v.Status != StatusCancelled {
+		t.Fatalf("queued job after cancel: %s", v.Status)
+	}
+}
+
+// TestBackpressure429: once the queue is at capacity, submissions are
+// rejected with 429 and a Retry-After header.
+func TestBackpressure429(t *testing.T) {
+	s, srv, reg := testService(t, Options{Workers: -1, QueueCap: 2})
+	defer s.Shutdown(shortCtx(t))
+
+	req := smallSweep(t)
+	for i := 0; i < 2; i++ {
+		if _, resp := postJob(t, srv, req); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d", i, resp.StatusCode)
+		}
+	}
+	_, resp := postJob(t, srv, req)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity submit: HTTP %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	if reg.Counter("jobs_rejected").Value() != 1 {
+		t.Fatalf("jobs_rejected = %d", reg.Counter("jobs_rejected").Value())
+	}
+}
+
+// TestQueuePersistRestore: queued jobs survive a shutdown/restart cycle with
+// their IDs intact (satellite 4's round-trip requirement).
+func TestQueuePersistRestore(t *testing.T) {
+	dir := t.TempDir()
+	s1, srv1, _ := testService(t, Options{Workers: -1, StoreDir: dir})
+	req := smallSweep(t)
+	idA, _ := postJob(t, srv1, req)
+	idB, _ := postJob(t, srv1, req)
+	if err := s1.Shutdown(shortCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	srv1.Close()
+
+	// Submissions after shutdown are refused.
+	if _, err := s1.Submit(req); err == nil {
+		t.Fatal("submit after shutdown succeeded")
+	}
+
+	s2, srv2, reg2 := testService(t, Options{Workers: -1, StoreDir: dir})
+	defer s2.Shutdown(shortCtx(t))
+	if got := reg2.Counter("jobs_restored").Value(); got != 2 {
+		t.Fatalf("restored %d jobs, want 2", got)
+	}
+	for _, id := range []string{idA, idB} {
+		var v view
+		if code := getJSON(t, srv2.URL+"/v1/jobs/"+id, &v); code != http.StatusOK || v.Status != StatusQueued {
+			t.Fatalf("restored job %s: HTTP %d status %s", id, code, v.Status)
+		}
+	}
+	if s2.q.depth() != 2 {
+		t.Fatalf("restored queue depth %d", s2.q.depth())
+	}
+
+	// Restored jobs actually run: a third service with workers drains them
+	// (the queue file was consumed by s2, so persist it again first).
+	if err := s2.Shutdown(shortCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	s3, srv3, _ := testService(t, Options{Workers: 2, StoreDir: dir})
+	defer s3.Shutdown(shortCtx(t))
+	for _, id := range []string{idA, idB} {
+		if v := waitTerminal(t, srv3, id, 30*time.Second); v.Status != StatusDone {
+			t.Fatalf("restored job %s finished %s (%s)", id, v.Status, v.Error)
+		}
+	}
+}
+
+// TestJobTimeout: a request-level timeout fails the job rather than hanging
+// the worker.
+func TestJobTimeout(t *testing.T) {
+	s, srv, _ := testService(t, Options{Workers: 1})
+	defer s.Shutdown(shortCtx(t))
+	req := smallSweep(t)
+	req.Instructions = 80_000_000
+	req.Warmup = 0
+	req.TimeoutSec = 1
+	id, _ := postJob(t, srv, req)
+	v := waitTerminal(t, srv, id, 20*time.Second)
+	if v.Status != StatusFailed {
+		t.Fatalf("timed-out job: %s", v.Status)
+	}
+}
+
+// TestSubmitValidation: malformed bodies and unknown names are 400s.
+func TestSubmitValidation(t *testing.T) {
+	s, srv, _ := testService(t, Options{Workers: -1})
+	defer s.Shutdown(shortCtx(t))
+	cases := []string{
+		`{not json`,
+		`{"cores": 0, "policies": [{"name":"lru"}], "workloads": ["x"]}`,
+		`{"cores": 2, "policies": [{"name":"nope"}], "workloads": ["x"]}`,
+		`{"cores": 2, "policies": [{"name":"lru"}], "workloads": ["no-such-model"]}`,
+		`{"cores": 2, "policies": [], "workloads": ["x"]}`,
+		`{"cores": 2, "unknownField": 1}`,
+	}
+	for _, body := range cases {
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: HTTP %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+// TestAuxEndpoints: version, metrics, and store stats respond.
+func TestAuxEndpoints(t *testing.T) {
+	s, srv, _ := testService(t, Options{Workers: -1})
+	defer s.Shutdown(shortCtx(t))
+	var ver struct {
+		GoVersion string `json:"goVersion"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/version", &ver); code != http.StatusOK || ver.GoVersion == "" {
+		t.Fatalf("version: HTTP %d %+v", code, ver)
+	}
+	var stats map[string]any
+	if code := getJSON(t, srv.URL+"/v1/store/stats", &stats); code != http.StatusOK {
+		t.Fatalf("store stats: HTTP %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/metrics", nil); code != http.StatusOK {
+		t.Fatalf("metrics: HTTP %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/v1/jobs/zzz", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job: HTTP %d", code)
+	}
+}
+
+func shortCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}

@@ -1,0 +1,478 @@
+// Package serve is the drishti-served job service: an HTTP front end that
+// queues simulation/sweep requests into a bounded FIFO, executes them on a
+// worker pool with per-job cancellation, timeouts, and bounded
+// retry-with-backoff, and amortizes identical work through the durable
+// content-addressed result store (internal/store). Queued jobs survive
+// restarts: graceful shutdown drains in-flight work, persists the queue,
+// and New restores it.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"drishti/internal/obs"
+	"drishti/internal/policies"
+	"drishti/internal/sim"
+	"drishti/internal/store"
+	"drishti/internal/workload"
+)
+
+// Options configure a Service. Zero values take the documented defaults.
+type Options struct {
+	// StoreDir roots the durable result store and the persisted queue.
+	StoreDir string
+
+	// Workers is the scheduler pool size (default GOMAXPROCS). A negative
+	// value starts no workers at all: jobs queue but never execute, which
+	// tests use to exercise queue persistence deterministically.
+	Workers int
+
+	// QueueCap bounds the FIFO; submissions beyond it get HTTP 429
+	// (default 64).
+	QueueCap int
+
+	// DefaultTimeout bounds each job's wall clock unless the request
+	// overrides it (default 0 = unbounded).
+	DefaultTimeout time.Duration
+
+	// MaxRetries is the per-job retry budget for failures that are not
+	// cancellations or timeouts (default 2; requests can override).
+	MaxRetries int
+
+	// RetryBackoff is the base of the exponential backoff between
+	// attempts (default 100ms, doubling per attempt, capped at 5s).
+	RetryBackoff time.Duration
+
+	// Logger receives one structured line per job transition (default
+	// discard).
+	Logger *slog.Logger
+
+	// Registry receives queue/store/job metrics (default the process
+	// registry).
+	Registry *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	} else if o.Workers < 0 {
+		o.Workers = -1
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 64
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 2
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 100 * time.Millisecond
+	}
+	if o.Logger == nil {
+		o.Logger = obs.Discard()
+	}
+	if o.Registry == nil {
+		o.Registry = obs.Default()
+	}
+	return o
+}
+
+// Service owns the queue, the worker pool, the job table, and the store.
+type Service struct {
+	opts  Options
+	st    *store.Store
+	q     *fifo
+	log   *slog.Logger
+	reg   *obs.Registry
+	qfile string
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for listing
+	seq      int
+	draining bool
+
+	wg       sync.WaitGroup
+	inflight atomic.Int64
+
+	// metrics
+	cSubmitted, cRestored, cRejected *obs.Counter
+	cDone, cFailed, cCancelled       *obs.Counter
+	cRetries                         *obs.Counter
+	gQueueDepth, gInflight           *obs.Gauge
+	hLatency                         *obs.Histogram
+}
+
+// New builds a Service, opens (or creates) its store, restores any queue
+// persisted by a previous process, and starts the worker pool.
+func New(opts Options) (*Service, error) {
+	opts = opts.withDefaults()
+	st, err := store.Open(opts.StoreDir)
+	if err != nil {
+		return nil, err
+	}
+	st.Attach(opts.Registry, "store")
+	s := &Service{
+		opts:  opts,
+		st:    st,
+		q:     newFifo(),
+		log:   opts.Logger,
+		reg:   opts.Registry,
+		qfile: filepath.Join(opts.StoreDir, "queue.json"),
+		jobs:  make(map[string]*Job),
+
+		cSubmitted:  opts.Registry.Counter("jobs_submitted"),
+		cRestored:   opts.Registry.Counter("jobs_restored"),
+		cRejected:   opts.Registry.Counter("jobs_rejected"),
+		cDone:       opts.Registry.Counter("jobs_done"),
+		cFailed:     opts.Registry.Counter("jobs_failed"),
+		cCancelled:  opts.Registry.Counter("jobs_cancelled"),
+		cRetries:    opts.Registry.Counter("jobs_retried"),
+		gQueueDepth: opts.Registry.Gauge("queue_depth"),
+		gInflight:   opts.Registry.Gauge("jobs_inflight"),
+		hLatency:    opts.Registry.Histogram("job_latency_ms", 0, 250, 64),
+	}
+	if err := s.restoreQueue(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Store exposes the backing store (the HTTP stats endpoint reads it).
+func (s *Service) Store() *store.Store { return s.st }
+
+// restoreQueue re-enqueues jobs a previous process persisted on shutdown.
+// Restored jobs keep their IDs, so clients polling across the restart
+// resolve. The file is consumed: a later shutdown rewrites it from scratch.
+func (s *Service) restoreQueue() error {
+	pjobs, err := loadQueue(s.qfile)
+	if err != nil {
+		return err
+	}
+	for _, pj := range pjobs {
+		j := &Job{ID: pj.ID, Request: pj.Request, Status: StatusQueued, EnqueuedAt: pj.EnqueuedAt}
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+		s.q.push(j)
+		s.cRestored.Inc()
+	}
+	if len(pjobs) > 0 {
+		s.log.Info("queue restored", "jobs", len(pjobs))
+	}
+	s.gQueueDepth.Set(float64(s.q.depth()))
+	return saveQueue(s.qfile, nil) // consumed
+}
+
+// ErrQueueFull is returned by Submit when the FIFO is at capacity; the
+// HTTP layer maps it to 429 + Retry-After.
+var ErrQueueFull = errors.New("serve: queue full")
+
+// ErrDraining is returned during shutdown; the HTTP layer maps it to 503.
+var ErrDraining = errors.New("serve: shutting down")
+
+// Submit validates, assigns an ID, and enqueues a job, returning a
+// snapshot taken before any worker can touch it (the live *Job is owned
+// by the service and its mutex from here on).
+func (s *Service) Submit(req JobRequest) (view, error) {
+	req = req.withDefaults()
+	if err := req.Validate(); err != nil {
+		return view{}, fmt.Errorf("invalid job: %w", err)
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return view{}, ErrDraining
+	}
+	if s.q.depth() >= s.opts.QueueCap {
+		s.mu.Unlock()
+		s.cRejected.Inc()
+		return view{}, ErrQueueFull
+	}
+	s.seq++
+	id := fmt.Sprintf("j%06d-%s", s.seq, obs.RunID(
+		strconv.Itoa(s.seq), strconv.FormatInt(time.Now().UnixNano(), 10)))
+	j := &Job{ID: id, Request: req, Status: StatusQueued, EnqueuedAt: time.Now()}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	snap := j.snapshot()
+	s.q.push(j)
+	s.mu.Unlock()
+	s.cSubmitted.Inc()
+	s.gQueueDepth.Set(float64(s.q.depth()))
+	s.log.Info("job queued", "job", id, "cores", req.Cores,
+		"policies", len(req.Policies), "workloads", len(req.Workloads))
+	return snap, nil
+}
+
+// Get returns a snapshot view of the job, if it exists.
+func (s *Service) Get(id string) (view, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return view{}, false
+	}
+	return j.snapshot(), true
+}
+
+// Result returns a done job's result.
+func (s *Service) Result(id string) (*JobResult, Status, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, "", false
+	}
+	return j.Result, j.Status, true
+}
+
+// List returns snapshots of every job in submission order.
+func (s *Service) List() []view {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]view, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].snapshot())
+	}
+	return out
+}
+
+// Cancel stops a job: queued jobs flip straight to cancelled (the worker
+// skips them), running jobs get their context cancelled and settle to
+// cancelled once the simulator unwinds. Returns the post-cancel status.
+func (s *Service) Cancel(id string) (Status, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return "", false
+	}
+	switch j.Status {
+	case StatusQueued:
+		j.Status = StatusCancelled
+		j.FinishedAt = time.Now()
+		s.cCancelled.Inc()
+		s.log.Info("job cancelled while queued", "job", id)
+	case StatusRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+		s.log.Info("job cancel requested", "job", id)
+	}
+	return j.Status, true
+}
+
+// worker pulls jobs until the queue closes.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		j, ok := s.q.pop()
+		if !ok {
+			return
+		}
+		s.gQueueDepth.Set(float64(s.q.depth()))
+		s.execute(j)
+	}
+}
+
+// execute runs one job with timeout, bounded retry, and cancellation.
+func (s *Service) execute(j *Job) {
+	s.mu.Lock()
+	if j.Status != StatusQueued { // cancelled while waiting
+		s.mu.Unlock()
+		return
+	}
+	j.Status = StatusRunning
+	j.StartedAt = time.Now()
+	ctx, cancel := context.WithCancel(context.Background())
+	timeout := s.opts.DefaultTimeout
+	if j.Request.TimeoutSec > 0 {
+		timeout = time.Duration(j.Request.TimeoutSec) * time.Second
+	}
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	j.cancel = cancel
+	s.mu.Unlock()
+	defer cancel()
+	s.gInflight.Set(float64(s.inflight.Add(1)))
+	defer func() { s.gInflight.Set(float64(s.inflight.Add(-1))) }()
+
+	retries := s.opts.MaxRetries
+	switch {
+	case j.Request.MaxRetries > 0:
+		retries = j.Request.MaxRetries
+	case j.Request.MaxRetries < 0:
+		retries = 0
+	}
+
+	var (
+		res      *JobResult
+		err      error
+		attempts int
+	)
+	for attempt := 0; ; attempt++ {
+		attempts = attempt + 1
+		res, err = s.runJob(ctx, j)
+		if err == nil || ctx.Err() != nil || attempt >= retries {
+			break
+		}
+		// Transient failure: back off exponentially (capped) and retry.
+		s.cRetries.Inc()
+		backoff := s.opts.RetryBackoff << uint(attempt)
+		if backoff > 5*time.Second {
+			backoff = 5 * time.Second
+		}
+		s.log.Warn("job attempt failed, retrying", "job", j.ID,
+			"attempt", attempts, "backoff", backoff, "err", err)
+		select {
+		case <-ctx.Done():
+		case <-time.After(backoff):
+		}
+	}
+
+	s.mu.Lock()
+	j.Attempts = attempts
+	j.FinishedAt = time.Now()
+	j.cancel = nil
+	elapsed := j.FinishedAt.Sub(j.StartedAt)
+	switch {
+	case err == nil:
+		j.Status = StatusDone
+		res.ElapsedMS = elapsed.Milliseconds()
+		j.Result = res
+		s.cDone.Inc()
+	case errors.Is(err, context.Canceled):
+		j.Status = StatusCancelled
+		j.Error = err.Error()
+		s.cCancelled.Inc()
+	case errors.Is(err, context.DeadlineExceeded):
+		j.Status = StatusFailed
+		j.Error = fmt.Sprintf("timed out after %v: %v", elapsed.Round(time.Millisecond), err)
+		s.cFailed.Inc()
+	default:
+		j.Status = StatusFailed
+		j.Error = err.Error()
+		s.cFailed.Inc()
+	}
+	status := j.Status
+	s.mu.Unlock()
+	s.hLatency.Observe(elapsed.Milliseconds())
+	s.log.Info("job finished", "job", j.ID, "status", string(status),
+		"attempts", attempts, "elapsed", elapsed.Round(time.Millisecond), "err", err)
+}
+
+// runJob executes the request's workload × policy grid serially within the
+// job (the worker pool provides cross-job parallelism), front-loading every
+// cell with a store lookup. Identical cells computed by any earlier process
+// are served from disk without touching the simulator.
+func (s *Service) runJob(ctx context.Context, j *Job) (*JobResult, error) {
+	req := j.Request
+	mixes, err := req.mixes()
+	if err != nil {
+		return nil, err
+	}
+	base := req.config()
+	out := &JobResult{}
+	for wi, mix := range mixes {
+		for _, pol := range req.Policies {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			cfg := base
+			cfg.Policy = policies.Spec{Name: pol.Name, Drishti: pol.Drishti}
+			res, fromStore, err := s.runCell(ctx, cfg, mix)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", cfg.Policy.DisplayName(), mix.Name, err)
+			}
+			if fromStore {
+				out.StoreHits++
+			} else {
+				out.StoreMisses++
+			}
+			out.Cells = append(out.Cells, CellResult{
+				Policy:    cfg.Policy.DisplayName(),
+				Workload:  req.Workloads[wi],
+				Mix:       mix.Name,
+				FromStore: fromStore,
+				IPCSum:    res.IPCSum(),
+				MPKI:      res.MPKI,
+				WPKI:      res.WPKI,
+				APKI:      res.APKI,
+				Result:    res,
+			})
+			s.log.Info("cell done", "job", j.ID,
+				"run", obs.RunID(cfg.Key(), mix.Key()),
+				"policy", cfg.Policy.DisplayName(), "mix", mix.Name,
+				"fromStore", fromStore, "mpki", res.MPKI)
+		}
+	}
+	return out, nil
+}
+
+// runCell serves one simulation from the store or computes and stores it.
+func (s *Service) runCell(ctx context.Context, cfg sim.Config, mix workload.Mix) (*sim.Result, bool, error) {
+	key := cfg.Key() + "|" + mix.Key()
+	var cached sim.Result
+	hit, err := s.st.Get(key, &cached)
+	if err != nil {
+		return nil, false, err
+	}
+	if hit {
+		return &cached, true, nil
+	}
+	res, err := sim.RunMixContext(ctx, cfg, mix)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := s.st.Put(key, res); err != nil {
+		// The result is good; only durability failed. Log and serve it.
+		s.log.Warn("store put failed", "err", err)
+	}
+	return res, false, nil
+}
+
+// Shutdown gracefully stops the service: new submissions are rejected,
+// workers stop picking up queued jobs and finish their in-flight ones, and
+// whatever is still queued is persisted for the next process. ctx bounds
+// the drain; on expiry the queue is still persisted but in-flight jobs are
+// abandoned (their contexts are NOT cancelled — a hard stop would lose
+// work that is about to finish).
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	s.mu.Unlock()
+	s.q.close()
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	var drainErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		drainErr = fmt.Errorf("serve: drain timeout: %w", ctx.Err())
+	}
+
+	left := s.q.drain()
+	if err := saveQueue(s.qfile, left); err != nil {
+		return errors.Join(drainErr, fmt.Errorf("serve: persist queue: %w", err))
+	}
+	s.log.Info("shutdown complete", "persistedJobs", len(left))
+	return drainErr
+}

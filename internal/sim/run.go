@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -29,6 +30,13 @@ func Readers(mix workload.Mix) ([]trace.Reader, error) {
 // RunMix builds and runs a system over a workload mix. When telemetry is on
 // and no tag was set, epochs are tagged with the mix name.
 func RunMix(cfg Config, mix workload.Mix) (*Result, error) {
+	return RunMixContext(context.Background(), cfg, mix)
+}
+
+// RunMixContext is RunMix with cooperative cancellation: the simulation
+// aborts with a wrapped ctx.Err() once ctx is done. A context that is never
+// cancelled (context.Background) produces results bit-identical to RunMix.
+func RunMixContext(ctx context.Context, cfg Config, mix workload.Mix) (*Result, error) {
 	if mix.Cores() != cfg.Cores {
 		return nil, fmt.Errorf("sim: mix %s targets %d cores, config has %d", mix.Name, mix.Cores(), cfg.Cores)
 	}
@@ -43,7 +51,7 @@ func RunMix(cfg Config, mix workload.Mix) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sys.Run()
+	return sys.RunContext(ctx)
 }
 
 // RunAlone measures each core's alone IPC: the same machine (all LLC slices
@@ -61,6 +69,13 @@ func RunAlone(cfg Config, mix workload.Mix) ([]float64, error) {
 // failure the error of the lowest-numbered failing core is returned,
 // matching the serial path.
 func RunAloneN(cfg Config, mix workload.Mix, parallelism int) ([]float64, error) {
+	return RunAloneNContext(context.Background(), cfg, mix, parallelism)
+}
+
+// RunAloneNContext is RunAloneN with cooperative cancellation. Cancellation
+// stops dispatching further cores and aborts the in-flight ones; a context
+// that is never cancelled produces results bit-identical to RunAloneN.
+func RunAloneNContext(ctx context.Context, cfg Config, mix workload.Mix, parallelism int) ([]float64, error) {
 	if mix.Cores() != cfg.Cores {
 		return nil, fmt.Errorf("sim: mix %s targets %d cores, config has %d", mix.Name, mix.Cores(), cfg.Cores)
 	}
@@ -70,7 +85,7 @@ func RunAloneN(cfg Config, mix workload.Mix, parallelism int) ([]float64, error)
 	}
 	if parallelism <= 1 {
 		for c := 0; c < cfg.Cores; c++ {
-			ipc, err := runAloneCore(cfg, mix, c)
+			ipc, err := runAloneCore(ctx, cfg, mix, c)
 			if err != nil {
 				return nil, err
 			}
@@ -100,7 +115,7 @@ func RunAloneN(cfg Config, mix workload.Mix, parallelism int) ([]float64, error)
 		go func(c int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			ipc, err := runAloneCore(cfg, mix, c)
+			ipc, err := runAloneCore(ctx, cfg, mix, c)
 			if err != nil {
 				mu.Lock()
 				if c < errCore {
@@ -123,7 +138,7 @@ func RunAloneN(cfg Config, mix workload.Mix, parallelism int) ([]float64, error)
 // IPC calibration, not the run of record, so telemetry is disabled — the
 // concurrent per-core systems would otherwise interleave epochs under one
 // tag in the shared sink.
-func runAloneCore(cfg Config, mix workload.Mix, c int) (float64, error) {
+func runAloneCore(ctx context.Context, cfg Config, mix workload.Mix, c int) (float64, error) {
 	cfg.TelemetryEpoch, cfg.TelemetrySink, cfg.TelemetryTag = 0, nil, ""
 	readers := make([]trace.Reader, cfg.Cores)
 	g, err := workload.NewGenerator(mix.Models[c], mix.Seeds[c])
@@ -135,7 +150,7 @@ func runAloneCore(cfg Config, mix workload.Mix, c int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	res, err := sys.Run()
+	res, err := sys.RunContext(ctx)
 	if err != nil {
 		return 0, err
 	}

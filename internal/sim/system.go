@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -417,7 +418,19 @@ func (s *System) trackPC(coreID int, pc uint64, sliceID int) {
 // Run executes the workload until every active core has retired its target
 // instruction count. Finished cores keep running (their traces loop) so
 // shared-resource contention persists, matching the paper's methodology.
-func (s *System) Run() (*Result, error) {
+func (s *System) Run() (*Result, error) { return s.RunContext(context.Background()) }
+
+// RunContext is Run with cooperative cancellation: the step loop polls
+// ctx every 1024 steps and aborts with a wrapped ctx.Err() once it is
+// done. Cancellation never changes results — a run either completes
+// bit-identically to Run or returns an error. context.Background (whose
+// Done channel is nil) costs one nil check per step, so the
+// non-cancellable path is unchanged.
+func (s *System) RunContext(ctx context.Context) (*Result, error) {
+	var cancelCh <-chan struct{}
+	if ctx != nil {
+		cancelCh = ctx.Done()
+	}
 	active := 0
 	for c := range s.readers {
 		if s.readers[c] != nil {
@@ -437,6 +450,13 @@ func (s *System) Run() (*Result, error) {
 	guard := uint64(0)
 	guardMax := 64 * s.totalTarget * uint64(active)
 	for remaining > 0 {
+		if cancelCh != nil && guard&1023 == 0 {
+			select {
+			case <-cancelCh:
+				return nil, fmt.Errorf("sim: run cancelled after %d steps: %w", guard, ctx.Err())
+			default:
+			}
+		}
 		// Pick the earliest unfinished-or-contending core. Linear scan:
 		// core counts are ≤128 and each step does real cache work.
 		coreID := -1

@@ -1,0 +1,299 @@
+// Package store is a durable, content-addressed result store: a disk-backed
+// extension of the in-memory memo caches. Entries are keyed by the explicit
+// Key() builders (sim.Config, policies.Spec, workload.Mix), addressed on
+// disk by the SHA-256 of the key, and written atomically (temp file +
+// rename) so a crashed writer never leaves a half-entry where a reader can
+// see it. Every entry carries a schema version and a payload checksum;
+// version mismatches and corrupted entries are treated as misses (and the
+// bad file removed) so callers always fall back to recompute instead of
+// consuming damaged results.
+//
+// The drishti-served job service fronts the simulator with a Store: a job
+// whose (config, mix) key was computed by any earlier process — not just
+// the current one — is served from disk in O(1).
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"drishti/internal/obs"
+)
+
+// SchemaVersion is bumped whenever the envelope layout or the semantics of
+// stored payloads change; entries written under another version are
+// invalidated on read.
+const SchemaVersion = 1
+
+// envelope is the on-disk frame around a payload.
+type envelope struct {
+	Version int             `json:"v"`
+	Key     string          `json:"key"`
+	Sum     string          `json:"sum"` // hex SHA-256 of Payload
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Stats is a point-in-time summary of store activity since Open.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`  // absent entries
+	Corrupt   uint64 `json:"corrupt"` // checksum/decode failures, removed
+	Stale     uint64 `json:"stale"`   // schema-version mismatches, removed
+	Puts      uint64 `json:"puts"`
+	PutErrors uint64 `json:"putErrors"`
+}
+
+// Store is a content-addressed entry store rooted at one directory. All
+// methods are safe for concurrent use, including by multiple processes
+// sharing the directory (atomic rename makes same-key writers idempotent).
+type Store struct {
+	dir string
+
+	hits, misses, corrupt, stale, puts, putErrs atomic.Uint64
+
+	// Optional registry mirrors (set by Attach).
+	mu                  sync.Mutex
+	cHits, cMiss, cCorr *obs.Counter
+}
+
+// Open prepares a store rooted at dir, creating it if needed.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Attach mirrors hit/miss/corruption counts into reg as
+// <prefix>_hits/_misses/_corrupt so /metrics exposes store behavior live.
+func (s *Store) Attach(reg *obs.Registry, prefix string) *Store {
+	if reg == nil {
+		return s
+	}
+	s.mu.Lock()
+	s.cHits = reg.Counter(prefix + "_hits")
+	s.cMiss = reg.Counter(prefix + "_misses")
+	s.cCorr = reg.Counter(prefix + "_corrupt")
+	s.mu.Unlock()
+	return s
+}
+
+// path maps a key to its content address: two-level fan-out keeps
+// directories small at millions of entries.
+func (s *Store) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	name := hex.EncodeToString(sum[:])
+	return filepath.Join(s.dir, name[:2], name+".json")
+}
+
+func (s *Store) bumpHit() {
+	s.hits.Add(1)
+	s.mu.Lock()
+	if s.cHits != nil {
+		s.cHits.Inc()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Store) bumpMiss() {
+	s.misses.Add(1)
+	s.mu.Lock()
+	if s.cMiss != nil {
+		s.cMiss.Inc()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Store) bumpCorrupt() {
+	s.corrupt.Add(1)
+	s.mu.Lock()
+	if s.cCorr != nil {
+		s.cCorr.Inc()
+	}
+	s.mu.Unlock()
+}
+
+// Get loads the entry for key into v (a pointer, as for json.Unmarshal).
+// It returns (true, nil) on a hit. Absent, stale-version, and corrupted
+// entries all report (false, nil) — a miss the caller recovers from by
+// recomputing; damaged files are removed so the next Put heals the slot.
+// Only environmental failures (e.g. permission errors) surface as errors.
+func (s *Store) Get(key string, v any) (bool, error) {
+	raw, err := os.ReadFile(s.path(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		s.bumpMiss()
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("store: read %q: %w", key, err)
+	}
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		s.discardCorrupt(key)
+		return false, nil
+	}
+	if env.Version != SchemaVersion {
+		s.discardStale(key)
+		return false, nil
+	}
+	if env.Key != key { // hash collision or foreign file; never deliver
+		s.discardCorrupt(key)
+		return false, nil
+	}
+	sum := sha256.Sum256(env.Payload)
+	if hex.EncodeToString(sum[:]) != env.Sum {
+		s.discardCorrupt(key)
+		return false, nil
+	}
+	if err := json.Unmarshal(env.Payload, v); err != nil {
+		s.discardCorrupt(key)
+		return false, nil
+	}
+	s.bumpHit()
+	return true, nil
+}
+
+// discardCorrupt removes a damaged entry and counts it as a corruption
+// plus a miss (the caller recomputes).
+func (s *Store) discardCorrupt(key string) {
+	os.Remove(s.path(key))
+	s.bumpCorrupt()
+	s.bumpMiss()
+}
+
+// discardStale removes an entry written under another schema version.
+func (s *Store) discardStale(key string) {
+	os.Remove(s.path(key))
+	s.stale.Add(1)
+	s.bumpMiss()
+}
+
+// Put durably stores v under key, replacing any existing entry. The write
+// is atomic: the envelope lands in a temp file in the same directory and is
+// renamed into place, so concurrent readers see either the old entry or the
+// new one, never a torn file, and concurrent same-key writers are
+// idempotent (both rename a complete file).
+func (s *Store) Put(key string, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		s.putErrs.Add(1)
+		return fmt.Errorf("store: encode %q: %w", key, err)
+	}
+	sum := sha256.Sum256(payload)
+	raw, err := json.Marshal(envelope{
+		Version: SchemaVersion,
+		Key:     key,
+		Sum:     hex.EncodeToString(sum[:]),
+		Payload: payload,
+	})
+	if err != nil {
+		s.putErrs.Add(1)
+		return fmt.Errorf("store: encode envelope %q: %w", key, err)
+	}
+	dst := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		s.putErrs.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), ".put-*")
+	if err != nil {
+		s.putErrs.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		s.putErrs.Add(1)
+		return fmt.Errorf("store: write %q: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		s.putErrs.Add(1)
+		return fmt.Errorf("store: close %q: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		s.putErrs.Add(1)
+		return fmt.Errorf("store: rename %q: %w", key, err)
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+// Stats returns activity counts since Open.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Corrupt:   s.corrupt.Load(),
+		Stale:     s.stale.Load(),
+		Puts:      s.puts.Load(),
+		PutErrors: s.putErrs.Load(),
+	}
+}
+
+// DiskStats walks the store directory and returns the entry count and total
+// payload bytes on disk (served by GET /v1/store/stats; O(entries), so it
+// is not on any hot path).
+func (s *Store) DiskStats() (entries int, bytes int64, err error) {
+	err = filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		entries++
+		bytes += info.Size()
+		return nil
+	})
+	return entries, bytes, err
+}
+
+// WriteFileAtomic writes data to path via a same-directory temp file and
+// rename, the same torn-write guarantee store entries get. The job service
+// reuses it for queue persistence.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".atomic-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

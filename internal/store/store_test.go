@@ -1,0 +1,308 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"drishti/internal/obs"
+)
+
+type payload struct {
+	Name  string
+	Value float64
+	Seq   []int
+}
+
+func testStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := testStore(t)
+	in := payload{Name: "fig13", Value: 1.0625, Seq: []int{1, 2, 3}}
+	if err := s.Put("k1", in); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	hit, err := s.Get("k1", &out)
+	if err != nil || !hit {
+		t.Fatalf("Get: hit=%v err=%v", hit, err)
+	}
+	if out.Name != in.Name || out.Value != in.Value || len(out.Seq) != 3 {
+		t.Fatalf("round trip mangled: %+v", out)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Puts != 1 || st.Misses != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestGetAbsentIsMiss(t *testing.T) {
+	s := testStore(t)
+	var out payload
+	hit, err := s.Get("nope", &out)
+	if err != nil || hit {
+		t.Fatalf("hit=%v err=%v", hit, err)
+	}
+	if st := s.Stats(); st.Misses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// Concurrent readers and writers of the same key must never observe a torn
+// or partially-written entry: every Get is either a miss or a fully valid
+// payload. Run with -race in `make verify`.
+func TestConcurrentSameKey(t *testing.T) {
+	s := testStore(t)
+	const key = "shared"
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := s.Put(key, payload{Name: "w", Value: float64(w), Seq: []int{i}}); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				var out payload
+				hit, err := s.Get(key, &out)
+				if err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+				if hit && out.Name != "w" {
+					t.Errorf("torn read: %+v", out)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Corrupt != 0 {
+		t.Fatalf("concurrent same-key access corrupted entries: %+v", st)
+	}
+}
+
+// entryFile locates the single on-disk entry so corruption tests can damage
+// it directly.
+func entryFile(t *testing.T, s *Store) string {
+	t.Helper()
+	var found string
+	filepath.Walk(s.Dir(), func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && filepath.Ext(path) == ".json" {
+			found = path
+		}
+		return nil
+	})
+	if found == "" {
+		t.Fatal("no entry file on disk")
+	}
+	return found
+}
+
+func TestCorruptedEntryFallsBackToMiss(t *testing.T) {
+	cases := []struct {
+		name   string
+		mangle func(raw []byte) []byte
+	}{
+		{"truncated", func(raw []byte) []byte { return raw[:len(raw)/2] }},
+		{"bitflip-payload", func(raw []byte) []byte {
+			// Flip a byte inside the payload numbers, leaving JSON valid.
+			var env map[string]json.RawMessage
+			if err := json.Unmarshal(raw, &env); err != nil {
+				return raw[:1]
+			}
+			p := []byte(env["payload"])
+			for i, b := range p {
+				if b >= '1' && b <= '8' {
+					p[i] = b + 1
+					break
+				}
+			}
+			env["payload"] = p
+			out, _ := json.Marshal(env)
+			return out
+		}},
+		{"garbage", func(raw []byte) []byte { return []byte("not json at all") }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := testStore(t)
+			if err := s.Put("k", payload{Name: "x", Value: 12345678}); err != nil {
+				t.Fatal(err)
+			}
+			file := entryFile(t, s)
+			raw, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(file, tc.mangle(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var out payload
+			hit, err := s.Get("k", &out)
+			if err != nil {
+				t.Fatalf("corrupted entry surfaced an error: %v", err)
+			}
+			if hit {
+				t.Fatalf("corrupted entry served as a hit: %+v", out)
+			}
+			if st := s.Stats(); st.Corrupt != 1 {
+				t.Fatalf("stats %+v, want Corrupt=1", st)
+			}
+			if _, err := os.Stat(file); !os.IsNotExist(err) {
+				t.Fatalf("corrupted file not removed (err=%v)", err)
+			}
+			// The slot heals: recompute + Put + Get works again.
+			if err := s.Put("k", payload{Name: "fresh"}); err != nil {
+				t.Fatal(err)
+			}
+			if hit, err := s.Get("k", &out); err != nil || !hit || out.Name != "fresh" {
+				t.Fatalf("healed slot: hit=%v err=%v out=%+v", hit, err, out)
+			}
+		})
+	}
+}
+
+func TestVersionMismatchInvalidates(t *testing.T) {
+	s := testStore(t)
+	if err := s.Put("k", payload{Name: "old"}); err != nil {
+		t.Fatal(err)
+	}
+	file := entryFile(t, s)
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env map[string]any
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatal(err)
+	}
+	env["v"] = SchemaVersion + 1
+	newRaw, _ := json.Marshal(env)
+	if err := os.WriteFile(file, newRaw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	hit, err := s.Get("k", &out)
+	if err != nil || hit {
+		t.Fatalf("future-version entry served: hit=%v err=%v", hit, err)
+	}
+	st := s.Stats()
+	if st.Stale != 1 || st.Corrupt != 0 {
+		t.Fatalf("stats %+v, want Stale=1 Corrupt=0", st)
+	}
+	if _, err := os.Stat(file); !os.IsNotExist(err) {
+		t.Fatalf("stale file not removed (err=%v)", err)
+	}
+}
+
+func TestKeyMismatchRejected(t *testing.T) {
+	s := testStore(t)
+	if err := s.Put("k", payload{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the envelope claiming a different key at the same address.
+	file := entryFile(t, s)
+	raw, _ := os.ReadFile(file)
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatal(err)
+	}
+	env.Key = "other"
+	newRaw, _ := json.Marshal(env)
+	os.WriteFile(file, newRaw, 0o644)
+	var out payload
+	if hit, _ := s.Get("k", &out); hit {
+		t.Fatal("foreign-key entry served as a hit")
+	}
+}
+
+func TestAttachMirrorsCounters(t *testing.T) {
+	s := testStore(t)
+	reg := obs.NewRegistry()
+	s.Attach(reg, "store")
+	s.Put("k", payload{})
+	var out payload
+	s.Get("k", &out)  // hit
+	s.Get("k2", &out) // miss
+	snap := reg.Snapshot()
+	if snap["store_hits"].(uint64) != 1 || snap["store_misses"].(uint64) != 1 {
+		t.Fatalf("registry snapshot %v", snap)
+	}
+}
+
+func TestDiskStats(t *testing.T) {
+	s := testStore(t)
+	for i := 0; i < 5; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), payload{Seq: []int{i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, bytes, err := s.DiskStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries != 5 || bytes == 0 {
+		t.Fatalf("DiskStats = (%d, %d)", entries, bytes)
+	}
+}
+
+func TestDifferentKeysIndependent(t *testing.T) {
+	s := testStore(t)
+	for i := 0; i < 20; i++ {
+		if err := s.Put(fmt.Sprintf("key-%d", i), payload{Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		var out payload
+		hit, err := s.Get(fmt.Sprintf("key-%d", i), &out)
+		if err != nil || !hit || out.Value != float64(i) {
+			t.Fatalf("key-%d: hit=%v err=%v out=%+v", i, hit, err, out)
+		}
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "queue.json")
+	if err := WriteFileAtomic(path, []byte(`{"a":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil || string(raw) != `{"a":1}` {
+		t.Fatalf("read back %q err=%v", raw, err)
+	}
+	// Overwrite is atomic too.
+	if err := WriteFileAtomic(path, []byte(`{"a":2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = os.ReadFile(path)
+	if string(raw) != `{"a":2}` {
+		t.Fatalf("overwrite read back %q", raw)
+	}
+	// No temp droppings left behind.
+	files, _ := os.ReadDir(filepath.Join(dir, "sub"))
+	if len(files) != 1 {
+		t.Fatalf("%d files left in dir, want 1", len(files))
+	}
+}

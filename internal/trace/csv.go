@@ -35,6 +35,9 @@ func ReadCSV(r io.Reader) ([]Rec, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
 	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("trace: line 1: %w", err)
+		}
 		return nil, fmt.Errorf("trace: empty CSV")
 	}
 	if got := strings.TrimSpace(sc.Text()); got != "pc,addr,write,gap" {
@@ -70,5 +73,12 @@ func ReadCSV(r io.Reader) ([]Rec, error) {
 		}
 		recs = append(recs, Rec{PC: pc, Addr: addr, Write: wr == 1, Gap: uint32(gap)})
 	}
-	return recs, sc.Err()
+	// A scanner error (typically bufio.ErrTooLong when a line overflows the
+	// 1 MiB buffer) ends the Scan loop exactly like EOF does; returning the
+	// records parsed so far would silently truncate the stream. Fail with
+	// the line the scanner stopped on instead.
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: line %d: %w", line+1, err)
+	}
+	return recs, nil
 }

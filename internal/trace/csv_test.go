@@ -1,7 +1,9 @@
 package trace
 
 import (
+	"bufio"
 	"bytes"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -57,5 +59,31 @@ func TestCSVSkipsBlankLines(t *testing.T) {
 	}
 	if len(got) != 1 || !got[0].Write || got[0].Gap != 2 {
 		t.Fatalf("parsed %+v", got)
+	}
+}
+
+// A line longer than the scanner's 1 MiB buffer must fail with a
+// line-numbered bufio.ErrTooLong, not silently truncate the record stream.
+func TestCSVOverlongLine(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("pc,addr,write,gap\n")
+	b.WriteString("0x1,0x40,1,2\n")
+	b.WriteString("0x2,")
+	for b.Len() < 1<<20+64 {
+		b.WriteString("ffffffffffffffff")
+	}
+	b.WriteString(",0,1\n")
+	recs, err := ReadCSV(strings.NewReader(b.String()))
+	if err == nil {
+		t.Fatalf("overlong line accepted, parsed %d records", len(recs))
+	}
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("got %v, want bufio.ErrTooLong", err)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %q does not name the failing line", err)
+	}
+	if recs != nil {
+		t.Errorf("partial records returned alongside the error")
 	}
 }
