@@ -1,15 +1,22 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test race race-serve lint verify bench serve
+# Quick performance benchmarks: the simulator hot loop and the trace
+# generator. Medians over BENCH_COUNT repetitions absorb scheduler noise.
+BENCH_QUICK = 'BenchmarkSimulatorThroughput$$|BenchmarkTraceGeneration$$'
+BENCH_TIME ?= 10x
+BENCH_COUNT ?= 3
+
+.PHONY: build test race race-serve lint verify bench bench-quick bench-gate pgo serve
 
 # Tier-1 verification (ROADMAP.md): build + tests, then the race detector
 # and static checks. The experiment harness fans simulations out onto a
 # worker pool, so any data race is a correctness bug — `race` is part of
 # `verify`, not optional. race-serve adds a short-mode -race pass focused
 # on the job service and durable store, whose concurrency (worker pool,
-# queue, atomic same-key writers) is their whole point.
-verify: build test race race-serve lint
+# queue, atomic same-key writers) is their whole point. bench-gate fails
+# verify when the quick benchmarks regress >10% against BENCH_sim.json.
+verify: build test race race-serve lint bench-gate
 
 build:
 	$(GO) build ./...
@@ -32,6 +39,34 @@ lint:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# bench-quick: run the hot-loop benchmarks and record their medians as the
+# committed baseline BENCH_sim.json (see scripts/benchcmp).
+bench-quick:
+	$(GO) test -run '^$$' -bench $(BENCH_QUICK) -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) . \
+		| $(GO) run ./scripts/benchcmp -record -out BENCH_sim.json
+
+# bench-gate: same benchmarks, compared against the committed baseline;
+# fails on a >10% throughput regression.
+bench-gate:
+	$(GO) test -run '^$$' -bench $(BENCH_QUICK) -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) . \
+		| $(GO) run ./scripts/benchcmp -check -baseline BENCH_sim.json -tolerance 0.10
+
+# pgo: regenerate default.pgo from the throughput benchmarks plus a trimmed
+# representative policy×mix sweep. Apply it explicitly with
+# `go build -pgo=default.pgo ./cmd/...` (auto mode only searches main
+# package directories). Measured on the dev container it is a small net
+# regression (see EXPERIMENTS.md §1.4), so verify/bench run without it; the
+# profile is kept committed for retesting on other hosts and toolchains.
+pgo:
+	$(GO) test -run '^$$' -pgo=off -bench 'BenchmarkSimulatorThroughput$$' -benchtime 60x -cpuprofile pgo_throughput.prof .
+	$(GO) test -run '^$$' -pgo=off -bench 'ThroughputCores' -benchtime 8x -cpuprofile pgo_cores.prof .
+	DRISHTI_INSTR=150000 DRISHTI_WARMUP=30000 DRISHTI_MIXES=6 DRISHTI_PARALLEL=1 \
+		$(GO) test -run '^$$' -pgo=off -bench 'Fig13MainPerf' -benchtime 1x -cpuprofile pgo_sweep.prof .
+	$(GO) tool pprof -proto pgo_throughput.prof pgo_cores.prof pgo_sweep.prof > default.pgo
+	rm -f pgo_throughput.prof pgo_cores.prof pgo_sweep.prof drishti.test
+	@echo "default.pgo regenerated; compare with:"
+	@echo "  go test -run '^$$$$' -pgo=default.pgo -bench BenchmarkSimulatorThroughput\$$$$ ."
 
 # serve: build and run the simulation job service (README "Running the
 # service"). Results and the persisted queue land in ./drishti.store.

@@ -1,6 +1,13 @@
 // Package cache implements a generic set-associative cache with pluggable
 // replacement, dirty-line tracking, and per-set statistics. It is used for
 // L1D, L2, and each LLC slice.
+//
+// Storage is struct-of-arrays: one flat []uint64 of tags plus one packed
+// flag byte per line. A 16-way probe therefore scans two cache lines of tag
+// words instead of sixteen multi-word line structs, and the common hit is
+// resolved in one comparison via a per-set MRU way hint. This layout is a
+// pure optimization — every operation behaves exactly as the earlier
+// array-of-structs implementation did.
 package cache
 
 import (
@@ -10,13 +17,18 @@ import (
 	"drishti/internal/repl"
 )
 
-// Line is one cache line's bookkeeping state.
-type Line struct {
-	Tag      uint64 // full block address (not a truncated tag; simpler, exact)
-	Valid    bool
-	Dirty    bool
-	Prefetch bool // filled by a prefetch and not yet demanded
-}
+// Packed per-line flag bits (the meta array).
+const (
+	metaValid    = 1 << 0
+	metaDirty    = 1 << 1
+	metaPrefetch = 1 << 2 // filled by a prefetch and not yet demanded
+)
+
+// invalidTag marks an empty way in the tag array. Tags are full block
+// addresses (byte address >> mem.BlockShift), so ^uint64(0) can never be a
+// real block and invalid ways can stay in the tag scan without a separate
+// valid check.
+const invalidTag = ^uint64(0)
 
 // Stats aggregates cache-level counters.
 type Stats struct {
@@ -47,16 +59,25 @@ func (c Config) Validate() error {
 	if c.Sets&(c.Sets-1) != 0 {
 		return fmt.Errorf("cache %q: sets must be a power of two (got %d)", c.Name, c.Sets)
 	}
+	if c.Ways > 1<<16 {
+		return fmt.Errorf("cache %q: at most %d ways supported (got %d)", c.Name, 1<<16, c.Ways)
+	}
 	return nil
 }
 
 // Cache is a single set-associative cache array.
 type Cache struct {
 	cfg     Config
-	lines   []Line // sets×ways, flattened
+	tags    []uint64 // sets×ways block addresses; invalidTag = empty way
+	meta    []uint8  // sets×ways packed valid/dirty/prefetch bits
+	mru     []uint16 // per-set most-recently-touched way, probed first
+	valid   []uint16 // per-set valid-line count; ==ways ⇒ no invalid-way scan
 	pol     repl.Policy
 	obs     repl.Observer // optional view of pol
+	lru     *repl.LRU     // set iff pol is exactly *repl.LRU (devirtualized)
+	srrip   *repl.SRRIP   // set iff pol is exactly *repl.SRRIP
 	setMask uint64
+	ways    int
 
 	// Per-set counters, used by Fig 5 (MPKA per set) and by the dynamic
 	// sampled cache's saturating-counter monitor.
@@ -76,16 +97,82 @@ func New(cfg Config, pol repl.Policy) (*Cache, error) {
 	}
 	c := &Cache{
 		cfg:         cfg,
-		lines:       make([]Line, cfg.Sets*cfg.Ways),
+		tags:        make([]uint64, cfg.Sets*cfg.Ways),
+		meta:        make([]uint8, cfg.Sets*cfg.Ways),
+		mru:         make([]uint16, cfg.Sets),
+		valid:       make([]uint16, cfg.Sets),
 		pol:         pol,
 		setMask:     uint64(cfg.Sets - 1),
+		ways:        cfg.Ways,
 		SetAccesses: make([]uint64, cfg.Sets),
 		SetMisses:   make([]uint64, cfg.Sets),
+	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
 	}
 	if obs, ok := pol.(repl.Observer); ok {
 		c.obs = obs
 	}
+	// The private caches always run the stock LRU/SRRIP policies, whose
+	// callbacks are one or two stores. Calling them through concrete
+	// pointers lets those callbacks inline into the access path; the
+	// interface dispatch remains for every other policy. Note the asserted
+	// types are exact: *BRRIP (which embeds SRRIP but overrides OnFill) and
+	// *DIP do not match and keep the generic path.
+	switch p := pol.(type) {
+	case *repl.LRU:
+		c.lru = p
+	case *repl.SRRIP:
+		c.srrip = p
+	}
 	return c, nil
+}
+
+// polOnHit dispatches Policy.OnHit, devirtualized for LRU/SRRIP.
+func (c *Cache) polOnHit(set, way int, a repl.Access) {
+	switch {
+	case c.lru != nil:
+		c.lru.OnHit(set, way, a)
+	case c.srrip != nil:
+		c.srrip.OnHit(set, way, a)
+	default:
+		c.pol.OnHit(set, way, a)
+	}
+}
+
+// polOnFill dispatches Policy.OnFill, devirtualized for LRU/SRRIP.
+func (c *Cache) polOnFill(set, way int, a repl.Access) {
+	switch {
+	case c.lru != nil:
+		c.lru.OnFill(set, way, a)
+	case c.srrip != nil:
+		c.srrip.OnFill(set, way, a)
+	default:
+		c.pol.OnFill(set, way, a)
+	}
+}
+
+// polOnEvict dispatches Policy.OnEvict, devirtualized for LRU/SRRIP.
+func (c *Cache) polOnEvict(set, way int, block uint64) {
+	switch {
+	case c.lru != nil: // LRU.OnEvict is a no-op
+	case c.srrip != nil:
+		c.srrip.OnEvict(set, way, block)
+	default:
+		c.pol.OnEvict(set, way, block)
+	}
+}
+
+// polVictim dispatches Policy.Victim, devirtualized for LRU/SRRIP.
+func (c *Cache) polVictim(set int, a repl.Access) int {
+	switch {
+	case c.lru != nil:
+		return c.lru.Victim(set, a)
+	case c.srrip != nil:
+		return c.srrip.Victim(set, a)
+	default:
+		return c.pol.Victim(set, a)
+	}
 }
 
 // MustNew is New that panics on configuration errors.
@@ -106,19 +193,25 @@ func (c *Cache) Policy() repl.Policy { return c.pol }
 // SetIndex maps a block address to its set.
 func (c *Cache) SetIndex(block uint64) int { return int(block & c.setMask) }
 
-// line returns a pointer to the line at (set, way).
-func (c *Cache) line(set, way int) *Line { return &c.lines[set*c.cfg.Ways+way] }
-
-// Probe looks up block without side effects.
-func (c *Cache) Probe(block uint64) (way int, ok bool) {
-	set := c.SetIndex(block)
-	for w := 0; w < c.cfg.Ways; w++ {
-		ln := c.line(set, w)
-		if ln.Valid && ln.Tag == block {
+// probeSet looks block up within set. The MRU hint resolves the common
+// hit-again case in one comparison; tags are unique within a set, so the
+// hint can never disagree with the fallback scan.
+func (c *Cache) probeSet(set int, block uint64) (way int, ok bool) {
+	base := set * c.ways
+	if m := int(c.mru[set]); c.tags[base+m] == block {
+		return m, true
+	}
+	for w, tag := range c.tags[base : base+c.ways] {
+		if tag == block {
 			return w, true
 		}
 	}
 	return 0, false
+}
+
+// Probe looks up block without side effects.
+func (c *Cache) Probe(block uint64) (way int, ok bool) {
+	return c.probeSet(c.SetIndex(block), block)
 }
 
 // Evicted describes the line displaced by a fill.
@@ -135,7 +228,7 @@ type Evicted struct {
 // prefetch.
 func (c *Cache) Access(a repl.Access) (hit bool, wasPrefetch bool) {
 	a.Set = c.SetIndex(a.Block)
-	way, ok := c.Probe(a.Block)
+	way, ok := c.probeSet(a.Set, a.Block)
 	if c.obs != nil {
 		c.obs.OnAccess(a.Set, a, ok)
 	}
@@ -156,17 +249,37 @@ func (c *Cache) Access(a repl.Access) (hit bool, wasPrefetch bool) {
 		return false, false
 	}
 	c.Stats.Hits++
-	ln := c.line(a.Set, way)
-	wasPref := ln.Prefetch
-	if ln.Prefetch && a.Type.IsDemand() {
+	i := a.Set*c.ways + way
+	wasPref := c.meta[i]&metaPrefetch != 0
+	if wasPref && demand {
 		c.Stats.PrefHits++
-		ln.Prefetch = false
+		c.meta[i] &^= metaPrefetch
 	}
 	if a.Type == mem.RFO || a.Type == mem.Writeback {
-		ln.Dirty = true
+		c.meta[i] |= metaDirty
 	}
-	c.pol.OnHit(a.Set, way, a)
+	c.mru[a.Set] = uint16(way)
+	c.polOnHit(a.Set, way, a)
 	return true, wasPref
+}
+
+// AccessMiss is Access for a block the caller has just probed and found
+// absent, skipping the redundant second probe. The caller must guarantee
+// nothing was filled into this cache since that probe. It runs exactly the
+// miss half of Access: observer callback and statistics.
+func (c *Cache) AccessMiss(a repl.Access) {
+	a.Set = c.SetIndex(a.Block)
+	if c.obs != nil {
+		c.obs.OnAccess(a.Set, a, false)
+	}
+	c.Stats.Accesses++
+	c.Stats.Misses++
+	if a.Type.IsDemand() {
+		c.Stats.DemandAccesses++
+		c.SetAccesses[a.Set]++
+		c.Stats.DemandMisses++
+		c.SetMisses[a.Set]++
+	}
 }
 
 // Fill installs block for access a, evicting a victim if needed. dirty marks
@@ -177,83 +290,101 @@ func (c *Cache) Fill(a repl.Access, dirty bool) Evicted {
 	a.Set = c.SetIndex(a.Block)
 	// Refill of a line that is already present (e.g., a demand fill racing a
 	// prefetch fill in the same quantum): just update flags.
-	if way, ok := c.Probe(a.Block); ok {
-		ln := c.line(a.Set, way)
+	if way, ok := c.probeSet(a.Set, a.Block); ok {
 		if dirty {
-			ln.Dirty = true
+			c.meta[a.Set*c.ways+way] |= metaDirty
 		}
 		return Evicted{}
 	}
-	// Prefer an invalid way.
+	return c.fillAbsent(a, dirty)
+}
+
+// FillMiss is Fill for a block the caller knows is absent — the demand path,
+// where Access just missed and only invalidations (which never install
+// lines) can have run since. It skips Fill's presence re-probe; everything
+// else, including the invalid-way preference and every policy callback, is
+// identical.
+func (c *Cache) FillMiss(a repl.Access, dirty bool) Evicted {
+	a.Set = c.SetIndex(a.Block)
+	return c.fillAbsent(a, dirty)
+}
+
+func (c *Cache) fillAbsent(a repl.Access, dirty bool) Evicted {
+	base := a.Set * c.ways
+	// Prefer an invalid way, lowest index first. The per-set valid count
+	// skips the scan once the set is full — the steady state everywhere.
 	victim := -1
-	for w := 0; w < c.cfg.Ways; w++ {
-		if !c.line(a.Set, w).Valid {
-			victim = w
-			break
+	if int(c.valid[a.Set]) < c.ways {
+		for w := 0; w < c.ways; w++ {
+			if c.meta[base+w]&metaValid == 0 {
+				victim = w
+				break
+			}
 		}
 	}
 	if victim < 0 {
-		victim = c.pol.Victim(a.Set, a)
+		victim = c.polVictim(a.Set, a)
 		if victim == repl.Bypass {
 			c.Stats.Bypasses++
 			return Evicted{}
 		}
-		if victim < 0 || victim >= c.cfg.Ways {
+		if victim < 0 || victim >= c.ways {
 			panic(fmt.Sprintf("cache %q: policy %s returned invalid victim %d", c.cfg.Name, c.pol.Name(), victim))
 		}
 	}
 	var ev Evicted
-	ln := c.line(a.Set, victim)
-	if ln.Valid {
-		ev = Evicted{Block: ln.Tag, Dirty: ln.Dirty, Valid: true}
+	i := base + victim
+	if c.meta[i]&metaValid != 0 {
+		ev = Evicted{Block: c.tags[i], Dirty: c.meta[i]&metaDirty != 0, Valid: true}
 		c.Stats.Evictions++
-		if ln.Dirty {
+		if ev.Dirty {
 			c.Stats.Writebacks++
 		}
-		c.pol.OnEvict(a.Set, victim, ln.Tag)
+		c.polOnEvict(a.Set, victim, c.tags[i])
+	} else {
+		c.valid[a.Set]++
 	}
-	*ln = Line{
-		Tag:      a.Block,
-		Valid:    true,
-		Dirty:    dirty,
-		Prefetch: a.Type == mem.Prefetch,
+	c.tags[i] = a.Block
+	m := uint8(metaValid)
+	if dirty {
+		m |= metaDirty
 	}
+	if a.Type == mem.Prefetch {
+		m |= metaPrefetch
+	}
+	c.meta[i] = m
+	c.mru[a.Set] = uint16(victim)
 	c.Stats.Fills++
-	c.pol.OnFill(a.Set, victim, a)
+	c.polOnFill(a.Set, victim, a)
 	return ev
 }
 
 // MarkDirty sets the dirty bit on block if present (store hit path).
 func (c *Cache) MarkDirty(block uint64) {
-	if way, ok := c.Probe(block); ok {
-		c.line(c.SetIndex(block), way).Dirty = true
+	set := c.SetIndex(block)
+	if way, ok := c.probeSet(set, block); ok {
+		c.meta[set*c.ways+way] |= metaDirty
 	}
 }
 
 // Invalidate removes block if present, returning whether it was dirty.
 func (c *Cache) Invalidate(block uint64) (wasDirty, present bool) {
-	way, ok := c.Probe(block)
+	set := c.SetIndex(block)
+	way, ok := c.probeSet(set, block)
 	if !ok {
 		return false, false
 	}
-	set := c.SetIndex(block)
-	ln := c.line(set, way)
-	dirty := ln.Dirty
-	c.pol.OnEvict(set, way, ln.Tag)
-	*ln = Line{}
+	i := set*c.ways + way
+	dirty := c.meta[i]&metaDirty != 0
+	c.polOnEvict(set, way, c.tags[i])
+	c.tags[i] = invalidTag
+	c.meta[i] = 0
+	c.valid[set]--
 	return dirty, true
 }
 
 // Occupancy returns the number of valid lines in set.
-func (c *Cache) Occupancy(set int) int {
-	n := 0
-	for w := 0; w < c.cfg.Ways; w++ {
-		if c.line(set, w).Valid {
-			n++
-		}
-	}
-	return n
-}
+func (c *Cache) Occupancy(set int) int { return int(c.valid[set]) }
 
 // ResetStats clears aggregate and per-set counters (end of warmup).
 func (c *Cache) ResetStats() {

@@ -88,11 +88,14 @@ func (c *Core) issueSlot() {
 	c.instrs++
 }
 
-// AdvanceNonMem retires n non-memory instructions.
+// AdvanceNonMem retires n non-memory instructions. This is issueSlot n
+// times, folded into one division: the cycle advances once per IssueWidth
+// slots consumed, wherever the slot counter started.
 func (c *Core) AdvanceNonMem(n uint32) {
-	for i := uint32(0); i < n; i++ {
-		c.issueSlot()
-	}
+	total := c.slotsUsed + int(n)
+	c.cycle += uint64(total / c.cfg.IssueWidth)
+	c.slotsUsed = total % c.cfg.IssueWidth
+	c.instrs += uint64(n)
 }
 
 // reserveROB frees a ROB slot, stalling the core if the oldest in-flight
@@ -102,7 +105,11 @@ func (c *Core) reserveROB() {
 		return
 	}
 	done := c.rob[c.robHead]
-	c.robHead = (c.robHead + 1) % c.cfg.ROBSize
+	// Ring advance without the integer divide: head is always in range, so
+	// one conditional subtract replaces the modulo.
+	if c.robHead++; c.robHead == c.cfg.ROBSize {
+		c.robHead = 0
+	}
 	c.robLen--
 	if done > c.cycle {
 		c.cycle = done
@@ -116,7 +123,10 @@ func (c *Core) reserveROB() {
 func (c *Core) IssueMem(latency uint32) {
 	c.reserveROB()
 	completion := c.cycle + uint64(latency)
-	tail := (c.robHead + c.robLen) % c.cfg.ROBSize
+	tail := c.robHead + c.robLen
+	if tail >= c.cfg.ROBSize {
+		tail -= c.cfg.ROBSize
+	}
 	c.rob[tail] = completion
 	c.robLen++
 	c.issueSlot()
@@ -127,7 +137,9 @@ func (c *Core) IssueMem(latency uint32) {
 func (c *Core) Drain() {
 	for c.robLen > 0 {
 		done := c.rob[c.robHead]
-		c.robHead = (c.robHead + 1) % c.cfg.ROBSize
+		if c.robHead++; c.robHead == c.cfg.ROBSize {
+			c.robHead = 0
+		}
 		c.robLen--
 		if done > c.cycle {
 			c.cycle = done

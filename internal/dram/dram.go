@@ -73,6 +73,14 @@ type DRAM struct {
 	cfg   Config
 	chans []channel
 	Stats Stats
+
+	// Shift/mask route when channel and bank counts are powers of two (every
+	// default geometry): division-free, same results as the generic path.
+	pow2     bool
+	chMask   uint64
+	rowShift uint // channel bits + blocks-per-row bits
+	bkMask   uint64
+	bkShift  uint
 }
 
 // New builds a DRAM model.
@@ -84,7 +92,25 @@ func New(cfg Config) (*DRAM, error) {
 	for i := range d.chans {
 		d.chans[i].banks = make([]bank, cfg.BanksPerCh)
 	}
+	if isPow2(cfg.Channels) && isPow2(cfg.BanksPerCh) {
+		d.pow2 = true
+		d.chMask = uint64(cfg.Channels - 1)
+		d.rowShift = log2(uint64(cfg.Channels)) + log2(cfg.RowBytes>>6)
+		d.bkMask = uint64(cfg.BanksPerCh - 1)
+		d.bkShift = log2(uint64(cfg.BanksPerCh))
+	}
 	return d, nil
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+func log2(v uint64) uint {
+	var s uint
+	for v > 1 {
+		v >>= 1
+		s++
+	}
+	return s
 }
 
 // MustNew is New that panics on configuration errors.
@@ -103,6 +129,10 @@ func (d *DRAM) Config() Config { return d.cfg }
 // low block-address bits for load balance; bank and row from higher bits.
 func (d *DRAM) route(addr uint64) (ch, bk int, row uint64) {
 	blk := addr >> 6
+	if d.pow2 {
+		rowID := blk >> d.rowShift
+		return int(blk & d.chMask), int(rowID & d.bkMask), rowID >> d.bkShift
+	}
 	ch = int(blk % uint64(d.cfg.Channels))
 	perRow := d.cfg.RowBytes >> 6 // blocks per row
 	rowID := blk / uint64(d.cfg.Channels) / perRow

@@ -1,6 +1,9 @@
 package prefetch
 
-import "drishti/internal/mem"
+import (
+	"drishti/internal/mem"
+	"drishti/internal/oatable"
+)
 
 // This file holds the Fig 23 prefetchers: faithful-in-spirit "lite" versions
 // of SPP(+PPF), Bingo, IPCP, Berti, and Gaze. Each keeps the published
@@ -8,6 +11,14 @@ import "drishti/internal/mem"
 // dropping microarchitectural plumbing that does not affect LLC-level
 // behavior. They differ in coverage/accuracy, which is what the Drishti
 // sensitivity study exercises.
+//
+// All tables are bounded open-addressing tables (see oatable): fixed
+// capacity, Mix64 hashing, and explicit eviction — either a generational
+// flush when the bound is hit (the same semantics the earlier map-backed
+// tables had) or, for Bingo/Gaze's page trackers, a deterministic archive
+// sweep in slot order. The sweep also removes a latent nondeterminism: Go
+// map iteration order is randomized, so the old batch-archive loops could
+// differ between identically-seeded runs.
 
 const pageShift = 12 // 4 KB pages
 const blocksPerPage = 1 << (pageShift - mem.BlockShift)
@@ -30,12 +41,17 @@ type sppPattern struct {
 	conf  uint8
 }
 
+const (
+	sppPageLimit    = 1 << 12
+	sppPatternLimit = 1 << 14
+)
+
 // SPPLite is a signature-path prefetcher: per-page delta signatures index a
 // pattern table whose confidence gates a lookahead chain (Bhatia et al.'s
 // SPP+PPF, with the perceptron filter folded into the confidence threshold).
 type SPPLite struct {
-	pages    map[uint64]*sppPage
-	patterns map[uint16]*sppPattern
+	pages    *oatable.Table[sppPage]
+	patterns *oatable.Table[sppPattern]
 	buf      []uint64
 	// MaxDepth bounds the lookahead chain.
 	MaxDepth int
@@ -44,8 +60,8 @@ type SPPLite struct {
 // NewSPPLite builds an SPP-lite prefetcher.
 func NewSPPLite() *SPPLite {
 	return &SPPLite{
-		pages:    make(map[uint64]*sppPage),
-		patterns: make(map[uint16]*sppPattern),
+		pages:    oatable.New[sppPage](2 * sppPageLimit),
+		patterns: oatable.New[sppPattern](2 * sppPatternLimit),
 		MaxDepth: 4,
 		buf:      make([]uint64, 0, 4),
 	}
@@ -59,23 +75,25 @@ func (p *SPPLite) Train(_, addr uint64, _ bool) []uint64 {
 	p.buf = p.buf[:0]
 	page := pageOf(addr)
 	off := offsetOf(addr)
-	pg, ok := p.pages[page]
-	if !ok {
-		if len(p.pages) > 1<<12 {
-			p.pages = make(map[uint64]*sppPage)
+	pg := p.pages.Get(page)
+	if pg == nil {
+		if p.pages.Len() > sppPageLimit {
+			p.pages.Clear()
 		}
-		p.pages[page] = &sppPage{lastOff: off}
+		pg = p.pages.Insert(page)
+		pg.lastOff = off
 		return nil
 	}
 	delta := int8(off - pg.lastOff)
 	if delta != 0 {
 		// Update the pattern for the old signature.
-		pat, ok := p.patterns[pg.sig]
-		if !ok {
-			if len(p.patterns) > 1<<14 {
-				p.patterns = make(map[uint16]*sppPattern)
+		pat := p.patterns.Get(uint64(pg.sig))
+		if pat == nil {
+			if p.patterns.Len() > sppPatternLimit {
+				p.patterns.Clear()
 			}
-			p.patterns[pg.sig] = &sppPattern{delta: delta, conf: 1}
+			pat = p.patterns.Insert(uint64(pg.sig))
+			pat.delta, pat.conf = delta, 1
 		} else if pat.delta == delta {
 			if pat.conf < 7 {
 				pat.conf++
@@ -92,8 +110,8 @@ func (p *SPPLite) Train(_, addr uint64, _ bool) []uint64 {
 	// Walk the signature chain while confidence holds.
 	sig, cur := pg.sig, off
 	for depth := 0; depth < p.MaxDepth; depth++ {
-		pat, ok := p.patterns[sig]
-		if !ok || pat.conf < 2 {
+		pat := p.patterns.Get(uint64(sig))
+		if pat == nil || pat.conf < 2 {
 			break
 		}
 		cur += int(pat.delta)
@@ -113,20 +131,25 @@ type bingoActive struct {
 	trigger   uint64 // hash(PC, offset) of the first access
 }
 
+const (
+	bingoActiveLimit  = 64
+	bingoHistoryLimit = 1 << 14
+)
+
 // BingoLite is a spatial footprint prefetcher: it records which blocks of a
 // page were touched, keyed by the (PC, trigger-offset) event that first
 // touched the page, and replays the footprint on the next occurrence.
 type BingoLite struct {
-	active  map[uint64]*bingoActive
-	history map[uint64]uint64 // trigger → footprint
+	active  *oatable.Table[bingoActive]
+	history *oatable.Table[uint64] // trigger → footprint
 	buf     []uint64
 }
 
 // NewBingoLite builds a Bingo-lite prefetcher.
 func NewBingoLite() *BingoLite {
 	return &BingoLite{
-		active:  make(map[uint64]*bingoActive),
-		history: make(map[uint64]uint64),
+		active:  oatable.New[bingoActive](4 * bingoActiveLimit),
+		history: oatable.New[uint64](2 * bingoHistoryLimit),
 		buf:     make([]uint64, 0, blocksPerPage),
 	}
 }
@@ -138,32 +161,42 @@ func bingoTrigger(pc uint64, off int) uint64 {
 	return pc*0x9e3779b97f4a7c15 ^ uint64(off)*0xbf58476d1ce4e5b9
 }
 
+// archive moves a tracked footprint into the history table.
+func (p *BingoLite) archive(a *bingoActive) {
+	fp := p.history.Get(a.trigger)
+	if fp == nil {
+		fp = p.history.Insert(a.trigger)
+	}
+	*fp = a.footprint
+}
+
 // Train implements Prefetcher.
 func (p *BingoLite) Train(pc, addr uint64, _ bool) []uint64 {
 	p.buf = p.buf[:0]
 	page := pageOf(addr)
 	off := offsetOf(addr)
-	act, ok := p.active[page]
-	if ok {
+	if act := p.active.Get(page); act != nil {
 		act.footprint |= 1 << uint(off)
 		return nil
 	}
-	// New page: when the active-page table overflows, archive every
-	// tracked footprint (a batch flush keeps the model deterministic).
-	if len(p.active) > 64 {
-		for pg, a := range p.active {
-			p.history[a.trigger] = a.footprint
-			delete(p.active, pg)
-		}
-		if len(p.history) > 1<<14 {
-			p.history = make(map[uint64]uint64)
+	// New page: when the active-page table overflows, archive every tracked
+	// footprint in slot order (a deterministic batch flush).
+	if p.active.Len() > bingoActiveLimit {
+		p.active.Range(func(_ uint64, a *bingoActive) bool {
+			p.archive(a)
+			return true
+		})
+		p.active.Clear()
+		if p.history.Len() > bingoHistoryLimit {
+			p.history.Clear()
 		}
 	}
 	trig := bingoTrigger(pc, off)
-	p.active[page] = &bingoActive{footprint: 1 << uint(off), trigger: trig}
-	if fp, ok := p.history[trig]; ok {
+	act := p.active.Insert(page)
+	act.footprint, act.trigger = 1<<uint(off), trig
+	if fp := p.history.Get(trig); fp != nil {
 		for b := 0; b < blocksPerPage; b++ {
-			if b != off && fp&(1<<uint(b)) != 0 {
+			if b != off && *fp&(1<<uint(b)) != 0 {
 				p.buf = append(p.buf, addrOf(page, b))
 			}
 		}
@@ -180,18 +213,20 @@ type ipcpEntry struct {
 	streamCnt uint8
 }
 
+const ipcpLimit = 1 << 14
+
 // IPCPLite classifies instruction pointers (constant-stride vs global
 // stream) and prefetches per class, after Pakalapati & Panda's bouquet of
 // IP classifiers.
 type IPCPLite struct {
-	table   map[uint64]*ipcpEntry
+	table   *oatable.Table[ipcpEntry]
 	lastBlk uint64
 	buf     []uint64
 }
 
 // NewIPCPLite builds an IPCP-lite prefetcher.
 func NewIPCPLite() *IPCPLite {
-	return &IPCPLite{table: make(map[uint64]*ipcpEntry), buf: make([]uint64, 0, 6)}
+	return &IPCPLite{table: oatable.New[ipcpEntry](2 * ipcpLimit), buf: make([]uint64, 0, 6)}
 }
 
 // Name implements Prefetcher.
@@ -201,12 +236,13 @@ func (p *IPCPLite) Name() string { return "ipcp" }
 func (p *IPCPLite) Train(pc, addr uint64, _ bool) []uint64 {
 	p.buf = p.buf[:0]
 	blk := mem.Block(addr)
-	e, ok := p.table[pc]
-	if !ok {
-		if len(p.table) > 1<<14 {
-			p.table = make(map[uint64]*ipcpEntry)
+	e := p.table.Get(pc)
+	if e == nil {
+		if p.table.Len() > ipcpLimit {
+			p.table.Clear()
 		}
-		p.table[pc] = &ipcpEntry{lastBlock: blk}
+		e = p.table.Insert(pc)
+		e.lastBlock = blk
 		p.lastBlk = blk
 		return nil
 	}
@@ -255,22 +291,27 @@ type bertiHist struct {
 }
 
 type bertiPC struct {
-	hist      map[uint64]*bertiHist // page → recent offsets by this PC
+	hist      *oatable.Table[bertiHist] // page → recent offsets by this PC
 	bestDelta int
 	conf      uint8
 }
+
+const (
+	bertiPCLimit   = 1 << 13
+	bertiHistLimit = 32
+)
 
 // BertiLite learns each PC's best ("timely") local delta by scoring
 // candidate deltas against the PC's recent accesses within a page, after
 // Navarro-Torres et al.
 type BertiLite struct {
-	table map[uint64]*bertiPC
+	table *oatable.Table[bertiPC]
 	buf   []uint64
 }
 
 // NewBertiLite builds a Berti-lite prefetcher.
 func NewBertiLite() *BertiLite {
-	return &BertiLite{table: make(map[uint64]*bertiPC), buf: make([]uint64, 0, 2)}
+	return &BertiLite{table: oatable.New[bertiPC](2 * bertiPCLimit), buf: make([]uint64, 0, 2)}
 }
 
 // Name implements Prefetcher.
@@ -281,21 +322,20 @@ func (p *BertiLite) Train(pc, addr uint64, _ bool) []uint64 {
 	p.buf = p.buf[:0]
 	page := pageOf(addr)
 	off := offsetOf(addr)
-	e, ok := p.table[pc]
-	if !ok {
-		if len(p.table) > 1<<13 {
-			p.table = make(map[uint64]*bertiPC)
+	e := p.table.Get(pc)
+	if e == nil {
+		if p.table.Len() > bertiPCLimit {
+			p.table.Clear()
 		}
-		e = &bertiPC{hist: make(map[uint64]*bertiHist)}
-		p.table[pc] = e
+		e = p.table.Insert(pc)
+		e.hist = oatable.New[bertiHist](4 * bertiHistLimit)
 	}
-	h, ok := e.hist[page]
-	if !ok {
-		if len(e.hist) > 32 {
-			e.hist = make(map[uint64]*bertiHist)
+	h := e.hist.Get(page)
+	if h == nil {
+		if e.hist.Len() > bertiHistLimit {
+			e.hist.Clear()
 		}
-		h = &bertiHist{}
-		e.hist[page] = h
+		h = e.hist.Insert(page)
 	}
 	// Score the delta from the most recent access by this PC in the page;
 	// a delta that keeps recurring becomes the PC's best (timely) delta.
@@ -334,13 +374,18 @@ func (p *BertiLite) Train(pc, addr uint64, _ bool) []uint64 {
 
 // --- Gaze-lite ----------------------------------------------------------------
 
+const (
+	gazeCurLimit   = 64
+	gazeOrderLimit = 1 << 13
+)
+
 // GazeLite layers a temporal-correlation check on spatial footprints, after
 // Chen et al. (HPCA'25): like Bingo it replays page footprints, but only the
 // blocks that were touched soon after the trigger, which improves accuracy.
 type GazeLite struct {
 	bingo *BingoLite
-	order map[uint64][]uint8 // trigger → touch order (first 8 offsets)
-	cur   map[uint64][]uint8 // page → touch order being recorded
+	order *oatable.Table[[]uint8] // trigger → touch order (first 8 offsets)
+	cur   *oatable.Table[[]uint8] // page → touch order being recorded
 	buf   []uint64
 }
 
@@ -348,8 +393,8 @@ type GazeLite struct {
 func NewGazeLite() *GazeLite {
 	return &GazeLite{
 		bingo: NewBingoLite(),
-		order: make(map[uint64][]uint8),
-		cur:   make(map[uint64][]uint8),
+		order: oatable.New[[]uint8](2 * gazeOrderLimit),
+		cur:   oatable.New[[]uint8](4 * gazeCurLimit),
 		buf:   make([]uint64, 0, 8),
 	}
 }
@@ -361,22 +406,28 @@ func (p *GazeLite) Name() string { return "gaze" }
 func (p *GazeLite) Train(pc, addr uint64, hit bool) []uint64 {
 	page := pageOf(addr)
 	off := offsetOf(addr)
-	if seq, ok := p.cur[page]; ok {
-		if len(seq) < 8 {
-			p.cur[page] = append(seq, uint8(off))
+	if seq := p.cur.Get(page); seq != nil {
+		if len(*seq) < 8 {
+			*seq = append(*seq, uint8(off))
 		}
 	} else {
-		if len(p.cur) > 64 {
-			for pg, s := range p.cur {
-				p.order[bingoTrigger(pc, int(s[0]))] = s
-				delete(p.cur, pg)
-				break
-			}
-			if len(p.order) > 1<<13 {
-				p.order = make(map[uint64][]uint8)
+		if p.cur.Len() > gazeCurLimit {
+			// Archive one tracked page. EvictFirst picks the first slot in
+			// table order — deterministic, where the map-backed version
+			// archived whatever Go's randomized iteration yielded first.
+			if _, s, ok := p.cur.EvictFirst(); ok && len(s) > 0 {
+				o := p.order.Get(bingoTrigger(pc, int(s[0])))
+				if o == nil {
+					o = p.order.Insert(bingoTrigger(pc, int(s[0])))
+				}
+				*o = s
+				if p.order.Len() > gazeOrderLimit {
+					p.order.Clear()
+				}
 			}
 		}
-		p.cur[page] = []uint8{uint8(off)}
+		seq := p.cur.Insert(page)
+		*seq = append((*seq)[:0], uint8(off))
 	}
 	cands := p.bingo.Train(pc, addr, hit)
 	if len(cands) == 0 {
@@ -384,14 +435,14 @@ func (p *GazeLite) Train(pc, addr uint64, hit bool) []uint64 {
 	}
 	// Temporal filter: prefer blocks that appeared early in the recorded
 	// touch order for this trigger.
-	seq, ok := p.order[bingoTrigger(pc, off)]
-	if !ok {
+	seq := p.order.Get(bingoTrigger(pc, off))
+	if seq == nil {
 		return cands
 	}
 	p.buf = p.buf[:0]
 	for _, a := range cands {
 		o := uint8(offsetOf(a))
-		for _, s := range seq {
+		for _, s := range *seq {
 			if s == o {
 				p.buf = append(p.buf, a)
 				break

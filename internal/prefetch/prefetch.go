@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"drishti/internal/mem"
+	"drishti/internal/oatable"
 )
 
 // Prefetcher observes demand accesses at one cache level and proposes
@@ -87,14 +88,18 @@ type ipStrideEntry struct {
 	lastBlock uint64
 	stride    int64
 	conf      uint8
-	valid     bool
 }
+
+// ipStrideLimit bounds the PC table; exceeding it flushes the table, exactly
+// as the map-backed implementation rebuilt its map.
+const ipStrideLimit = 1 << 14
 
 // IPStride is the classic per-PC stride prefetcher (the baseline L2
 // prefetcher): detect a stable block stride per instruction pointer and run
-// ahead by a small degree.
+// ahead by a small degree. The PC table is a bounded open-addressing table
+// (see oatable) so steady-state training allocates nothing.
 type IPStride struct {
-	table map[uint64]*ipStrideEntry
+	table *oatable.Table[ipStrideEntry]
 	buf   []uint64
 	// Degree is how many strides ahead to prefetch once confident.
 	Degree int
@@ -102,7 +107,7 @@ type IPStride struct {
 
 // NewIPStride builds an IP-stride prefetcher with degree 2.
 func NewIPStride() *IPStride {
-	return &IPStride{table: make(map[uint64]*ipStrideEntry), Degree: 2, buf: make([]uint64, 0, 4)}
+	return &IPStride{table: oatable.New[ipStrideEntry](2 * ipStrideLimit), Degree: 2, buf: make([]uint64, 0, 4)}
 }
 
 // Name implements Prefetcher.
@@ -112,12 +117,13 @@ func (p *IPStride) Name() string { return "ip-stride" }
 func (p *IPStride) Train(pc, addr uint64, _ bool) []uint64 {
 	p.buf = p.buf[:0]
 	blk := mem.Block(addr)
-	e, ok := p.table[pc]
-	if !ok {
-		if len(p.table) > 1<<14 {
-			p.table = make(map[uint64]*ipStrideEntry) // cheap capacity bound
+	e := p.table.Get(pc)
+	if e == nil {
+		if p.table.Len() > ipStrideLimit {
+			p.table.Clear() // cheap capacity bound
 		}
-		p.table[pc] = &ipStrideEntry{lastBlock: blk, valid: true}
+		e = p.table.Insert(pc)
+		e.lastBlock = blk
 		return nil
 	}
 	stride := int64(blk) - int64(e.lastBlock)

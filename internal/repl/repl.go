@@ -54,20 +54,18 @@ type FillLatencier interface {
 
 // --- LRU -------------------------------------------------------------------
 
-// LRU is true least-recently-used replacement via per-line stamps.
+// LRU is true least-recently-used replacement via per-line stamps. Stamps
+// live in one flat sets×ways array so a Victim scan touches one cache line
+// run instead of chasing a row pointer.
 type LRU struct {
 	ways   int
-	stamps [][]uint64
+	stamps []uint64
 	clock  uint64
 }
 
 // NewLRU builds an LRU policy for a sets×ways cache.
 func NewLRU(sets, ways int) *LRU {
-	l := &LRU{ways: ways, stamps: make([][]uint64, sets)}
-	for i := range l.stamps {
-		l.stamps[i] = make([]uint64, ways)
-	}
-	return l
+	return &LRU{ways: ways, stamps: make([]uint64, sets*ways)}
 }
 
 // Name implements Policy.
@@ -84,15 +82,16 @@ func (l *LRU) OnEvict(int, int, uint64) {}
 
 func (l *LRU) touch(set, way int) {
 	l.clock++
-	l.stamps[set][way] = l.clock
+	l.stamps[set*l.ways+way] = l.clock
 }
 
 // Victim implements Policy: the way with the oldest stamp.
 func (l *LRU) Victim(set int, _ Access) int {
-	best, bestStamp := 0, l.stamps[set][0]
-	for w := 1; w < l.ways; w++ {
-		if l.stamps[set][w] < bestStamp {
-			best, bestStamp = w, l.stamps[set][w]
+	row := l.stamps[set*l.ways : set*l.ways+l.ways]
+	best, bestStamp := 0, row[0]
+	for w := 1; w < len(row); w++ {
+		if row[w] < bestStamp {
+			best, bestStamp = w, row[w]
 		}
 	}
 	return best
@@ -138,18 +137,14 @@ const rrpvMax = 3
 // ISCA'10): insert at long re-reference (rrpvMax-1), promote to 0 on hit.
 type SRRIP struct {
 	ways int
-	rrpv [][]uint8
+	rrpv []uint8 // flat sets×ways
 }
 
 // NewSRRIP builds an SRRIP policy for a sets×ways cache.
 func NewSRRIP(sets, ways int) *SRRIP {
-	s := &SRRIP{ways: ways, rrpv: make([][]uint8, sets)}
+	s := &SRRIP{ways: ways, rrpv: make([]uint8, sets*ways)}
 	for i := range s.rrpv {
-		row := make([]uint8, ways)
-		for w := range row {
-			row[w] = rrpvMax
-		}
-		s.rrpv[i] = row
+		s.rrpv[i] = rrpvMax
 	}
 	return s
 }
@@ -158,27 +153,34 @@ func NewSRRIP(sets, ways int) *SRRIP {
 func (s *SRRIP) Name() string { return "srrip" }
 
 // OnHit implements Policy.
-func (s *SRRIP) OnHit(set, way int, _ Access) { s.rrpv[set][way] = 0 }
+func (s *SRRIP) OnHit(set, way int, _ Access) { s.rrpv[set*s.ways+way] = 0 }
 
 // OnFill implements Policy.
-func (s *SRRIP) OnFill(set, way int, _ Access) { s.rrpv[set][way] = rrpvMax - 1 }
+func (s *SRRIP) OnFill(set, way int, _ Access) { s.rrpv[set*s.ways+way] = rrpvMax - 1 }
 
 // OnEvict implements Policy.
-func (s *SRRIP) OnEvict(set, way int, _ uint64) { s.rrpv[set][way] = rrpvMax }
+func (s *SRRIP) OnEvict(set, way int, _ uint64) { s.rrpv[set*s.ways+way] = rrpvMax }
 
 // Victim implements Policy: first way at rrpvMax, aging until one exists.
+// The classic formulation loops scan-then-increment rounds; since every
+// round adds exactly one to every way, the fixed point is reached directly
+// by aging the whole row by rrpvMax minus its maximum, and the victim is
+// the first way that held that maximum. One scan plus at most one
+// increment pass, with the same final rrpv state and the same choice.
 func (s *SRRIP) Victim(set int, _ Access) int {
-	row := s.rrpv[set]
-	for {
-		for w, v := range row {
-			if v >= rrpvMax {
-				return w
-			}
-		}
-		for w := range row {
-			row[w]++
+	row := s.rrpv[set*s.ways : set*s.ways+s.ways]
+	best, maxV := 0, row[0]
+	for w := 1; w < len(row); w++ {
+		if row[w] > maxV {
+			best, maxV = w, row[w]
 		}
 	}
+	if d := rrpvMax - maxV; d > 0 {
+		for w := range row {
+			row[w] += d
+		}
+	}
+	return best
 }
 
 // BRRIP is bimodal RRIP: like SRRIP but inserts at distant re-reference
@@ -200,9 +202,9 @@ func (b *BRRIP) Name() string { return "brrip" }
 func (b *BRRIP) OnFill(set, way int, _ Access) {
 	b.ctr++
 	if b.ctr%32 == 0 {
-		b.rrpv[set][way] = rrpvMax - 1
+		b.rrpv[set*b.ways+way] = rrpvMax - 1
 	} else {
-		b.rrpv[set][way] = rrpvMax
+		b.rrpv[set*b.ways+way] = rrpvMax
 	}
 }
 
@@ -214,8 +216,8 @@ type DIP struct {
 	lru      *LRU
 	sets     int
 	ways     int
-	leaderA  map[int]bool // LRU-insertion leader sets
-	leaderB  map[int]bool // BIP-insertion leader sets
+	leaderA  []bool // per-set: LRU-insertion leader
+	leaderB  []bool // per-set: BIP-insertion leader
 	psel     int32
 	pselMax  int32
 	bipCtr   uint32
@@ -228,8 +230,8 @@ func NewDIP(sets, ways int, seed uint64) *DIP {
 		lru:     NewLRU(sets, ways),
 		sets:    sets,
 		ways:    ways,
-		leaderA: map[int]bool{},
-		leaderB: map[int]bool{},
+		leaderA: make([]bool, sets),
+		leaderB: make([]bool, sets),
 		pselMax: 1024,
 		psel:    512,
 	}
@@ -244,7 +246,9 @@ func NewDIP(sets, ways int, seed uint64) *DIP {
 	}
 	for i := 0; i < n; i++ {
 		d.leaderA[(i*sets)/n] = true
-		d.leaderB[(i*sets)/n+1] = true
+		if b := (i*sets)/n + 1; b < sets {
+			d.leaderB[b] = true
+		}
 	}
 	_ = seed
 	return d
@@ -279,8 +283,8 @@ func (d *DIP) Victim(set int, a Access) int { return d.lru.Victim(set, a) }
 // static random selection (the Table 7 applicability of Enhancement II to
 // memoryless set-dueling policies).
 func (d *DIP) SetLeaders(teamLRU, teamBIP []int) {
-	d.leaderA = make(map[int]bool, len(teamLRU))
-	d.leaderB = make(map[int]bool, len(teamBIP))
+	d.leaderA = make([]bool, d.sets)
+	d.leaderB = make([]bool, d.sets)
 	for _, s := range teamLRU {
 		d.leaderA[s] = true
 	}
@@ -308,5 +312,5 @@ func (d *DIP) OnFill(set, way int, a Access) {
 		return
 	}
 	// Bimodal: leave the fill at the LRU position (stamp 0 → evict next).
-	d.lru.stamps[set][way] = 0
+	d.lru.stamps[set*d.lru.ways+way] = 0
 }

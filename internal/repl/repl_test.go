@@ -83,7 +83,7 @@ func TestBRRIPMostlyDistant(t *testing.T) {
 	distant := 0
 	for i := 0; i < 320; i++ {
 		b.OnFill(0, 0, Access{})
-		if b.rrpv[0][0] == rrpvMax {
+		if b.rrpv[0] == rrpvMax {
 			distant++
 		}
 	}

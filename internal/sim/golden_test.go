@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"drishti/internal/policies"
+	"drishti/internal/workload"
+)
+
+// goldenCell is one point of the policy×mix determinism grid.
+type goldenCell struct {
+	policy  policies.Spec
+	model   string
+	cores   int
+	trackPC bool
+}
+
+// goldenGrid covers the paths the hot-path optimizations touch: baseline and
+// sampled-cache policies, power-of-two and non-power-of-two core counts (the
+// latter exercises the h%cores slice-hash fallback end to end), a write-heavy
+// mix (writeback fill path), and the PC→slice tracker (open-addressing table).
+var goldenGrid = []goldenCell{
+	{policy: policies.Spec{Name: "lru"}, model: "605.mcf_s-1554B", cores: 4},
+	{policy: policies.Spec{Name: "dip"}, model: "605.mcf_s-1554B", cores: 4},
+	{policy: policies.Spec{Name: "hawkeye", Drishti: true}, model: "605.mcf_s-1554B", cores: 4},
+	{policy: policies.Spec{Name: "mockingjay", Drishti: true}, model: "605.mcf_s-1554B", cores: 4},
+	{policy: policies.Spec{Name: "lru"}, model: "602.gcc_s-734B", cores: 3},
+	{policy: policies.Spec{Name: "dip"}, model: "602.gcc_s-734B", cores: 3},
+	{policy: policies.Spec{Name: "hawkeye", Drishti: true}, model: "602.gcc_s-734B", cores: 3},
+	{policy: policies.Spec{Name: "mockingjay", Drishti: true}, model: "602.gcc_s-734B", cores: 3},
+	{policy: policies.Spec{Name: "lru"}, model: "619.lbm_s-2676B", cores: 2},
+	{policy: policies.Spec{Name: "srrip"}, model: "619.lbm_s-2676B", cores: 2},
+	{policy: policies.Spec{Name: "mockingjay", Drishti: true}, model: "619.lbm_s-2676B", cores: 2},
+	{policy: policies.Spec{Name: "lru"}, model: "pr-twitter", cores: 8, trackPC: true},
+}
+
+// goldenHashes pins the exact Result of every grid cell as produced by the
+// pre-optimization simulator (captured at the seed of this PR). The hot-path
+// work — heap scheduler, single-probe fill, SoA tag arrays, open-addressing
+// tables — must reproduce these bit-for-bit: any drift here is a correctness
+// bug, not an acceptable perf tradeoff. Regenerate (only for intentional
+// model changes) with:
+//
+//	DRISHTI_GOLDEN_UPDATE=1 go test ./internal/sim -run TestGoldenResultHashes -v
+var goldenHashes = map[string]string{
+	"name=lru|drishti=false|place=nil|nocstar=nil|predlat=0|dsc=nil|ssets=0|fixed=|perslice=/605.mcf_s-1554B/c4/pc=false":       "e8dd20d42b7e1b143445bbc00b57b4274db47e665ef970bd197b1d83e641d0d3",
+	"name=dip|drishti=false|place=nil|nocstar=nil|predlat=0|dsc=nil|ssets=0|fixed=|perslice=/605.mcf_s-1554B/c4/pc=false":       "a671a2599fc79470c90b90754bd90d4f60e7e0e4a1a1f265dcc94d8e1bb14351",
+	"name=hawkeye|drishti=true|place=nil|nocstar=nil|predlat=0|dsc=nil|ssets=0|fixed=|perslice=/605.mcf_s-1554B/c4/pc=false":    "de78f89d6192bf11b4ea9277c3586ed857c621b860c7cee4cdd800f5a8a48109",
+	"name=mockingjay|drishti=true|place=nil|nocstar=nil|predlat=0|dsc=nil|ssets=0|fixed=|perslice=/605.mcf_s-1554B/c4/pc=false": "560c7cf3d8cf505e44badbc116b0ab1ef103fdf9ab1d6b6274c06a4faee2ba64",
+	"name=lru|drishti=false|place=nil|nocstar=nil|predlat=0|dsc=nil|ssets=0|fixed=|perslice=/602.gcc_s-734B/c3/pc=false":        "0d850e96cd5920ef57756dd3506b10e55c79625d69b87b4ec92e35a09c9f2d46",
+	"name=dip|drishti=false|place=nil|nocstar=nil|predlat=0|dsc=nil|ssets=0|fixed=|perslice=/602.gcc_s-734B/c3/pc=false":        "c2244fbf823f8d9284232604beb586f6ad5eac53e504f757ca7e0f35c423d1f3",
+	"name=hawkeye|drishti=true|place=nil|nocstar=nil|predlat=0|dsc=nil|ssets=0|fixed=|perslice=/602.gcc_s-734B/c3/pc=false":     "be3425edfd2695a0213ae2c4959725112f8fff6f4b855aa84ee52ec5490a697f",
+	"name=mockingjay|drishti=true|place=nil|nocstar=nil|predlat=0|dsc=nil|ssets=0|fixed=|perslice=/602.gcc_s-734B/c3/pc=false":  "c552d8fb0df76e745526c70736b486aeb8db026fa9b9af1f5bd6b744f9bbe21b",
+	"name=lru|drishti=false|place=nil|nocstar=nil|predlat=0|dsc=nil|ssets=0|fixed=|perslice=/619.lbm_s-2676B/c2/pc=false":       "233354af170b4a0234f03d992852e7b5f82ed0b6f6bd87208794568fc8e161d9",
+	"name=srrip|drishti=false|place=nil|nocstar=nil|predlat=0|dsc=nil|ssets=0|fixed=|perslice=/619.lbm_s-2676B/c2/pc=false":     "d56476cf60326b0957c29c2370768ceedc6c92c16f0017f9c68abafc0d8045b7",
+	"name=mockingjay|drishti=true|place=nil|nocstar=nil|predlat=0|dsc=nil|ssets=0|fixed=|perslice=/619.lbm_s-2676B/c2/pc=false": "a485ff300e5061f49a5d45cb85dc5502105df3b026e3be50e8a26dcc9ea774b5",
+	"name=lru|drishti=false|place=nil|nocstar=nil|predlat=0|dsc=nil|ssets=0|fixed=|perslice=/pr-twitter/c8/pc=true":             "ce5203b1e967ea494d52c4716dfdc253157eac0824997401179632812761b54c",
+}
+
+func goldenKey(c goldenCell) string {
+	return fmt.Sprintf("%s/%s/c%d/pc=%v", c.policy.Key(), c.model, c.cores, c.trackPC)
+}
+
+// goldenHash canonicalizes a Result to a hex digest. JSON marshaling is
+// deterministic for the fields involved (maps serialize with sorted keys,
+// floats round-trip exactly), so equal digests mean equal results.
+func goldenHash(t *testing.T, res *Result) string {
+	t.Helper()
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
+}
+
+func goldenRun(t *testing.T, c goldenCell) *Result {
+	t.Helper()
+	cfg := ScaledConfig(c.cores, 8)
+	cfg.Instructions = 30_000
+	cfg.Warmup = 6_000
+	cfg.Policy = c.policy
+	cfg.TrackPCSlices = c.trackPC
+	m, ok := workload.ByName(c.model)
+	if !ok {
+		t.Fatalf("model %s missing", c.model)
+	}
+	mix := workload.Homogeneous(m.Scale(8, cfg.SetIndexBits()), c.cores, 5)
+	res, err := RunMix(cfg, mix)
+	if err != nil {
+		t.Fatalf("%s: %v", goldenKey(c), err)
+	}
+	return res
+}
+
+// TestGoldenResultHashes is the bit-identity guard for the hot-path
+// optimizations: every cell of the grid must hash exactly to the value
+// captured before the refactor.
+func TestGoldenResultHashes(t *testing.T) {
+	update := os.Getenv("DRISHTI_GOLDEN_UPDATE") == "1"
+	for _, c := range goldenGrid {
+		c := c
+		t.Run(goldenKey(c), func(t *testing.T) {
+			t.Parallel()
+			got := goldenHash(t, goldenRun(t, c))
+			if update {
+				t.Logf("GOLDEN\t%q: %q,", goldenKey(c), got)
+				return
+			}
+			want, ok := goldenHashes[goldenKey(c)]
+			if !ok {
+				t.Fatalf("no golden hash recorded for %s (got %s)", goldenKey(c), got)
+			}
+			if got != want {
+				t.Fatalf("result drifted from pre-optimization golden:\n got %s\nwant %s", got, want)
+			}
+		})
+	}
+}

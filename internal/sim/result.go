@@ -152,16 +152,16 @@ func (s *System) collect() *Result {
 
 	if s.pcSlices != nil {
 		ps := &PCSliceStats{}
-		for _, t := range s.pcSlices {
+		s.pcSlices.Range(func(_ uint64, t *pcTrack) bool {
 			if t.loads < 2 {
-				continue // exclude single-load PCs, as Fig 2 does
+				return true // exclude single-load PCs, as Fig 2 does
 			}
 			ps.PCs++
-			ones := popcount2(t.slices)
-			if ones == 1 {
+			if popcount2(t.slices) == 1 {
 				ps.OneSlicePCs++
 			}
-		}
+			return true
+		})
 		if ps.PCs > 0 {
 			ps.FractionOne = float64(ps.OneSlicePCs) / float64(ps.PCs)
 		}

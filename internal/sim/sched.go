@@ -1,0 +1,70 @@
+package sim
+
+// coreHeap schedules the run loop: an implicit binary min-heap over the
+// active cores, keyed on (cycle, coreID) with the coreID breaking ties.
+// This replaces the per-step O(cores) linear scan with O(log cores) — the
+// win that makes 64–128-core ("scal") runs cheap to schedule.
+//
+// Equivalence with the scan it replaced: the scan picked the lowest-indexed
+// core among those with the minimal cycle (strict less-than kept the first),
+// and a heap ordered by (cycle, coreID) pops exactly that core. Stepping a
+// core changes only that core's cycle, and cpu.Core cycles never decrease,
+// so a single root sift-down after each step restores the heap invariant.
+// The selection sequence — and therefore every simulation result — is
+// bit-identical to the linear scan's.
+type coreHeap struct {
+	cycle []uint64
+	id    []int32
+}
+
+// newCoreHeap builds a heap over coreIDs, all at their cores' current
+// cycles. Cores are appended in increasing ID order at equal cycles, which
+// is already a valid (cycle, coreID) min-heap.
+func newCoreHeap(coreIDs []int, cycleOf func(coreID int) uint64) *coreHeap {
+	h := &coreHeap{
+		cycle: make([]uint64, 0, len(coreIDs)),
+		id:    make([]int32, 0, len(coreIDs)),
+	}
+	for _, c := range coreIDs {
+		h.cycle = append(h.cycle, cycleOf(c))
+		h.id = append(h.id, int32(c))
+	}
+	for i := len(h.id)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+	return h
+}
+
+// min returns the core to step next: minimal cycle, lowest ID on ties.
+func (h *coreHeap) min() int { return int(h.id[0]) }
+
+// fixMin re-keys the root (the core just stepped) to newCycle and restores
+// the heap. newCycle must be ≥ the root's previous cycle.
+func (h *coreHeap) fixMin(newCycle uint64) {
+	h.cycle[0] = newCycle
+	h.siftDown(0)
+}
+
+func (h *coreHeap) less(i, j int) bool {
+	return h.cycle[i] < h.cycle[j] || (h.cycle[i] == h.cycle[j] && h.id[i] < h.id[j])
+}
+
+func (h *coreHeap) siftDown(i int) {
+	n := len(h.id)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			return
+		}
+		h.cycle[i], h.cycle[m] = h.cycle[m], h.cycle[i]
+		h.id[i], h.id[m] = h.id[m], h.id[i]
+		i = m
+	}
+}

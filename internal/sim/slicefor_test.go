@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"testing"
+
+	"drishti/internal/trace"
+	"drishti/internal/workload"
+)
+
+// newTestSystem builds a System for slice-mapping tests without running it.
+func newTestSystem(t *testing.T, cores int) *System {
+	t.Helper()
+	cfg := testConfig(cores)
+	readers := make([]trace.Reader, cores)
+	g, err := workload.NewGenerator(workload.AllSPECGAP()[0].Scale(8, cfg.SetIndexBits()), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readers[0] = g
+	sys, err := New(cfg, readers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestSliceForNonPowerOfTwoCores exercises the h % cores fallback: slice IDs
+// must stay in range and reasonably balanced when the core count has no
+// power-of-two mask.
+func TestSliceForNonPowerOfTwoCores(t *testing.T) {
+	for _, cores := range []int{3, 5, 6, 7, 12} {
+		sys := newTestSystem(t, cores)
+		const blocks = 30000 // per-slice expectation: blocks/cores
+		counts := make([]int, cores)
+		for b := uint64(0); b < blocks; b++ {
+			s := sys.sliceFor(b<<8 | b%7)
+			if s < 0 || s >= cores {
+				t.Fatalf("cores=%d: slice %d out of range", cores, s)
+			}
+			counts[s]++
+		}
+		want := blocks / cores
+		for s, c := range counts {
+			if c < want/2 || c > want*2 {
+				t.Errorf("cores=%d: slice %d got %d of %d blocks (want ≈%d)",
+					cores, s, c, blocks, want)
+			}
+		}
+	}
+}
+
+// TestSliceForDeterministic: the slice map is a pure function of the block
+// address — repeated queries and a second identical system must agree.
+func TestSliceForDeterministic(t *testing.T) {
+	a := newTestSystem(t, 6)
+	b := newTestSystem(t, 6)
+	for blk := uint64(1); blk < 4096; blk += 37 {
+		if a.sliceFor(blk) != a.sliceFor(blk) || a.sliceFor(blk) != b.sliceFor(blk) {
+			t.Fatalf("sliceFor(%#x) not deterministic", blk)
+		}
+	}
+}
+
+// TestSliceForSingleCore: one core means one slice, whatever the hash says.
+func TestSliceForSingleCore(t *testing.T) {
+	sys := newTestSystem(t, 1)
+	for blk := uint64(0); blk < 1000; blk++ {
+		if s := sys.sliceFor(blk); s != 0 {
+			t.Fatalf("cores=1: sliceFor(%#x) = %d", blk, s)
+		}
+	}
+}

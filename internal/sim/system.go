@@ -10,11 +10,13 @@ import (
 	"drishti/internal/dram"
 	"drishti/internal/mem"
 	"drishti/internal/noc"
+	"drishti/internal/oatable"
 	"drishti/internal/policies"
 	"drishti/internal/prefetch"
 	"drishti/internal/repl"
 	"drishti/internal/stats"
 	"drishti/internal/trace"
+	"drishti/internal/workload"
 )
 
 // System is one assembled many-core machine plus its workload.
@@ -23,10 +25,14 @@ type System struct {
 
 	cores   []*cpu.Core
 	readers []trace.Reader // nil = idle core
-	l1      []*cache.Cache
-	l2      []*cache.Cache
-	l1pf    []prefetch.Prefetcher
-	l2pf    []prefetch.Prefetcher
+	// genReaders[i] is readers[i] when it is a *workload.Generator — the
+	// only reader type real runs use — letting the step loop call Next
+	// directly instead of through the interface.
+	genReaders []*workload.Generator
+	l1         []*cache.Cache
+	l2         []*cache.Cache
+	l1pf       []prefetch.Prefetcher
+	l2pf       []prefetch.Prefetcher
 
 	llc      []*cache.Cache
 	built    *policies.Built
@@ -55,8 +61,10 @@ type System struct {
 	coreLLCAccesses []uint64
 	coreLLCMisses   []uint64
 
-	// Fig 2 tracker: (core, PC) → slice bitmap + load count.
-	pcSlices map[uint64]*pcTrack
+	// Fig 2 tracker: (core, PC) → slice bitmap + load count. An
+	// open-addressing table — the tracker sits on the LLC demand path, so
+	// it must not allocate per access in steady state.
+	pcSlices *oatable.Table[pcTrack]
 
 	// Epoch telemetry (nil when Config.TelemetryEpoch is zero; the hot path
 	// pays one nil check).
@@ -75,6 +83,11 @@ type pcTrack struct {
 	loads  uint64
 }
 
+// pcSlicesLimit bounds the Fig 2 tracker: when the table exceeds this many
+// (core, PC) keys it restarts its observation window. Workload models use a
+// few dozen PCs per core, so real runs never reach it.
+const pcSlicesLimit = 1 << 16
+
 // New builds a system for cfg running mix readers (one per core; nil entries
 // leave that core idle — used for the IPC-alone runs).
 func New(cfg Config, readers []trace.Reader) (*System, error) {
@@ -85,9 +98,14 @@ func New(cfg Config, readers []trace.Reader) (*System, error) {
 		return nil, fmt.Errorf("sim: %d readers for %d cores", len(readers), cfg.Cores)
 	}
 	rnd := stats.NewRand(cfg.Seed ^ 0x5eed)
+	genReaders := make([]*workload.Generator, len(readers))
+	for i, rd := range readers {
+		genReaders[i], _ = rd.(*workload.Generator)
+	}
 	s := &System{
 		cfg:             cfg,
 		readers:         readers,
+		genReaders:      genReaders,
 		mesh:            noc.NewMesh(cfg.Cores, cfg.MeshPerHop, cfg.MeshRouter),
 		star:            noc.NewStar(cfg.Cores, cfg.StarLatency),
 		finishedAt:      make([]recorded, cfg.Cores),
@@ -162,7 +180,7 @@ func New(cfg Config, readers []trace.Reader) (*System, error) {
 	}
 
 	if cfg.TrackPCSlices {
-		s.pcSlices = make(map[uint64]*pcTrack)
+		s.pcSlices = oatable.New[pcTrack](2 * pcSlicesLimit)
 	}
 	s.telem = newTelemetry(s)
 	s.totalTarget = cfg.Warmup + cfg.Instructions
@@ -219,7 +237,9 @@ func (s *System) accessL1(coreID int, rec trace.Rec) uint32 {
 		if s.l1MSHR != nil {
 			lat += s.l1MSHR[coreID].reserve(now, lat)
 		}
-		ev := s.l1[coreID].Fill(a, typ == mem.RFO)
+		// FillMiss: Access above already probed and missed, and the lower
+		// levels only invalidate (never install) L1 lines in between.
+		ev := s.l1[coreID].FillMiss(a, typ == mem.RFO)
 		if ev.Valid && ev.Dirty {
 			s.writebackL2(coreID, ev.Block, now)
 		}
@@ -241,7 +261,7 @@ func (s *System) accessL2(coreID int, a repl.Access, now uint64, trainPf bool) u
 		if s.l2MSHR != nil {
 			lat += s.l2MSHR[coreID].reserve(now, lat)
 		}
-		ev := s.l2[coreID].Fill(a, false)
+		ev := s.l2[coreID].FillMiss(a, false)
 		if ev.Valid && ev.Dirty {
 			s.writebackLLC(coreID, ev.Block, now)
 		}
@@ -284,7 +304,7 @@ func (s *System) accessLLC(coreID int, a repl.Access, now uint64) uint32 {
 	if s.llcMSHR != nil {
 		lat += s.llcMSHR[sliceID].reserve(now, lat)
 	}
-	ev := sl.Fill(a, false)
+	ev := sl.FillMiss(a, false)
 	if s.penAware[sliceID] != nil {
 		lat += s.penAware[sliceID].FillPenalty()
 	}
@@ -324,7 +344,7 @@ func (s *System) writebackL2(coreID int, block uint64, now uint64) {
 	if hit {
 		return // Access marked it dirty
 	}
-	ev := s.l2[coreID].Fill(a, true)
+	ev := s.l2[coreID].FillMiss(a, true)
 	if ev.Valid && ev.Dirty {
 		s.writebackLLC(coreID, ev.Block, now)
 	}
@@ -341,7 +361,7 @@ func (s *System) writebackLLC(coreID int, block uint64, now uint64) {
 	if hit {
 		return
 	}
-	ev := sl.Fill(a, true)
+	ev := sl.FillMiss(a, true)
 	if ev.Valid {
 		s.retireLLCEviction(ev, now)
 	}
@@ -372,7 +392,8 @@ func (s *System) issueL1Prefetch(coreID int, pc, cand uint64, now uint64) {
 	s.prefIssued++
 	a := repl.Access{PC: pc, Block: block, Core: coreID, Type: mem.Prefetch, Cycle: now}
 	s.accessL2(coreID, a, now, false)
-	ev := s.l1[coreID].Fill(a, false)
+	// FillMiss: the Probe above missed and accessL2 never installs L1 lines.
+	ev := s.l1[coreID].FillMiss(a, false)
 	if ev.Valid && ev.Dirty {
 		s.writebackL2(coreID, ev.Block, now)
 	}
@@ -391,12 +412,11 @@ func (s *System) issueL2Prefetch(coreID int, pc, cand uint64, now uint64) {
 	}
 	s.prefIssued++
 	a := repl.Access{PC: pc, Block: block, Core: coreID, Type: mem.Prefetch, Cycle: now}
-	hit, _ := s.l2[coreID].Access(a)
-	if hit {
-		return
-	}
+	// The Probe above just missed and nothing ran since, so the access is a
+	// known miss: record it (stats + policy observers) without re-probing.
+	s.l2[coreID].AccessMiss(a)
 	s.accessLLC(coreID, a, now)
-	ev := s.l2[coreID].Fill(a, false)
+	ev := s.l2[coreID].FillMiss(a, false)
 	if ev.Valid && ev.Dirty {
 		s.writebackLLC(coreID, ev.Block, now)
 	}
@@ -404,10 +424,12 @@ func (s *System) issueL2Prefetch(coreID int, pc, cand uint64, now uint64) {
 
 func (s *System) trackPC(coreID int, pc uint64, sliceID int) {
 	key := uint64(coreID)<<48 ^ stats.Mix64(pc)>>16
-	t, ok := s.pcSlices[key]
-	if !ok {
-		t = &pcTrack{}
-		s.pcSlices[key] = t
+	t := s.pcSlices.Get(key)
+	if t == nil {
+		if s.pcSlices.Len() > pcSlicesLimit {
+			s.pcSlices.Clear()
+		}
+		t = s.pcSlices.Insert(key)
 	}
 	t.slices[sliceID/64] |= 1 << uint(sliceID%64)
 	t.loads++
@@ -431,20 +453,29 @@ func (s *System) RunContext(ctx context.Context) (*Result, error) {
 	if ctx != nil {
 		cancelCh = ctx.Done()
 	}
-	active := 0
+	var activeIDs []int
 	for c := range s.readers {
 		if s.readers[c] != nil {
-			active++
+			activeIDs = append(activeIDs, c)
 		} else {
 			s.finishedAt[c] = recorded{done: true}
 		}
 	}
+	active := len(activeIDs)
 	if active == 0 {
 		return nil, fmt.Errorf("sim: no active cores")
 	}
 	if s.cfg.Warmup == 0 {
 		s.warmupDone = true
 	}
+
+	// Earliest-core scheduling via an indexed min-heap on (cycle, coreID):
+	// O(log cores) per step instead of the old O(cores) scan, with the same
+	// deterministic lowest-ID tie-break (see coreHeap). Finished cores keep
+	// running — their traces loop so contention persists — so heap
+	// membership is fixed for the whole run and only the stepped core's key
+	// ever changes.
+	sched := newCoreHeap(activeIDs, func(c int) uint64 { return s.cores[c].Cycle() })
 
 	remaining := active
 	guard := uint64(0)
@@ -457,20 +488,10 @@ func (s *System) RunContext(ctx context.Context) (*Result, error) {
 			default:
 			}
 		}
-		// Pick the earliest unfinished-or-contending core. Linear scan:
-		// core counts are ≤128 and each step does real cache work.
-		coreID := -1
-		var minCycle uint64
-		for c, rd := range s.readers {
-			if rd == nil {
-				continue
-			}
-			if cy := s.cores[c].Cycle(); coreID < 0 || cy < minCycle {
-				coreID, minCycle = c, cy
-			}
-		}
+		coreID := sched.min()
 		s.step(coreID)
-		if !s.finishedAt[coreID].done && s.cores[coreID].Instructions()+s.warmupBase(coreID) >= s.totalTarget {
+		sched.fixMin(s.cores[coreID].Cycle())
+		if !s.finishedAt[coreID].done && s.cores[coreID].Instructions()+s.warmupBase() >= s.totalTarget {
 			core := s.cores[coreID]
 			s.finishedAt[coreID] = recorded{
 				done:   true,
@@ -480,7 +501,12 @@ func (s *System) RunContext(ctx context.Context) (*Result, error) {
 			}
 			remaining--
 		}
-		s.maybeFinishWarmup()
+		// Warmup can only complete on a step where the stepped core itself
+		// crossed the budget (every other core's count is unchanged), so
+		// skip the all-cores scan otherwise.
+		if !s.warmupDone && s.cores[coreID].Instructions() >= s.cfg.Warmup {
+			s.maybeFinishWarmup()
+		}
 		if guard++; guard > guardMax && guardMax > 0 {
 			detail := ""
 			for c := range s.cores {
@@ -500,10 +526,11 @@ func (s *System) RunContext(ctx context.Context) (*Result, error) {
 	return s.collect(), nil
 }
 
-// warmupBase returns how many instructions of the core's target were
-// consumed by warmup accounting (cores report instructions relative to their
-// warmup snapshot).
-func (s *System) warmupBase(coreID int) uint64 {
+// warmupBase returns how many instructions of a core's target were consumed
+// by warmup accounting (cores report instructions relative to their warmup
+// snapshot). Warmup finishes for all cores at once, so the value is
+// system-wide — it used to take a coreID it never read.
+func (s *System) warmupBase() uint64 {
 	if s.warmupDone {
 		return s.cfg.Warmup
 	}
@@ -512,7 +539,13 @@ func (s *System) warmupBase(coreID int) uint64 {
 
 // step advances one core by one trace record.
 func (s *System) step(coreID int) {
-	rec, ok := s.readers[coreID].Next()
+	var rec trace.Rec
+	var ok bool
+	if g := s.genReaders[coreID]; g != nil {
+		rec, ok = g.Next()
+	} else {
+		rec, ok = s.readers[coreID].Next()
+	}
 	if !ok {
 		// Finite trace exhausted: loop it to keep contention alive.
 		s.readers[coreID].Reset()
@@ -573,7 +606,7 @@ func (s *System) maybeFinishWarmup() {
 	}
 	s.prefIssued, s.prefDropped = 0, 0
 	if s.pcSlices != nil {
-		s.pcSlices = make(map[uint64]*pcTrack)
+		s.pcSlices.Clear()
 	}
 	if s.telem != nil {
 		s.telem.warmupReset()

@@ -55,9 +55,11 @@ func (r *Rand) Uint64n(n uint64) uint64 {
 	return r.Uint64() % n
 }
 
-// Float64 returns a uniform value in [0, 1).
+// Float64 returns a uniform value in [0, 1). Scaling by 0x1p-53 is exact
+// (power of two), so the multiply returns bit-identical values to dividing
+// by 1<<53 at a fraction of the latency.
 func (r *Rand) Float64() float64 {
-	return float64(r.Uint64()>>11) / (1 << 53)
+	return float64(r.Uint64()>>11) * 0x1p-53
 }
 
 // Perm returns a pseudo-random permutation of [0, n).
@@ -99,16 +101,61 @@ func (r *Rand) Geometric(mean float64) int {
 	return g
 }
 
+// Geom is a geometric sampler with a fixed mean. It draws the same stream
+// values and evaluates the same floating-point expression as Rand.Geometric,
+// so swapping one for the other cannot change results; it only hoists the
+// math.Log1p of the constant distribution parameter out of the per-sample
+// path, which profiles as a hot spot in workload generation.
+type Geom struct {
+	r    *Rand
+	logQ float64 // math.Log1p(-p) with p = 1/(mean+1)
+	live bool    // mean > 0
+}
+
+// NewGeom builds a sampler drawing from r with the given mean (mean >= 0).
+func NewGeom(r *Rand, mean float64) *Geom {
+	g := &Geom{r: r, live: mean > 0}
+	if g.live {
+		g.logQ = math.Log1p(-1.0 / (mean + 1.0))
+	}
+	return g
+}
+
+// Next returns the next sample. Like Rand.Geometric with a non-positive
+// mean, it returns zero without consuming the stream.
+func (g *Geom) Next() int {
+	if !g.live {
+		return 0
+	}
+	u := g.r.Float64()
+	n := int(math.Floor(math.Log1p(-u) / g.logQ))
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
 // Zipf draws Zipf-distributed values over [0, n) with exponent s using
 // rejection-inversion. It is deterministic given the parent Rand stream.
+//
+// The acceptance test evaluates h and hInteg at integer-derived points, and
+// Zipf mass concentrates on small ranks, so both are memoized for low ranks.
+// Memo entries are produced by the very same h/hInteg calls on first use —
+// the cache only replays bit-identical values, it never changes a sample.
 type Zipf struct {
 	r        *Rand
 	n        uint64
 	s        float64
 	hIntegN  float64
 	hIntegX1 float64
+	hSpan    float64 // hIntegN - hIntegX1, hoisted out of Next
 	hX1      float64
+	hMemo    []float64 // h(k) by integer rank k; 0 = not yet computed (h > 0)
+	hIntMemo []float64 // hInteg(k+0.5) by rank k; NaN = not yet computed
 }
+
+// zipfMemoRanks bounds the per-sampler memo tables (16 KB for both).
+const zipfMemoRanks = 1024
 
 // NewZipf builds a sampler over [0, n) with skew s (> 0, typically 0.6–1.2).
 func NewZipf(r *Rand, n uint64, s float64) *Zipf {
@@ -118,7 +165,17 @@ func NewZipf(r *Rand, n uint64, s float64) *Zipf {
 	z := &Zipf{r: r, n: n, s: s}
 	z.hIntegX1 = z.hInteg(1.5) - 1.0
 	z.hIntegN = z.hInteg(float64(n) + 0.5)
+	z.hSpan = z.hIntegN - z.hIntegX1
 	z.hX1 = z.h(1.0)
+	ranks := uint64(zipfMemoRanks)
+	if ranks > n {
+		ranks = n
+	}
+	z.hMemo = make([]float64, ranks+1)
+	z.hIntMemo = make([]float64, ranks+1)
+	for i := range z.hIntMemo {
+		z.hIntMemo[i] = math.NaN()
+	}
 	return z
 }
 
@@ -138,10 +195,36 @@ func (z *Zipf) hIntegInv(x float64) float64 {
 	return math.Exp(math.Log((1.0-z.s)*x) / (1.0 - z.s))
 }
 
+// hAt is h(k) for integer rank k, memoized for low ranks.
+func (z *Zipf) hAt(k float64) float64 {
+	if i := int(k); i < len(z.hMemo) {
+		v := z.hMemo[i]
+		if v == 0 {
+			v = z.h(k)
+			z.hMemo[i] = v
+		}
+		return v
+	}
+	return z.h(k)
+}
+
+// hIntegAt is hInteg(k+0.5) for integer rank k, memoized for low ranks.
+func (z *Zipf) hIntegAt(k float64) float64 {
+	if i := int(k); i < len(z.hIntMemo) {
+		v := z.hIntMemo[i]
+		if math.IsNaN(v) {
+			v = z.hInteg(k + 0.5)
+			z.hIntMemo[i] = v
+		}
+		return v
+	}
+	return z.hInteg(k + 0.5)
+}
+
 // Next returns the next sample in [0, n), with rank-0 most popular.
 func (z *Zipf) Next() uint64 {
 	for {
-		u := z.hIntegX1 + z.r.Float64()*(z.hIntegN-z.hIntegX1)
+		u := z.hIntegX1 + z.r.Float64()*z.hSpan
 		x := z.hIntegInv(u)
 		k := math.Floor(x + 0.5)
 		if k < 1 {
@@ -150,7 +233,10 @@ func (z *Zipf) Next() uint64 {
 		if k > float64(z.n) {
 			k = float64(z.n)
 		}
-		if z.hInteg(k+0.5)-u <= z.h(k) || k <= 1.5 {
+		// Same acceptance condition as the classic formulation, with the
+		// cheap rank-1 branch hoisted ahead of the || — h and hInteg are
+		// pure, so evaluation order cannot change the outcome.
+		if k <= 1.5 || z.hIntegAt(k)-u <= z.hAt(k) {
 			return uint64(k) - 1
 		}
 	}

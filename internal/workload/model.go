@@ -187,6 +187,7 @@ type Generator struct {
 	model   Model
 	seed    uint64
 	rnd     *stats.Rand
+	gapGeom *stats.Geom // geometric gap sampler over rnd, MeanGap precomputed
 	streams []*streamState
 	cumW    []float64
 	totalW  float64
@@ -213,6 +214,7 @@ func NewGenerator(model Model, seed uint64) (*Generator, error) {
 		return nil, err
 	}
 	g := &Generator{model: model, seed: seed, rnd: stats.NewRand(seed)}
+	g.gapGeom = stats.NewGeom(g.rnd, model.MeanGap)
 	var cum float64
 	setBits := model.SetIndexBits
 	if setBits == 0 {
@@ -303,7 +305,7 @@ func (g *Generator) Next() (trace.Rec, bool) {
 		PC:    pc,
 		Addr:  addr,
 		Write: st.rnd.Float64() < st.spec.WriteFrac,
-		Gap:   uint32(g.rnd.Geometric(g.model.MeanGap)),
+		Gap:   uint32(g.gapGeom.Next()),
 	}
 	return rec, true
 }
@@ -416,7 +418,7 @@ func (st *streamState) steerHot(blk uint64) (uint64, uint64) {
 		return blk, h
 	}
 	// Skew among the hot sets themselves: quadratic bias toward index 0.
-	u := float64(stats.Mix64(blk*2654435761+st.base)>>11) / float64(1<<53)
+	u := float64(stats.Mix64(blk*2654435761+st.base)>>11) * 0x1p-53
 	hot := st.hot[int(u*u*float64(len(st.hot)))]
 	mask := uint64(1)<<uint(st.setBits) - 1
 	return (blk &^ mask) | hot, h
@@ -427,7 +429,7 @@ func (st *streamState) steers(h uint64) bool {
 	if len(st.hot) == 0 {
 		return false
 	}
-	return float64(h>>11)/float64(1<<53) < st.spec.HotSetFrac
+	return float64(h>>11)*0x1p-53 < st.spec.HotSetFrac
 }
 
 // isSteered reports whether blk belongs to the steered hash-slice.
