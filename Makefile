@@ -13,8 +13,9 @@ BENCH_COUNT ?= 3
 # and static checks. The experiment harness fans simulations out onto a
 # worker pool, so any data race is a correctness bug — `race` is part of
 # `verify`, not optional. race-serve adds a short-mode -race pass focused
-# on the job service and durable store, whose concurrency (worker pool,
-# queue, atomic same-key writers) is their whole point. bench-gate fails
+# on the job service, durable store, and fleet layer, whose concurrency
+# (worker pool, queue, leases, atomic same-key writers) is their whole
+# point. bench-gate fails
 # verify when the quick benchmarks regress >10% against BENCH_sim.json.
 verify: build test race race-serve lint bench-gate
 
@@ -28,7 +29,7 @@ race:
 	$(GO) test -race ./...
 
 race-serve:
-	$(GO) test -race -short ./internal/serve/ ./internal/store/
+	$(GO) test -race -short ./internal/serve/... ./internal/store/ ./internal/dist/
 
 # lint: go vet plus a gofmt cleanliness check (fails listing unformatted
 # files; run `gofmt -w` on them to fix).

@@ -9,9 +9,16 @@
 //	curl -s localhost:8411/v1/jobs/<id>
 //	curl -s localhost:8411/v1/jobs/<id>/result
 //
+// With -fleet the service additionally runs the distributed-sweep
+// coordinator: drishti-worker processes register over /v1/fleet/*, sweep
+// cells are handed out under expiring leases, and jobs fall back to local
+// in-process execution whenever no workers are registered — single-node
+// behavior is unchanged. Fleet state is served at GET /v1/fleet.
+//
 // SIGINT/SIGTERM drain gracefully: in-flight jobs finish (bounded by
 // -drain), still-queued jobs are persisted into the store directory and
-// restored on the next start. See README.md "Running the service".
+// restored on the next start. See README.md "Running the service" and
+// "Distributed mode".
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"time"
 
 	"drishti/internal/buildinfo"
+	"drishti/internal/dist"
 	"drishti/internal/obs"
 	"drishti/internal/serve"
 )
@@ -42,6 +50,11 @@ func run() int {
 		drain   = flag.Duration("drain", time.Minute, "shutdown drain bound for in-flight jobs")
 		quiet   = flag.Bool("quiet", false, "log warnings and errors only")
 		version = flag.Bool("version", false, "print build information and exit")
+
+		fleet        = flag.Bool("fleet", false, "coordinator mode: distribute sweep cells to drishti-worker processes")
+		leaseTTL     = flag.Duration("lease-ttl", 30*time.Second, "fleet: reassign a cell if a worker holds it longer than this")
+		workerTTL    = flag.Duration("worker-ttl", 45*time.Second, "fleet: declare a worker dead after this much heartbeat silence")
+		fleetRetries = flag.Int("fleet-retries", 3, "fleet: reassignments per cell before the job fails")
 	)
 	flag.Parse()
 	if *version {
@@ -50,7 +63,27 @@ func run() int {
 	}
 	log := obs.NewLogger(os.Stderr, "drishti-served", *quiet)
 
-	svc, err := serve.New(serve.Options{
+	// In fleet mode the coordinator opens its own handle on the same
+	// store directory (the store is multi-process-safe by design), so it
+	// can be built first and handed to the service as its Distributor.
+	var coord *dist.Coordinator
+	var err error
+	if *fleet {
+		coord, err = dist.NewCoordinator(dist.CoordinatorOptions{
+			StoreDir:       *dir,
+			LeaseTTL:       *leaseTTL,
+			WorkerTTL:      *workerTTL,
+			MaxCellRetries: *fleetRetries,
+			Logger:         log,
+			Registry:       obs.Default(),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "drishti-served:", err)
+			return 1
+		}
+	}
+
+	opts := serve.Options{
 		StoreDir:       *dir,
 		Workers:        *workers,
 		QueueCap:       *queue,
@@ -58,16 +91,24 @@ func run() int {
 		MaxRetries:     *retries,
 		Logger:         log,
 		Registry:       obs.Default(),
-	})
+	}
+	if coord != nil {
+		opts.Distributor = coord
+	}
+	svc, err := serve.New(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "drishti-served:", err)
 		return 1
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	handler := http.Handler(svc.Handler())
+	if coord != nil {
+		handler = coord.Handler(handler)
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Info("serving", "addr", *addr, "store", *dir, "queueCap", *queue)
+	log.Info("serving", "addr", *addr, "store", *dir, "queueCap", *queue, "fleet", *fleet)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -103,31 +103,59 @@ func ScaledConfig(cores, scale int) Config { return sim.ScaledConfig(cores, scal
 // core idle).
 func New(cfg Config, readers []TraceReader) (*System, error) { return sim.New(cfg, readers) }
 
-// RunMix builds and runs a system over a workload mix.
-func RunMix(cfg Config, mix Mix) (*Result, error) { return sim.RunMix(cfg, mix) }
+// The *Context entrypoints below are the canonical run functions: they
+// accept a context for cooperative cancellation, and a context that is
+// never cancelled produces results bit-identical to the non-context form.
+// The context-free variants are one-line wrappers kept for existing
+// callers and quick scripts; new code should call the *Context forms.
 
-// RunMixContext is RunMix with cooperative cancellation: the simulation
-// aborts with a wrapped ctx.Err() once ctx is done. An uncancelled context
-// produces results bit-identical to RunMix.
+// RunMixContext builds and runs a system over a workload mix. The
+// simulation aborts with a wrapped ctx.Err() once ctx is done.
 func RunMixContext(ctx context.Context, cfg Config, mix Mix) (*Result, error) {
 	return sim.RunMixContext(ctx, cfg, mix)
 }
 
-// RunAlone measures each core's alone IPC for the weighted-speedup
-// metrics, running the independent per-core systems on up to GOMAXPROCS
-// workers. Results are identical at every parallelism.
-func RunAlone(cfg Config, mix Mix) ([]float64, error) { return sim.RunAlone(cfg, mix) }
-
-// RunAloneN is RunAlone with an explicit worker-pool bound
-// (parallelism <= 1 runs serially).
-func RunAloneN(cfg Config, mix Mix, parallelism int) ([]float64, error) {
-	return sim.RunAloneN(cfg, mix, parallelism)
+// RunMix is RunMixContext with context.Background. New callers should
+// prefer RunMixContext.
+func RunMix(cfg Config, mix Mix) (*Result, error) {
+	return RunMixContext(context.Background(), cfg, mix)
 }
 
-// RunWithMetrics runs a mix and computes WS/HS/MIS/unfairness against the
-// supplied alone-IPC vector.
+// RunAloneContext measures each core's alone IPC for the weighted-speedup
+// metrics, running the independent per-core systems on up to GOMAXPROCS
+// workers. Results are identical at every parallelism.
+func RunAloneContext(ctx context.Context, cfg Config, mix Mix) ([]float64, error) {
+	return sim.RunAloneContext(ctx, cfg, mix)
+}
+
+// RunAlone is RunAloneContext with context.Background. New callers should
+// prefer RunAloneContext.
+func RunAlone(cfg Config, mix Mix) ([]float64, error) {
+	return RunAloneContext(context.Background(), cfg, mix)
+}
+
+// RunAloneNContext is RunAloneContext with an explicit worker-pool bound
+// (parallelism <= 1 runs serially).
+func RunAloneNContext(ctx context.Context, cfg Config, mix Mix, parallelism int) ([]float64, error) {
+	return sim.RunAloneNContext(ctx, cfg, mix, parallelism)
+}
+
+// RunAloneN is RunAloneNContext with context.Background. New callers
+// should prefer RunAloneNContext.
+func RunAloneN(cfg Config, mix Mix, parallelism int) ([]float64, error) {
+	return RunAloneNContext(context.Background(), cfg, mix, parallelism)
+}
+
+// RunWithMetricsContext runs a mix and computes WS/HS/MIS/unfairness
+// against the supplied alone-IPC vector.
+func RunWithMetricsContext(ctx context.Context, cfg Config, mix Mix, aloneIPC []float64) (*MixOutcome, error) {
+	return sim.RunWithMetricsContext(ctx, cfg, mix, aloneIPC)
+}
+
+// RunWithMetrics is RunWithMetricsContext with context.Background. New
+// callers should prefer RunWithMetricsContext.
 func RunWithMetrics(cfg Config, mix Mix, aloneIPC []float64) (*MixOutcome, error) {
-	return sim.RunWithMetrics(cfg, mix, aloneIPC)
+	return RunWithMetricsContext(context.Background(), cfg, mix, aloneIPC)
 }
 
 // ComputeMetrics derives WS/HS/MIS/unfairness from together and alone IPCs.

@@ -1,0 +1,709 @@
+// Package dist distributes job-service sweeps across a fleet of worker
+// processes. The coordinator — a mode of cmd/drishti-served — decomposes a
+// JobRequest into its sweep cells (the same (workload, policy) grid the
+// single-node executor walks), serves whatever the shared content-addressed
+// store already holds, and hands the remainder to registered workers over
+// HTTP with lease-based assignment: a worker that dies, hangs, or misses
+// its heartbeats simply lets its leases expire, and the cells are
+// reassigned with bounded retry and exponential backoff. Results merge back
+// in deterministic cell order, so a fleet sweep is bit-identical to the
+// same sweep run on one node.
+//
+// Workers poll the coordinator (register → heartbeat → lease → complete);
+// the coordinator never dials a worker, so workers behind NAT or in
+// containers need no reachable address. The wire schema is
+// internal/serve/api, shared verbatim by both sides.
+package dist
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+
+	"drishti/internal/obs"
+	"drishti/internal/serve/api"
+	"drishti/internal/sim"
+	"drishti/internal/store"
+)
+
+// CoordinatorOptions configure a Coordinator. Zero values take the
+// documented defaults.
+type CoordinatorOptions struct {
+	// StoreDir roots the content-addressed result store the coordinator
+	// checks before distributing a cell. Pointing workers at the same
+	// directory (shared filesystem) extends the dedup fleet-wide, but is
+	// not required — completed cells are also written back here.
+	StoreDir string
+
+	// LeaseTTL bounds how long a worker may hold a cell before it is
+	// reassigned (default 30s).
+	LeaseTTL time.Duration
+
+	// WorkerTTL declares a worker dead after this much heartbeat silence;
+	// its leases are reassigned (default 45s).
+	WorkerTTL time.Duration
+
+	// PollInterval is the idle poll cadence suggested to workers at
+	// registration (default 500ms).
+	PollInterval time.Duration
+
+	// SweepEvery is the coordinator's own expiry-scan cadence while a job
+	// is in flight (default LeaseTTL/4, clamped to [25ms, 1s]).
+	SweepEvery time.Duration
+
+	// MaxCellRetries bounds reassignments per cell beyond its first
+	// attempt; exhausting it fails the job (default 3).
+	MaxCellRetries int
+
+	// RetryBackoff is the base of the exponential backoff a retried cell
+	// waits before redispatch (default 100ms, doubling, capped at 5s).
+	RetryBackoff time.Duration
+
+	// Logger receives one structured line per fleet transition (default
+	// discard).
+	Logger *slog.Logger
+
+	// Registry receives fleet metrics (default the process registry).
+	Registry *obs.Registry
+}
+
+func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 30 * time.Second
+	}
+	if o.WorkerTTL <= 0 {
+		o.WorkerTTL = 45 * time.Second
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 500 * time.Millisecond
+	}
+	if o.SweepEvery <= 0 {
+		o.SweepEvery = o.LeaseTTL / 4
+		if o.SweepEvery < 25*time.Millisecond {
+			o.SweepEvery = 25 * time.Millisecond
+		}
+		if o.SweepEvery > time.Second {
+			o.SweepEvery = time.Second
+		}
+	}
+	if o.MaxCellRetries == 0 {
+		o.MaxCellRetries = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 100 * time.Millisecond
+	}
+	if o.Logger == nil {
+		o.Logger = obs.Discard()
+	}
+	if o.Registry == nil {
+		o.Registry = obs.Default()
+	}
+	return o
+}
+
+// workerState is one registered worker. Guarded by the coordinator mutex.
+type workerState struct {
+	id       string
+	name     string
+	capacity int
+	lastBeat time.Time
+	leases   map[string]*cellState // by lease ID
+	done     uint64
+}
+
+// cellState is one sweep cell in flight. Guarded by the coordinator mutex.
+type cellState struct {
+	job      *fleetJob
+	spec     api.CellSpec
+	policy   string // DisplayName, for the CellResult and error messages
+	workload string
+	mixName  string
+
+	attempts  int       // lease grants + local adoptions
+	notBefore time.Time // backoff gate for redispatch
+	lastErr   string
+
+	// Lease fields; zero when pending.
+	leaseID  string
+	workerID string
+	deadline time.Time
+
+	resolved bool
+}
+
+// fleetJob is one distributed job. results is indexed by cell index, so
+// assembly order never depends on completion order.
+type fleetJob struct {
+	id        string
+	results   []api.CellResult
+	remaining int
+	hits      int
+	misses    int
+	err       error
+	done      chan struct{}
+	abandoned bool
+}
+
+func (j *fleetJob) finished() bool {
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Coordinator owns the fleet: worker registration, the pending-cell queue,
+// active leases, and the merge of completed cells back into job results.
+// It implements serve.Distributor.
+type Coordinator struct {
+	opts CoordinatorOptions
+	st   *store.Store
+	log  *slog.Logger
+
+	mu      sync.Mutex
+	workers map[string]*workerState
+	pending []*cellState
+	leases  map[string]*cellState
+	wseq    int
+	lseq    int
+
+	gWorkers, gLeases, gPending            *obs.Gauge
+	cExpired, cCompleted, cRetried, cLocal *obs.Counter
+	cResolved, cFromStore                  *obs.Counter
+}
+
+// NewCoordinator opens the store and prepares an empty fleet. The
+// coordinator has no background goroutines: expiry sweeps piggyback on
+// worker polls and on each in-flight job's wait loop, so there is nothing
+// to shut down.
+func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
+	opts = opts.withDefaults()
+	st, err := store.Open(opts.StoreDir)
+	if err != nil {
+		return nil, err
+	}
+	st.Attach(opts.Registry, "fleet_store")
+	reg := opts.Registry
+	return &Coordinator{
+		opts:    opts,
+		st:      st,
+		log:     opts.Logger,
+		workers: make(map[string]*workerState),
+		leases:  make(map[string]*cellState),
+
+		gWorkers:   reg.Gauge("fleet_workers_alive"),
+		gLeases:    reg.Gauge("fleet_leases_active"),
+		gPending:   reg.Gauge("fleet_cells_pending"),
+		cExpired:   reg.Counter("fleet_leases_expired"),
+		cCompleted: reg.Counter("fleet_cells_completed"),
+		cRetried:   reg.Counter("fleet_cells_retried"),
+		cLocal:     reg.Counter("fleet_cells_local"),
+		cResolved:  reg.Counter("fleet_cells_resolved"),
+		cFromStore: reg.Counter("fleet_cells_from_store"),
+	}, nil
+}
+
+// Store exposes the coordinator's result store (tests read its counters).
+func (c *Coordinator) Store() *store.Store { return c.st }
+
+// RunJob implements serve.Distributor: decompose, distribute, merge. With
+// no live workers it declines with api.ErrNoWorkers so the service runs
+// the job locally. If every worker dies mid-job, the coordinator itself
+// adopts the remaining cells (local fallback) rather than stranding the
+// job until a worker returns.
+func (c *Coordinator) RunJob(ctx context.Context, jobID string, req api.JobRequest) (*api.JobResult, error) {
+	c.mu.Lock()
+	c.sweepLocked(time.Now())
+	alive := len(c.workers)
+	c.mu.Unlock()
+	if alive == 0 {
+		return nil, api.ErrNoWorkers
+	}
+
+	job, cells, err := c.decompose(jobID, req)
+	if err != nil {
+		return nil, err
+	}
+	if job.remaining == 0 { // whole sweep served from the store
+		return c.assemble(job), nil
+	}
+
+	c.mu.Lock()
+	c.pending = append(c.pending, cells...)
+	c.gPending.Set(float64(len(c.pending)))
+	c.mu.Unlock()
+	c.log.Info("job distributed", "job", jobID,
+		"cells", len(job.results), "pending", len(cells), "storeHits", job.hits)
+
+	tick := time.NewTicker(c.opts.SweepEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-job.done:
+			c.mu.Lock()
+			err := job.err
+			c.mu.Unlock()
+			if err != nil {
+				return nil, err
+			}
+			return c.assemble(job), nil
+		case <-ctx.Done():
+			c.abandon(job)
+			return nil, ctx.Err()
+		case <-tick.C:
+			c.mu.Lock()
+			c.sweepLocked(time.Now())
+			orphaned := len(c.workers) == 0
+			c.mu.Unlock()
+			if orphaned {
+				c.runLocal(ctx, job)
+			}
+		}
+	}
+}
+
+// decompose walks the request's workload × policy grid in the single-node
+// executor's order, front-loading every cell with a store lookup. Cells
+// the store already holds are resolved immediately; the rest come back as
+// pending cellStates.
+func (c *Coordinator) decompose(jobID string, req api.JobRequest) (*fleetJob, []*cellState, error) {
+	nCells := len(req.Workloads) * len(req.Policies)
+	job := &fleetJob{
+		id:      jobID,
+		results: make([]api.CellResult, nCells),
+		done:    make(chan struct{}),
+	}
+	var cells []*cellState
+	idx := 0
+	for wi := range req.Workloads {
+		for pi := range req.Policies {
+			cfg, mix, err := req.Cell(wi, pi)
+			if err != nil {
+				return nil, nil, err
+			}
+			key := api.CellKey(cfg, mix)
+			cell := &cellState{
+				job: job,
+				spec: api.CellSpec{
+					Index:         idx,
+					Key:           key,
+					Request:       req,
+					WorkloadIndex: wi,
+					PolicyIndex:   pi,
+				},
+				policy:   cfg.Policy.DisplayName(),
+				workload: req.Workloads[wi],
+				mixName:  mix.Name,
+			}
+			var cached sim.Result
+			hit, err := c.st.Get(key, &cached)
+			if err != nil {
+				return nil, nil, err
+			}
+			if hit {
+				job.results[idx] = cell.toResult(&cached, true)
+				job.hits++
+				c.cResolved.Inc()
+				c.cFromStore.Inc()
+			} else {
+				job.remaining++
+				cells = append(cells, cell)
+			}
+			idx++
+		}
+	}
+	return job, cells, nil
+}
+
+// toResult renders a finished cell in the wire layout the single-node
+// executor produces.
+func (cl *cellState) toResult(res *sim.Result, fromStore bool) api.CellResult {
+	return api.CellResult{
+		Policy:    cl.policy,
+		Workload:  cl.workload,
+		Mix:       cl.mixName,
+		FromStore: fromStore,
+		IPCSum:    res.IPCSum(),
+		MPKI:      res.MPKI,
+		WPKI:      res.WPKI,
+		APKI:      res.APKI,
+		Result:    res,
+	}
+}
+
+// assemble merges a finished job. Cell order is the decompose order, never
+// the completion order.
+func (c *Coordinator) assemble(job *fleetJob) *api.JobResult {
+	return &api.JobResult{
+		Cells:       job.results,
+		StoreHits:   job.hits,
+		StoreMisses: job.misses,
+	}
+}
+
+// abandon drops a cancelled job: its pending cells leave the queue and any
+// still-leased cells are refused at completion.
+func (c *Coordinator) abandon(job *fleetJob) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	job.abandoned = true
+	c.removePendingLocked(job)
+}
+
+// removePendingLocked filters one job's cells out of the pending queue.
+func (c *Coordinator) removePendingLocked(job *fleetJob) {
+	kept := c.pending[:0]
+	for _, cl := range c.pending {
+		if cl.job != job {
+			kept = append(kept, cl)
+		}
+	}
+	c.pending = kept
+	c.gPending.Set(float64(len(c.pending)))
+}
+
+// sweepLocked expires overdue leases and buries workers whose heartbeats
+// stopped. It runs opportunistically — on every worker poll and on each
+// in-flight job's ticker — so no dedicated goroutine is needed.
+func (c *Coordinator) sweepLocked(now time.Time) {
+	for id, w := range c.workers {
+		if now.Sub(w.lastBeat) <= c.opts.WorkerTTL {
+			continue
+		}
+		c.log.Warn("worker declared dead", "worker", id,
+			"silence", now.Sub(w.lastBeat).Round(time.Millisecond), "leases", len(w.leases))
+		for _, cl := range w.leases {
+			c.cExpired.Inc()
+			c.requeueLocked(cl, now, fmt.Sprintf("worker %s died", id))
+		}
+		delete(c.workers, id)
+	}
+	for _, cl := range c.leases {
+		if now.After(cl.deadline) {
+			c.cExpired.Inc()
+			c.log.Warn("lease expired", "lease", cl.leaseID, "worker", cl.workerID,
+				"job", cl.job.id, "cell", cl.spec.Index)
+			c.requeueLocked(cl, now, "lease expired")
+		}
+	}
+	c.gWorkers.Set(float64(len(c.workers)))
+	c.gLeases.Set(float64(len(c.leases)))
+}
+
+// requeueLocked returns a leased cell to the pending queue with backoff,
+// or fails its job once the retry budget is spent.
+func (c *Coordinator) requeueLocked(cl *cellState, now time.Time, why string) {
+	c.releaseLocked(cl)
+	if cl.job.abandoned || cl.job.finished() {
+		return
+	}
+	if cl.attempts > c.opts.MaxCellRetries { // first attempt + MaxCellRetries redispatches
+		err := fmt.Errorf("dist: cell %d (%s on %s) failed after %d attempts: %s",
+			cl.spec.Index, cl.policy, cl.mixName, cl.attempts, why)
+		c.failJobLocked(cl.job, err)
+		return
+	}
+	c.cRetried.Inc()
+	backoff := c.opts.RetryBackoff << uint(cl.attempts-1)
+	if backoff > 5*time.Second {
+		backoff = 5 * time.Second
+	}
+	cl.notBefore = now.Add(backoff)
+	cl.lastErr = why
+	c.pending = append(c.pending, cl)
+	c.gPending.Set(float64(len(c.pending)))
+}
+
+// releaseLocked clears a cell's lease bookkeeping.
+func (c *Coordinator) releaseLocked(cl *cellState) {
+	if cl.leaseID == "" {
+		return
+	}
+	if w, ok := c.workers[cl.workerID]; ok {
+		delete(w.leases, cl.leaseID)
+	}
+	delete(c.leases, cl.leaseID)
+	cl.leaseID, cl.workerID, cl.deadline = "", "", time.Time{}
+	c.gLeases.Set(float64(len(c.leases)))
+}
+
+// failJobLocked settles a job as failed and drops its remaining cells.
+func (c *Coordinator) failJobLocked(job *fleetJob, err error) {
+	if job.abandoned || job.finished() {
+		return
+	}
+	job.err = err
+	job.abandoned = true
+	c.removePendingLocked(job)
+	close(job.done)
+}
+
+// resolveCell records one completed cell. Returns false when the result is
+// no longer wanted (lease superseded, job cancelled or already failed).
+func (c *Coordinator) resolveCell(cl *cellState, res *sim.Result, fromStore bool) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resolveCellLocked(cl, res, fromStore)
+}
+
+func (c *Coordinator) resolveCellLocked(cl *cellState, res *sim.Result, fromStore bool) bool {
+	c.releaseLocked(cl)
+	if cl.resolved || cl.job.abandoned || cl.job.finished() {
+		return false
+	}
+	cl.resolved = true
+	job := cl.job
+	job.results[cl.spec.Index] = cl.toResult(res, fromStore)
+	if fromStore {
+		job.hits++
+	} else {
+		job.misses++
+	}
+	c.cResolved.Inc()
+	if fromStore {
+		c.cFromStore.Inc()
+	}
+	job.remaining--
+	if job.remaining == 0 {
+		close(job.done)
+	}
+	return true
+}
+
+// popPendingLocked removes and returns the first dispatchable pending cell
+// (FIFO, skipping cells still inside their retry backoff and dropping
+// cells of settled jobs). onlyJob, when non-nil, restricts to that job.
+func (c *Coordinator) popPendingLocked(now time.Time, onlyJob *fleetJob) *cellState {
+	for i := 0; i < len(c.pending); i++ {
+		cl := c.pending[i]
+		if cl.job.abandoned || cl.job.finished() {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			i--
+			continue
+		}
+		if onlyJob != nil && cl.job != onlyJob {
+			continue
+		}
+		if now.Before(cl.notBefore) {
+			continue
+		}
+		c.pending = append(c.pending[:i], c.pending[i+1:]...)
+		c.gPending.Set(float64(len(c.pending)))
+		return cl
+	}
+	return nil
+}
+
+// runLocal is the orphaned-fleet fallback: with zero live workers and
+// cells still pending, the coordinator executes this job's cells in
+// process — the sweep degrades to single-node execution instead of
+// stalling until a worker (re)appears.
+func (c *Coordinator) runLocal(ctx context.Context, job *fleetJob) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		now := time.Now()
+		c.mu.Lock()
+		c.sweepLocked(now)
+		if len(c.workers) > 0 || job.abandoned || job.finished() {
+			c.mu.Unlock()
+			return
+		}
+		cl := c.popPendingLocked(now, job)
+		if cl == nil {
+			c.mu.Unlock()
+			return
+		}
+		cl.attempts++
+		c.mu.Unlock()
+
+		c.log.Info("running cell locally (no live workers)", "job", job.id, "cell", cl.spec.Index)
+		res, fromStore, err := executeCell(ctx, c.st, c.log, cl.spec)
+		if err != nil {
+			if ctx.Err() != nil {
+				return // job context cancelled; RunJob's select settles it
+			}
+			c.mu.Lock()
+			c.requeueLocked(cl, time.Now(), err.Error())
+			c.mu.Unlock()
+			continue
+		}
+		c.cLocal.Inc()
+		c.resolveCell(cl, res, fromStore)
+	}
+}
+
+// register admits a worker and hands it the fleet timing contract.
+func (c *Coordinator) register(req api.RegisterRequest) api.RegisterResponse {
+	if req.Capacity <= 0 {
+		req.Capacity = 1
+	}
+	name := req.Name
+	if name == "" {
+		name = "worker"
+	}
+	c.mu.Lock()
+	c.wseq++
+	w := &workerState{
+		id:       fmt.Sprintf("w%03d-%s", c.wseq, name),
+		name:     name,
+		capacity: req.Capacity,
+		lastBeat: time.Now(),
+		leases:   make(map[string]*cellState),
+	}
+	c.workers[w.id] = w
+	c.gWorkers.Set(float64(len(c.workers)))
+	c.mu.Unlock()
+	c.log.Info("worker registered", "worker", w.id, "capacity", w.capacity)
+	return api.RegisterResponse{
+		APIVersion:  api.Version,
+		WorkerID:    w.id,
+		LeaseTTLMS:  c.opts.LeaseTTL.Milliseconds(),
+		HeartbeatMS: (c.opts.WorkerTTL / 3).Milliseconds(),
+		PollMS:      c.opts.PollInterval.Milliseconds(),
+	}
+}
+
+// heartbeat refreshes a worker's liveness; false means the worker is
+// unknown (declared dead or never registered) and must re-register.
+func (c *Coordinator) heartbeat(workerID string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[workerID]
+	if !ok {
+		return false
+	}
+	w.lastBeat = time.Now()
+	return true
+}
+
+// errOverCapacity distinguishes backpressure from an unknown worker in the
+// HTTP layer (429 vs 410).
+var errOverCapacity = fmt.Errorf("dist: worker at lease capacity")
+
+var errUnknownWorker = fmt.Errorf("dist: unknown worker")
+
+// lease grants up to maxN cells to a worker, bounded by the worker's
+// registered capacity.
+func (c *Coordinator) lease(workerID string, maxN int) ([]api.Lease, error) {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked(now)
+	w, ok := c.workers[workerID]
+	if !ok {
+		return nil, errUnknownWorker
+	}
+	w.lastBeat = now // a poll is as good as a heartbeat
+	if len(w.leases) >= w.capacity {
+		return nil, errOverCapacity
+	}
+	if maxN <= 0 {
+		maxN = 1
+	}
+	n := min(maxN, w.capacity-len(w.leases))
+	var out []api.Lease
+	for len(out) < n {
+		cl := c.popPendingLocked(now, nil)
+		if cl == nil {
+			break
+		}
+		c.lseq++
+		cl.leaseID = fmt.Sprintf("l%06d", c.lseq)
+		cl.workerID = w.id
+		cl.deadline = now.Add(c.opts.LeaseTTL)
+		cl.attempts++
+		c.leases[cl.leaseID] = cl
+		w.leases[cl.leaseID] = cl
+		out = append(out, api.Lease{
+			ID:             cl.leaseID,
+			JobID:          cl.job.id,
+			Cell:           cl.spec,
+			DeadlineUnixMS: cl.deadline.UnixMilli(),
+		})
+	}
+	c.gLeases.Set(float64(len(c.leases)))
+	return out, nil
+}
+
+// complete settles one lease with either a result or a worker-side error.
+// Returns false when the completion is refused (expired/reassigned lease,
+// settled job) — the worker discards its copy.
+func (c *Coordinator) complete(req api.CompleteRequest) bool {
+	c.mu.Lock()
+	cl, ok := c.leases[req.LeaseID]
+	if !ok || cl.workerID != req.WorkerID {
+		c.mu.Unlock()
+		return false
+	}
+	if w, ok := c.workers[req.WorkerID]; ok {
+		w.lastBeat = time.Now()
+		w.done++
+	}
+	if req.Error != "" || req.Result == nil {
+		why := req.Error
+		if why == "" {
+			why = "worker returned no result"
+		}
+		c.log.Warn("cell failed on worker", "lease", req.LeaseID, "worker", req.WorkerID,
+			"job", cl.job.id, "cell", cl.spec.Index, "err", why)
+		c.requeueLocked(cl, time.Now(), why)
+		c.mu.Unlock()
+		return true
+	}
+	key := cl.spec.Key
+	c.cCompleted.Inc()
+	accepted := c.resolveCellLocked(cl, req.Result, req.FromStore)
+	c.mu.Unlock()
+	if !accepted {
+		return false
+	}
+	// Write the uploaded result back into the coordinator's store so the
+	// dedup holds even when workers run private store directories. With a
+	// shared directory this is an idempotent same-content rename.
+	if !req.FromStore {
+		if err := c.st.Put(key, req.Result); err != nil {
+			c.log.Warn("fleet store put failed", "err", err)
+		}
+	}
+	return true
+}
+
+// status snapshots the fleet for GET /v1/fleet.
+func (c *Coordinator) status() api.FleetStatus {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked(now)
+	st := api.FleetStatus{
+		APIVersion:     api.Version,
+		PendingCells:   len(c.pending),
+		ActiveLeases:   len(c.leases),
+		LeasesExpired:  c.cExpired.Value(),
+		CellsCompleted: c.cCompleted.Value(),
+		CellsRetried:   c.cRetried.Value(),
+		CellsLocal:     c.cLocal.Value(),
+		CellsResolved:  c.cResolved.Value(),
+		CellsFromStore: c.cFromStore.Value(),
+	}
+	if st.CellsResolved > 0 {
+		st.StoreHitRatio = float64(st.CellsFromStore) / float64(st.CellsResolved)
+	}
+	for _, w := range c.workers {
+		st.Workers = append(st.Workers, api.WorkerStatus{
+			ID:             w.id,
+			Name:           w.name,
+			Capacity:       w.capacity,
+			ActiveLeases:   len(w.leases),
+			CellsCompleted: w.done,
+			LastBeatMS:     now.Sub(w.lastBeat).Milliseconds(),
+		})
+	}
+	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].ID < st.Workers[j].ID })
+	return st
+}

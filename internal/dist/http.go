@@ -1,0 +1,117 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"drishti/internal/serve/api"
+)
+
+// Handler mounts the fleet API in front of next (the job service's own
+// handler), so coordinator mode is strictly additive to the /v1 surface:
+//
+//	GET  /v1/fleet            fleet state: workers, leases, counters
+//	POST /v1/fleet/register   worker joins (400 on schema-version mismatch)
+//	POST /v1/fleet/heartbeat  worker liveness (204; 410 once declared dead)
+//	POST /v1/fleet/lease      request up to N cells (429 over capacity)
+//	POST /v1/fleet/complete   upload one cell's outcome (409 if superseded)
+//
+// Everything else falls through to next.
+func (c *Coordinator) Handler(next http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/fleet", c.handleStatus)
+	mux.HandleFunc("POST /v1/fleet/register", c.handleRegister)
+	mux.HandleFunc("POST /v1/fleet/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /v1/fleet/lease", c.handleLease)
+	mux.HandleFunc("POST /v1/fleet/complete", c.handleComplete)
+	if next != nil {
+		mux.Handle("/", next)
+	}
+	return mux
+}
+
+// writeJSON mirrors the job service's response framing (same indentation,
+// same logged-not-dropped encode errors) so both halves of the API render
+// identically.
+func (c *Coordinator) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		c.log.Warn("response encode failed", "status", status, "err", err)
+	}
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c.writeJSON(w, http.StatusOK, c.status())
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req api.RegisterRequest
+	if err := api.DecodeStrict(r.Body, &req); err != nil {
+		c.writeJSON(w, http.StatusBadRequest, api.Error{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if req.APIVersion != api.Version {
+		c.writeJSON(w, http.StatusBadRequest, api.Error{Error: fmt.Sprintf(
+			"worker speaks wire schema v%d, coordinator requires v%d — rebuild the worker",
+			req.APIVersion, api.Version)})
+		return
+	}
+	c.writeJSON(w, http.StatusOK, c.register(req))
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req api.HeartbeatRequest
+	if err := api.DecodeStrict(r.Body, &req); err != nil {
+		c.writeJSON(w, http.StatusBadRequest, api.Error{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if !c.heartbeat(req.WorkerID) {
+		c.writeJSON(w, http.StatusGone, api.Error{Error: "unknown worker; re-register"})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req api.LeaseRequest
+	if err := api.DecodeStrict(r.Body, &req); err != nil {
+		c.writeJSON(w, http.StatusBadRequest, api.Error{Error: "bad request body: " + err.Error()})
+		return
+	}
+	leases, err := c.lease(req.WorkerID, req.Max)
+	switch {
+	case errors.Is(err, errUnknownWorker):
+		c.writeJSON(w, http.StatusGone, api.Error{Error: "unknown worker; re-register"})
+		return
+	case errors.Is(err, errOverCapacity):
+		// The same backpressure contract as job submission: explicit 429
+		// with a Retry-After instead of silently queueing the request.
+		retry := max(int(c.opts.PollInterval.Seconds()), 1)
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		c.writeJSON(w, http.StatusTooManyRequests, api.Error{Error: err.Error()})
+		return
+	case err != nil:
+		c.writeJSON(w, http.StatusInternalServerError, api.Error{Error: err.Error()})
+		return
+	}
+	c.writeJSON(w, http.StatusOK, api.LeaseResponse{Leases: leases})
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req api.CompleteRequest
+	if err := api.DecodeStrict(r.Body, &req); err != nil {
+		c.writeJSON(w, http.StatusBadRequest, api.Error{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if !c.complete(req) {
+		c.writeJSON(w, http.StatusConflict, api.CompleteResponse{Accepted: false})
+		return
+	}
+	c.writeJSON(w, http.StatusOK, api.CompleteResponse{Accepted: true})
+}

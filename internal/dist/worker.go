@@ -1,0 +1,408 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"drishti/internal/obs"
+	"drishti/internal/serve/api"
+	"drishti/internal/sim"
+	"drishti/internal/store"
+)
+
+// WorkerOptions configure a fleet worker. Zero values take the documented
+// defaults.
+type WorkerOptions struct {
+	// Coordinator is the base URL of the coordinator's HTTP API
+	// (e.g. "http://coord:8411").
+	Coordinator string
+
+	// Name labels this worker in fleet state and logs (default "worker").
+	Name string
+
+	// Capacity is how many cells this worker simulates concurrently
+	// (default 1). The coordinator enforces it on the lease side too.
+	Capacity int
+
+	// StoreDir roots the worker's content-addressed store. Every leased
+	// cell is checked here before simulating; point the fleet at one
+	// shared directory to dedup across all nodes.
+	StoreDir string
+
+	// Poll overrides the coordinator-suggested idle poll interval.
+	Poll time.Duration
+
+	// Heartbeat overrides the coordinator-suggested heartbeat interval.
+	Heartbeat time.Duration
+
+	// Logger receives one structured line per lease transition (default
+	// discard).
+	Logger *slog.Logger
+
+	// Registry receives worker metrics (default the process registry).
+	Registry *obs.Registry
+
+	// Client is the HTTP client used for every coordinator call (default:
+	// a client with a 60s request timeout).
+	Client *http.Client
+}
+
+// Worker is the fleet's execution side: it registers with a coordinator,
+// heartbeats, leases sweep cells, serves them from its store or simulates
+// them, and uploads the outcomes. Run blocks until its context is
+// cancelled; the binary wrapper is cmd/drishti-worker.
+type Worker struct {
+	opts   WorkerOptions
+	st     *store.Store
+	log    *slog.Logger
+	client *http.Client
+
+	mu        sync.Mutex
+	id        string
+	poll      time.Duration
+	heartbeat time.Duration
+
+	inflight atomic.Int32
+
+	cExecuted, cFromStore, cRejected, cFailed *obs.Counter
+}
+
+// NewWorker opens the worker's store and prepares a client; no network
+// traffic happens until Run.
+func NewWorker(opts WorkerOptions) (*Worker, error) {
+	if opts.Coordinator == "" {
+		return nil, fmt.Errorf("dist: worker needs a coordinator URL")
+	}
+	if opts.Capacity <= 0 {
+		opts.Capacity = 1
+	}
+	if opts.Name == "" {
+		opts.Name = "worker"
+	}
+	if opts.Logger == nil {
+		opts.Logger = obs.Discard()
+	}
+	if opts.Registry == nil {
+		opts.Registry = obs.Default()
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{Timeout: 60 * time.Second}
+	}
+	st, err := store.Open(opts.StoreDir)
+	if err != nil {
+		return nil, err
+	}
+	st.Attach(opts.Registry, "worker_store")
+	reg := opts.Registry
+	return &Worker{
+		opts:   opts,
+		st:     st,
+		log:    opts.Logger,
+		client: opts.Client,
+
+		cExecuted:  reg.Counter("worker_cells_executed"),
+		cFromStore: reg.Counter("worker_cells_from_store"),
+		cRejected:  reg.Counter("worker_completes_rejected"),
+		cFailed:    reg.Counter("worker_cells_failed"),
+	}, nil
+}
+
+// Run is the worker's life: register, then lease/execute/complete until ctx
+// is cancelled, heartbeating in the background. In-flight cells are
+// abandoned on cancellation — their simulations abort cooperatively and
+// the coordinator reassigns the leases after expiry, which is exactly the
+// path a crashed worker exercises.
+func (w *Worker) Run(ctx context.Context) error {
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() { defer hbWG.Done(); w.heartbeatLoop(hbCtx) }()
+	defer hbWG.Wait()
+
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for ctx.Err() == nil {
+		free := int(int32(w.opts.Capacity) - w.inflight.Load())
+		if free <= 0 {
+			sleepCtx(ctx, w.pollInterval()/4)
+			continue
+		}
+		leases, retryAfter, err := w.lease(ctx, free)
+		switch {
+		case ctx.Err() != nil:
+		case err == errGone:
+			w.log.Warn("coordinator dropped us; re-registering")
+			if err := w.register(ctx); err != nil {
+				return err
+			}
+		case err != nil:
+			w.log.Warn("lease request failed", "err", err)
+			sleepCtx(ctx, w.pollInterval())
+		case retryAfter > 0:
+			sleepCtx(ctx, retryAfter)
+		case len(leases) == 0:
+			sleepCtx(ctx, w.pollInterval())
+		default:
+			for _, l := range leases {
+				w.inflight.Add(1)
+				wg.Add(1)
+				go func(l api.Lease) {
+					defer wg.Done()
+					defer w.inflight.Add(-1)
+					w.runLease(ctx, l)
+				}(l)
+			}
+		}
+	}
+	return nil
+}
+
+// runLease executes one leased cell and uploads the outcome.
+func (w *Worker) runLease(ctx context.Context, l api.Lease) {
+	w.log.Info("lease accepted", "lease", l.ID, "job", l.JobID, "cell", l.Cell.Index)
+	res, fromStore, err := executeCell(ctx, w.st, w.log, l.Cell)
+	if err != nil {
+		if ctx.Err() != nil {
+			return // killed mid-cell; the lease expires and is reassigned
+		}
+		w.cFailed.Inc()
+		w.completeWithRetry(ctx, api.CompleteRequest{
+			WorkerID: w.workerID(), LeaseID: l.ID, Error: err.Error(),
+		})
+		return
+	}
+	w.cExecuted.Inc()
+	if fromStore {
+		w.cFromStore.Inc()
+	}
+	w.completeWithRetry(ctx, api.CompleteRequest{
+		WorkerID: w.workerID(), LeaseID: l.ID, FromStore: fromStore, Result: res,
+	})
+}
+
+// executeCell resolves one cell: rebuild the exact machine and mix from
+// the wire spec, verify the content address matches the coordinator's
+// (loud failure on any schema drift), then serve from the store or
+// simulate and store. Shared by workers and the coordinator's local
+// fallback so every node computes cells identically.
+func executeCell(ctx context.Context, st *store.Store, log *slog.Logger, spec api.CellSpec) (*sim.Result, bool, error) {
+	cfg, mix, err := spec.Request.Cell(spec.WorkloadIndex, spec.PolicyIndex)
+	if err != nil {
+		return nil, false, err
+	}
+	key := api.CellKey(cfg, mix)
+	if key != spec.Key {
+		return nil, false, fmt.Errorf(
+			"dist: cell key mismatch (wire-schema drift?): coordinator sent %q, rebuilt %q", spec.Key, key)
+	}
+	var cached sim.Result
+	hit, err := st.Get(key, &cached)
+	if err != nil {
+		return nil, false, err
+	}
+	if hit {
+		return &cached, true, nil
+	}
+	res, err := sim.RunMixContext(ctx, cfg, mix)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := st.Put(key, res); err != nil {
+		// The result is good; only durability failed. Log and serve it.
+		log.Warn("store put failed", "err", err)
+	}
+	return res, false, nil
+}
+
+// register joins the fleet, retrying transient failures with backoff until
+// ctx is cancelled. A 400 (schema-version mismatch) is permanent.
+func (w *Worker) register(ctx context.Context) error {
+	req := api.RegisterRequest{APIVersion: api.Version, Name: w.opts.Name, Capacity: w.opts.Capacity}
+	backoff := 200 * time.Millisecond
+	for {
+		var resp api.RegisterResponse
+		status, err := w.post(ctx, "/v1/fleet/register", req, &resp)
+		switch {
+		case err == nil && status == http.StatusOK:
+			w.mu.Lock()
+			w.id = resp.WorkerID
+			w.poll = time.Duration(resp.PollMS) * time.Millisecond
+			w.heartbeat = time.Duration(resp.HeartbeatMS) * time.Millisecond
+			w.mu.Unlock()
+			w.log.Info("registered", "worker", resp.WorkerID,
+				"leaseTTL", time.Duration(resp.LeaseTTLMS)*time.Millisecond)
+			return nil
+		case err == nil && status == http.StatusBadRequest:
+			return fmt.Errorf("dist: coordinator refused registration (HTTP 400; wire-schema mismatch?)")
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		w.log.Warn("registration failed, retrying", "status", status, "err", err, "backoff", backoff)
+		sleepCtx(ctx, backoff)
+		backoff = min(backoff*2, 5*time.Second)
+	}
+}
+
+// heartbeatLoop keeps the worker alive in the coordinator's eyes. A 410
+// means the coordinator buried us; the main loop re-registers on its next
+// lease attempt, so the heartbeat just keeps trying with the stale ID
+// until the new one is in place.
+func (w *Worker) heartbeatLoop(ctx context.Context) {
+	for {
+		w.mu.Lock()
+		every := w.heartbeat
+		w.mu.Unlock()
+		if every <= 0 {
+			every = 5 * time.Second
+		}
+		if w.opts.Heartbeat > 0 {
+			every = w.opts.Heartbeat
+		}
+		if !sleepCtx(ctx, every) {
+			return
+		}
+		status, err := w.post(ctx, "/v1/fleet/heartbeat", api.HeartbeatRequest{WorkerID: w.workerID()}, nil)
+		if err != nil && ctx.Err() == nil {
+			w.log.Warn("heartbeat failed", "err", err)
+		} else if status == http.StatusGone {
+			w.log.Warn("heartbeat rejected; worker unknown to coordinator")
+		}
+	}
+}
+
+// errGone maps HTTP 410 (worker unknown) for the main loop.
+var errGone = fmt.Errorf("dist: worker unknown to coordinator")
+
+// lease asks for up to maxN cells. A positive retryAfter means the
+// coordinator pushed back (429) and the worker should wait that long.
+func (w *Worker) lease(ctx context.Context, maxN int) (leases []api.Lease, retryAfter time.Duration, err error) {
+	body, _ := json.Marshal(api.LeaseRequest{WorkerID: w.workerID(), Max: maxN})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		w.opts.Coordinator+"/v1/fleet/lease", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var lr api.LeaseResponse
+		if err := api.DecodeStrict(resp.Body, &lr); err != nil {
+			return nil, 0, err
+		}
+		return lr.Leases, 0, nil
+	case http.StatusGone:
+		return nil, 0, errGone
+	case http.StatusTooManyRequests:
+		secs, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+		return nil, time.Duration(max(secs, 1)) * time.Second, nil
+	default:
+		return nil, 0, fmt.Errorf("dist: lease: HTTP %d", resp.StatusCode)
+	}
+}
+
+// completeWithRetry uploads a completion, retrying transient transport
+// failures a few times. If every attempt fails the lease simply expires
+// and the cell is recomputed elsewhere — correctness never depends on a
+// completion arriving.
+func (w *Worker) completeWithRetry(ctx context.Context, req api.CompleteRequest) {
+	backoff := 100 * time.Millisecond
+	for attempt := 0; attempt < 4; attempt++ {
+		var cr api.CompleteResponse
+		status, err := w.post(ctx, "/v1/fleet/complete", req, &cr)
+		switch {
+		case err == nil && status == http.StatusOK && cr.Accepted:
+			w.log.Info("cell completed", "lease", req.LeaseID, "fromStore", req.FromStore)
+			return
+		case err == nil && status == http.StatusConflict:
+			// Lease expired or superseded; our copy is redundant.
+			w.cRejected.Inc()
+			w.log.Warn("completion rejected (lease superseded)", "lease", req.LeaseID)
+			return
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		w.log.Warn("completion upload failed, retrying", "lease", req.LeaseID,
+			"status", status, "err", err)
+		sleepCtx(ctx, backoff)
+		backoff = min(backoff*2, 2*time.Second)
+	}
+	w.log.Warn("completion abandoned; lease will expire", "lease", req.LeaseID)
+}
+
+// post sends one JSON request and decodes a JSON response into out (when
+// non-nil and the status is 200).
+func (w *Worker) post(ctx context.Context, path string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		w.opts.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := api.DecodeStrict(resp.Body, out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func (w *Worker) workerID() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id
+}
+
+func (w *Worker) pollInterval() time.Duration {
+	if w.opts.Poll > 0 {
+		return w.opts.Poll
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.poll > 0 {
+		return w.poll
+	}
+	return 500 * time.Millisecond
+}
+
+// sleepCtx sleeps d or until ctx is done; false means the context ended.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

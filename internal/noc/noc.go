@@ -121,7 +121,7 @@ func (s *Star) Latency(slice, bank int, now uint64) uint32 {
 	if *l > now {
 		wait = uint32(*l - now)
 	}
-	*l = maxU64(*l, now) + uint64(s.occupy)
+	*l = max(*l, now) + uint64(s.occupy)
 	s.Messages++
 	s.Stalls += uint64(wait)
 	return s.latency + wait
@@ -136,11 +136,4 @@ func (s *Star) Reset() {
 	for i := range s.links {
 		s.links[i] = [2]uint64{}
 	}
-}
-
-func maxU64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -264,10 +264,3 @@ func Budget(cfg Config, sampledSets int, dynamic bool) map[string]int {
 	_ = sampledSets
 	return out
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

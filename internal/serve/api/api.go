@@ -1,0 +1,285 @@
+// Package api is the versioned, self-describing wire schema of the drishti
+// job service — the single definition of every JSON body that crosses a
+// process boundary, consumed by the HTTP front end (internal/serve), the
+// fleet coordinator and workers (internal/dist), and any external client.
+//
+// Keeping the schema in one package is what stops the wire format from
+// drifting: the coordinator marshals exactly the structs the worker
+// unmarshals, defaults are applied in exactly one place (WithDefaults), and
+// every decoder rejects unknown fields (DecodeStrict) so a field added on
+// one side cannot be silently dropped by the other.
+//
+// Versioning: Version is the schema generation. Requests may carry an
+// explicit APIVersion; zero means "current" so that pre-versioning clients
+// keep working, and WithDefaults deliberately does not stamp the field — a
+// request echoed back by the service carries exactly the version the client
+// sent, keeping /v1 responses byte-compatible with the unversioned wire
+// format (pinned by the golden-file test in this package).
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"drishti/internal/policies"
+	"drishti/internal/sim"
+	"drishti/internal/workload"
+)
+
+// Version is the current wire-schema generation. Fleet messages carry it
+// explicitly so a coordinator refuses workers built against another schema
+// instead of mis-decoding their payloads.
+const Version = 1
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// PolicyRequest selects one replacement-policy stack.
+type PolicyRequest struct {
+	Name    string `json:"name"`
+	Drishti bool   `json:"drishti,omitempty"`
+}
+
+// JobRequest is the JSON body of POST /v1/jobs: a sweep of one machine
+// configuration over workloads × policies. A single simulation is the
+// 1×1 special case. Fields mirror sim.Config / experiments.Params; zero
+// values take the harness-scale defaults.
+type JobRequest struct {
+	// APIVersion pins the schema the client speaks. Zero means the
+	// current version; anything else must match Version exactly.
+	APIVersion int `json:"apiVersion,omitempty"`
+
+	Cores        int    `json:"cores"`
+	Scale        int    `json:"scale,omitempty"`        // default 8
+	Instructions uint64 `json:"instructions,omitempty"` // default 200000
+	Warmup       uint64 `json:"warmup,omitempty"`       // default 50000
+	Seed         uint64 `json:"seed,omitempty"`         // default 1
+
+	// Policies and Workloads span the sweep grid. Workload entries name
+	// registry models (substring match, like drishti-sim -workload); each
+	// becomes one homogeneous mix, or "hetero" for one heterogeneous mix
+	// drawn from the whole population.
+	Policies  []PolicyRequest `json:"policies"`
+	Workloads []string        `json:"workloads"`
+
+	// TimeoutSec bounds the job's wall clock (0 = the service default).
+	TimeoutSec int `json:"timeoutSec,omitempty"`
+
+	// MaxRetries overrides the service's bounded retry budget for
+	// transient failures (-1 = no retries, 0 = service default).
+	MaxRetries int `json:"maxRetries,omitempty"`
+}
+
+// WithDefaults resolves zero values to harness-scale defaults. It is the
+// only place defaults are applied: the service calls it once at submission,
+// so every later consumer — executor, coordinator, worker — sees the same
+// fully resolved request.
+func (r JobRequest) WithDefaults() JobRequest {
+	if r.Scale == 0 {
+		r.Scale = 8
+	}
+	if r.Instructions == 0 {
+		r.Instructions = 200_000
+	}
+	if r.Warmup == 0 {
+		r.Warmup = 50_000
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	return r
+}
+
+// Validate rejects malformed requests before they reach the queue.
+func (r JobRequest) Validate() error {
+	if r.APIVersion != 0 && r.APIVersion != Version {
+		return fmt.Errorf("apiVersion %d not supported (current: %d)", r.APIVersion, Version)
+	}
+	if r.Cores <= 0 || r.Cores > 128 {
+		return fmt.Errorf("cores must be in [1,128], got %d", r.Cores)
+	}
+	if len(r.Policies) == 0 {
+		return fmt.Errorf("at least one policy is required")
+	}
+	if len(r.Workloads) == 0 {
+		return fmt.Errorf("at least one workload is required")
+	}
+	known := policies.KnownPolicies()
+	for _, p := range r.Policies {
+		ok := false
+		for _, k := range known {
+			if p.Name == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("unknown policy %q (known: %s)", p.Name, strings.Join(known, ", "))
+		}
+	}
+	cfg := sim.ScaledConfig(r.Cores, max(r.Scale, 1))
+	for _, w := range r.Workloads {
+		if w == "hetero" {
+			continue
+		}
+		if _, err := lookupModel(cfg, w, max(r.Scale, 1)); err != nil {
+			return err
+		}
+	}
+	if r.TimeoutSec < 0 {
+		return fmt.Errorf("timeoutSec must be >= 0")
+	}
+	if r.Instructions > 100_000_000 {
+		return fmt.Errorf("instructions above the 100M service ceiling")
+	}
+	return nil
+}
+
+// lookupModel resolves a workload name (substring match) against the
+// scaled model population, exactly like drishti-sim -workload.
+func lookupModel(cfg sim.Config, name string, scale int) (workload.Model, error) {
+	for _, m := range workload.ScaleAll(workload.AllSPECGAP(), scale, cfg.SetIndexBits()) {
+		if strings.Contains(m.Name, name) {
+			return m, nil
+		}
+	}
+	return workload.Model{}, fmt.Errorf("no workload model matching %q", name)
+}
+
+// Config builds the simulated machine for the request (policy unset; the
+// executor stamps one per cell).
+func (r JobRequest) Config() sim.Config {
+	cfg := sim.ScaledConfig(r.Cores, r.Scale)
+	cfg.Instructions = r.Instructions
+	cfg.Warmup = r.Warmup
+	cfg.Seed = r.Seed
+	return cfg
+}
+
+// Mix materializes workload wi of the request as a scaled mix. Entries are
+// independent, so materializing one is identical to taking Mixes()[wi].
+func (r JobRequest) Mix(wi int) (workload.Mix, error) {
+	if wi < 0 || wi >= len(r.Workloads) {
+		return workload.Mix{}, fmt.Errorf("workload index %d out of range [0,%d)", wi, len(r.Workloads))
+	}
+	cfg := r.Config()
+	w := r.Workloads[wi]
+	if w == "hetero" {
+		models := workload.ScaleAll(workload.AllSPECGAP(), r.Scale, cfg.SetIndexBits())
+		return workload.HeterogeneousMixes(models, r.Cores, 1, r.Seed)[0], nil
+	}
+	m, err := lookupModel(cfg, w, r.Scale)
+	if err != nil {
+		return workload.Mix{}, err
+	}
+	return workload.Homogeneous(m, r.Cores, r.Seed), nil
+}
+
+// Mixes materializes every workload entry as a scaled mix.
+func (r JobRequest) Mixes() ([]workload.Mix, error) {
+	out := make([]workload.Mix, 0, len(r.Workloads))
+	for wi := range r.Workloads {
+		m, err := r.Mix(wi)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// Cell resolves sweep cell (wi, pi) — workload wi under policy pi — to the
+// exact machine configuration and mix a worker must simulate. Coordinator
+// and workers both call this, so a cell means the same simulation on every
+// node of a fleet.
+func (r JobRequest) Cell(wi, pi int) (sim.Config, workload.Mix, error) {
+	if pi < 0 || pi >= len(r.Policies) {
+		return sim.Config{}, workload.Mix{}, fmt.Errorf("policy index %d out of range [0,%d)", pi, len(r.Policies))
+	}
+	mix, err := r.Mix(wi)
+	if err != nil {
+		return sim.Config{}, workload.Mix{}, err
+	}
+	cfg := r.Config()
+	p := r.Policies[pi]
+	cfg.Policy = policies.Spec{Name: p.Name, Drishti: p.Drishti}
+	return cfg, mix, nil
+}
+
+// CellKey is the content-address of one simulation cell in the durable
+// store: the explicit Key() builders joined, shared by the single-node
+// executor, the coordinator, and every worker.
+func CellKey(cfg sim.Config, mix workload.Mix) string {
+	return cfg.Key() + "|" + mix.Key()
+}
+
+// CellResult is one (workload, policy) simulation inside a job.
+type CellResult struct {
+	Policy    string      `json:"policy"`
+	Workload  string      `json:"workload"`
+	Mix       string      `json:"mix"`
+	FromStore bool        `json:"fromStore"` // served from the durable store
+	IPCSum    float64     `json:"ipcSum"`
+	MPKI      float64     `json:"mpki"`
+	WPKI      float64     `json:"wpki"`
+	APKI      float64     `json:"apki"`
+	Result    *sim.Result `json:"result,omitempty"`
+}
+
+// JobResult is what GET /v1/jobs/{id}/result returns for a done job.
+type JobResult struct {
+	Cells       []CellResult `json:"cells"`
+	StoreHits   int          `json:"storeHits"`
+	StoreMisses int          `json:"storeMisses"`
+	ElapsedMS   int64        `json:"elapsedMs"`
+}
+
+// JobView is the wire form of a job's status (result elided).
+type JobView struct {
+	ID         string     `json:"id"`
+	Status     Status     `json:"status"`
+	Error      string     `json:"error,omitempty"`
+	Attempts   int        `json:"attempts"`
+	EnqueuedAt time.Time  `json:"enqueuedAt"`
+	StartedAt  *time.Time `json:"startedAt,omitempty"`
+	FinishedAt *time.Time `json:"finishedAt,omitempty"`
+	Request    JobRequest `json:"request"`
+}
+
+// Error is the JSON error envelope every endpoint returns on failure.
+type Error struct {
+	Error string `json:"error"`
+}
+
+// DecodeStrict decodes one JSON value from r into v, rejecting unknown
+// fields and trailing garbage. Every process boundary uses it, so a schema
+// mismatch surfaces as an explicit decode error on the receiving side
+// instead of a silently dropped field.
+func DecodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON value")
+	}
+	return nil
+}

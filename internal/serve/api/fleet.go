@@ -1,0 +1,117 @@
+package api
+
+import (
+	"errors"
+
+	"drishti/internal/sim"
+)
+
+// ErrNoWorkers is returned by a fleet distributor when no live workers are
+// registered; the job service reacts by executing the job locally, so a
+// coordinator with an empty fleet behaves exactly like a single node.
+var ErrNoWorkers = errors.New("fleet: no live workers registered")
+
+// RegisterRequest is POST /v1/fleet/register: a worker joining the fleet.
+// APIVersion is mandatory here (not defaulted) — a worker binary built
+// against another schema generation must be refused at the door, before it
+// can mis-decode a lease.
+type RegisterRequest struct {
+	APIVersion int    `json:"apiVersion"`
+	Name       string `json:"name"`     // human-readable worker name (hostname by default)
+	Capacity   int    `json:"capacity"` // max concurrent cells this worker runs
+}
+
+// RegisterResponse assigns the worker its identity and the fleet's timing
+// contract. All durations are milliseconds on the wire.
+type RegisterResponse struct {
+	APIVersion  int    `json:"apiVersion"`
+	WorkerID    string `json:"workerId"`
+	LeaseTTLMS  int64  `json:"leaseTtlMs"`  // complete within this or the cell is reassigned
+	HeartbeatMS int64  `json:"heartbeatMs"` // heartbeat at least this often
+	PollMS      int64  `json:"pollMs"`      // suggested idle poll interval
+}
+
+// HeartbeatRequest is POST /v1/fleet/heartbeat. A worker that misses
+// heartbeats for the coordinator's worker TTL is declared dead and its
+// leases are reassigned; the worker itself gets 410 Gone and re-registers.
+type HeartbeatRequest struct {
+	WorkerID string `json:"workerId"`
+}
+
+// LeaseRequest is POST /v1/fleet/lease: a worker asking for up to Max
+// cells. Requests beyond the worker's registered capacity are answered
+// with 429 + Retry-After (the same backpressure contract as job
+// submission).
+type LeaseRequest struct {
+	WorkerID string `json:"workerId"`
+	Max      int    `json:"max"`
+}
+
+// CellSpec identifies one sweep cell of a job. Request plus the two
+// indices fully determine the simulation (JobRequest.Cell); Key is the
+// coordinator-computed store address, which the worker re-derives and
+// verifies so coordinator/worker schema drift fails loudly.
+type CellSpec struct {
+	Index         int        `json:"index"` // position in the job's deterministic cell order
+	Key           string     `json:"key"`
+	Request       JobRequest `json:"request"`
+	WorkloadIndex int        `json:"workloadIndex"`
+	PolicyIndex   int        `json:"policyIndex"`
+}
+
+// Lease is one leased cell: the worker must Complete it before
+// DeadlineUnixMS or the coordinator reassigns it.
+type Lease struct {
+	ID             string   `json:"id"`
+	JobID          string   `json:"jobId"`
+	Cell           CellSpec `json:"cell"`
+	DeadlineUnixMS int64    `json:"deadlineUnixMs"`
+}
+
+// LeaseResponse carries zero or more leases; empty means no work is
+// pending and the worker should sleep one poll interval.
+type LeaseResponse struct {
+	Leases []Lease `json:"leases"`
+}
+
+// CompleteRequest is POST /v1/fleet/complete: the outcome of one lease.
+// Exactly one of Result or Error is set.
+type CompleteRequest struct {
+	WorkerID  string      `json:"workerId"`
+	LeaseID   string      `json:"leaseId"`
+	FromStore bool        `json:"fromStore"` // served from the worker's (shared) store
+	Result    *sim.Result `json:"result,omitempty"`
+	Error     string      `json:"error,omitempty"`
+}
+
+// CompleteResponse acknowledges a completion. Accepted=false (HTTP 409)
+// means the lease had already expired or the job is gone; the worker
+// discards the result — the cell has been or will be re-run elsewhere.
+type CompleteResponse struct {
+	Accepted bool `json:"accepted"`
+}
+
+// WorkerStatus is one worker's row in GET /v1/fleet.
+type WorkerStatus struct {
+	ID             string `json:"id"`
+	Name           string `json:"name"`
+	Capacity       int    `json:"capacity"`
+	ActiveLeases   int    `json:"activeLeases"`
+	CellsCompleted uint64 `json:"cellsCompleted"`
+	LastBeatMS     int64  `json:"lastBeatMs"` // ms since last heartbeat
+}
+
+// FleetStatus is GET /v1/fleet: the coordinator's live view of the fleet.
+type FleetStatus struct {
+	APIVersion     int            `json:"apiVersion"`
+	Workers        []WorkerStatus `json:"workers"`
+	PendingCells   int            `json:"pendingCells"`
+	ActiveLeases   int            `json:"activeLeases"`
+	LeasesExpired  uint64         `json:"leasesExpired"`
+	CellsCompleted uint64         `json:"cellsCompleted"`
+	CellsRetried   uint64         `json:"cellsRetried"`
+	CellsLocal     uint64         `json:"cellsLocal"`     // run by the coordinator's local fallback
+	CellsResolved  uint64         `json:"cellsResolved"`  // every cell the fleet has settled, however it was served
+	CellsFromStore uint64         `json:"cellsFromStore"` // fleet-wide store hits (coordinator + workers)
+	StoreHitRatio  float64        `json:"storeHitRatio"`  // CellsFromStore / CellsResolved
+}

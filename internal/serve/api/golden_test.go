@@ -1,0 +1,133 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"drishti/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden wire-format files")
+
+// encodeWire renders v exactly the way the service's writeJSON does (two-
+// space indent, trailing newline), so the golden files pin the bytes a /v1
+// client actually receives.
+func encodeWire(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test ./internal/serve/api -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from the golden wire format.\n--- got ---\n%s--- want ---\n%s"+
+			"A deliberate schema change must bump api.Version and regenerate with -update.",
+			name, got, want)
+	}
+}
+
+// TestGoldenWireFormat pins the exact /v1 response bytes for every body the
+// job service emits. A refactor of the api package (field rename, tag change,
+// reordering) that alters the wire format fails here before any client sees
+// it; requests without apiVersion must keep producing the pre-versioning
+// bytes.
+func TestGoldenWireFormat(t *testing.T) {
+	started := time.Date(2026, 8, 5, 12, 0, 1, 0, time.UTC)
+	finished := time.Date(2026, 8, 5, 12, 0, 2, 0, time.UTC)
+
+	req := JobRequest{
+		Cores:        2,
+		Scale:        8,
+		Instructions: 20_000,
+		Warmup:       5_000,
+		Seed:         1,
+		Policies:     []PolicyRequest{{Name: "lru"}, {Name: "mockingjay", Drishti: true}},
+		Workloads:    []string{"mcf", "hetero"},
+	}
+
+	view := JobView{
+		ID:         "job-000001",
+		Status:     StatusDone,
+		Attempts:   1,
+		EnqueuedAt: time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC),
+		StartedAt:  &started,
+		FinishedAt: &finished,
+		Request:    req,
+	}
+	checkGolden(t, "job_view.golden.json", encodeWire(t, view))
+
+	// An unversioned request must render byte-identically with and without
+	// the APIVersion field in the struct — omitempty keeps the wire clean.
+	if bytes.Contains(encodeWire(t, req), []byte("apiVersion")) {
+		t.Error("zero APIVersion leaked into the wire format; unversioned clients would see a new field")
+	}
+
+	result := JobResult{
+		Cells: []CellResult{
+			{
+				Policy:   "lru",
+				Workload: "mcf",
+				Mix:      "hom-mcf",
+				IPCSum:   1.25,
+				MPKI:     12.5,
+				WPKI:     3.125,
+				APKI:     20.0625,
+				Result:   &sim.Result{PolicyName: "lru", Cores: 2, Budget: map[string]int{"lru": 0}},
+			},
+			{
+				Policy:    "mockingjay+drishti",
+				Workload:  "mcf",
+				Mix:       "hom-mcf",
+				FromStore: true,
+			},
+		},
+		StoreHits:   1,
+		StoreMisses: 1,
+		ElapsedMS:   1000,
+	}
+	checkGolden(t, "job_result.golden.json", encodeWire(t, result))
+
+	checkGolden(t, "error.golden.json", encodeWire(t, Error{Error: "no such job"}))
+
+	fleet := FleetStatus{
+		APIVersion: Version,
+		Workers: []WorkerStatus{
+			{ID: "w001-node-a", Name: "node-a", Capacity: 4, ActiveLeases: 2, CellsCompleted: 7, LastBeatMS: 150},
+		},
+		PendingCells:   3,
+		ActiveLeases:   2,
+		LeasesExpired:  1,
+		CellsCompleted: 7,
+		CellsRetried:   1,
+		CellsLocal:     0,
+		CellsResolved:  9,
+		CellsFromStore: 2,
+		StoreHitRatio:  2.0 / 9.0,
+	}
+	checkGolden(t, "fleet_status.golden.json", encodeWire(t, fleet))
+}

@@ -7,6 +7,7 @@ import (
 	"net/http/pprof"
 
 	"drishti/internal/buildinfo"
+	"drishti/internal/serve/api"
 )
 
 // Handler builds the service's HTTP API on a Go 1.22 pattern mux:
@@ -20,6 +21,9 @@ import (
 //	GET    /v1/version          build metadata
 //	GET    /metrics             registry snapshot
 //	/debug/pprof/*              live profiling
+//
+// In fleet mode the coordinator wraps this handler and additionally serves
+// /v1/fleet and /v1/fleet/* (see internal/dist).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -29,10 +33,10 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/store/stats", s.handleStoreStats)
 	mux.HandleFunc("GET /v1/version", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, buildinfo.Read())
+		s.writeJSON(w, http.StatusOK, buildinfo.Read())
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.reg.Snapshot())
+		s.writeJSON(w, http.StatusOK, s.reg.Snapshot())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -42,91 +46,90 @@ func (s *Service) Handler() http.Handler {
 	return mux
 }
 
-type apiError struct {
-	Error string `json:"error"`
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON renders v with the service's response framing. Encode failures
+// cannot change the already-written status line, but they must not vanish
+// either — a response the client could not have parsed is logged.
+func (s *Service) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.log.Warn("response encode failed", "status", status, "err", err)
+	}
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req JobRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{"bad request body: " + err.Error()})
+	if err := api.DecodeStrict(r.Body, &req); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, api.Error{Error: "bad request body: " + err.Error()})
 		return
 	}
 	v, err := s.Submit(req)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "5")
-		writeJSON(w, http.StatusTooManyRequests, apiError{err.Error()})
+		s.writeJSON(w, http.StatusTooManyRequests, api.Error{Error: err.Error()})
 		return
 	case errors.Is(err, ErrDraining):
-		writeJSON(w, http.StatusServiceUnavailable, apiError{err.Error()})
+		s.writeJSON(w, http.StatusServiceUnavailable, api.Error{Error: err.Error()})
 		return
 	case err != nil:
-		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusAccepted, map[string]any{
+	s.writeJSON(w, http.StatusAccepted, map[string]any{
 		"id":     v.ID,
 		"status": v.Status,
 	})
 }
 
 func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.List()})
+	s.writeJSON(w, http.StatusOK, map[string]any{"jobs": s.List()})
 }
 
 func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
 	v, ok := s.Get(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{"no such job"})
+		s.writeJSON(w, http.StatusNotFound, api.Error{Error: "no such job"})
 		return
 	}
-	writeJSON(w, http.StatusOK, v)
+	s.writeJSON(w, http.StatusOK, v)
 }
 
 func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	res, status, ok := s.Result(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{"no such job"})
+		s.writeJSON(w, http.StatusNotFound, api.Error{Error: "no such job"})
 		return
 	}
 	if !status.Terminal() {
-		writeJSON(w, http.StatusConflict, apiError{"job is " + string(status) + "; result not ready"})
+		s.writeJSON(w, http.StatusConflict, api.Error{Error: "job is " + string(status) + "; result not ready"})
 		return
 	}
 	if res == nil {
-		writeJSON(w, http.StatusConflict, apiError{"job finished " + string(status) + " with no result"})
+		s.writeJSON(w, http.StatusConflict, api.Error{Error: "job finished " + string(status) + " with no result"})
 		return
 	}
-	writeJSON(w, http.StatusOK, res)
+	s.writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 	status, ok := s.Cancel(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{"no such job"})
+		s.writeJSON(w, http.StatusNotFound, api.Error{Error: "no such job"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"id": r.PathValue("id"), "status": status})
+	s.writeJSON(w, http.StatusOK, map[string]any{"id": r.PathValue("id"), "status": status})
 }
 
 func (s *Service) handleStoreStats(w http.ResponseWriter, r *http.Request) {
 	entries, bytes, err := s.st.DiskStats()
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, apiError{err.Error()})
+		s.writeJSON(w, http.StatusInternalServerError, api.Error{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"counters":   s.st.Stats(),
 		"entries":    entries,
 		"diskBytes":  bytes,

@@ -1,189 +1,39 @@
 package serve
 
 import (
-	"fmt"
-	"strings"
 	"time"
 
-	"drishti/internal/policies"
-	"drishti/internal/sim"
-	"drishti/internal/workload"
+	"drishti/internal/serve/api"
 )
 
-// Status is a job's lifecycle state.
-type Status string
+// The wire schema — requests, results, statuses, views — lives in the
+// shared internal/serve/api package so the single-node service, the fleet
+// coordinator, and remote workers all marshal exactly the same bytes. The
+// aliases below keep this package's exported surface (and its callers)
+// unchanged.
+type (
+	// Status is a job's lifecycle state.
+	Status = api.Status
+	// PolicyRequest selects one replacement-policy stack.
+	PolicyRequest = api.PolicyRequest
+	// JobRequest is the JSON body of POST /v1/jobs.
+	JobRequest = api.JobRequest
+	// CellResult is one (workload, policy) simulation inside a job.
+	CellResult = api.CellResult
+	// JobResult is what GET /v1/jobs/{id}/result returns for a done job.
+	JobResult = api.JobResult
+
+	// view is the wire form of a job's status (result elided).
+	view = api.JobView
+)
 
 const (
-	StatusQueued    Status = "queued"
-	StatusRunning   Status = "running"
-	StatusDone      Status = "done"
-	StatusFailed    Status = "failed"
-	StatusCancelled Status = "cancelled"
+	StatusQueued    = api.StatusQueued
+	StatusRunning   = api.StatusRunning
+	StatusDone      = api.StatusDone
+	StatusFailed    = api.StatusFailed
+	StatusCancelled = api.StatusCancelled
 )
-
-// Terminal reports whether the status is final.
-func (s Status) Terminal() bool {
-	return s == StatusDone || s == StatusFailed || s == StatusCancelled
-}
-
-// PolicyRequest selects one replacement-policy stack.
-type PolicyRequest struct {
-	Name    string `json:"name"`
-	Drishti bool   `json:"drishti,omitempty"`
-}
-
-// JobRequest is the JSON body of POST /v1/jobs: a sweep of one machine
-// configuration over workloads × policies. A single simulation is the
-// 1×1 special case. Fields mirror sim.Config / experiments.Params; zero
-// values take the harness-scale defaults.
-type JobRequest struct {
-	Cores        int    `json:"cores"`
-	Scale        int    `json:"scale,omitempty"`        // default 8
-	Instructions uint64 `json:"instructions,omitempty"` // default 200000
-	Warmup       uint64 `json:"warmup,omitempty"`       // default 50000
-	Seed         uint64 `json:"seed,omitempty"`         // default 1
-
-	// Policies and Workloads span the sweep grid. Workload entries name
-	// registry models (substring match, like drishti-sim -workload); each
-	// becomes one homogeneous mix, or "hetero" for one heterogeneous mix
-	// drawn from the whole population.
-	Policies  []PolicyRequest `json:"policies"`
-	Workloads []string        `json:"workloads"`
-
-	// TimeoutSec bounds the job's wall clock (0 = the service default).
-	TimeoutSec int `json:"timeoutSec,omitempty"`
-
-	// MaxRetries overrides the service's bounded retry budget for
-	// transient failures (-1 = no retries, 0 = service default).
-	MaxRetries int `json:"maxRetries,omitempty"`
-}
-
-// withDefaults resolves zero values to harness-scale defaults.
-func (r JobRequest) withDefaults() JobRequest {
-	if r.Scale == 0 {
-		r.Scale = 8
-	}
-	if r.Instructions == 0 {
-		r.Instructions = 200_000
-	}
-	if r.Warmup == 0 {
-		r.Warmup = 50_000
-	}
-	if r.Seed == 0 {
-		r.Seed = 1
-	}
-	return r
-}
-
-// Validate rejects malformed requests before they reach the queue.
-func (r JobRequest) Validate() error {
-	if r.Cores <= 0 || r.Cores > 128 {
-		return fmt.Errorf("cores must be in [1,128], got %d", r.Cores)
-	}
-	if len(r.Policies) == 0 {
-		return fmt.Errorf("at least one policy is required")
-	}
-	if len(r.Workloads) == 0 {
-		return fmt.Errorf("at least one workload is required")
-	}
-	known := policies.KnownPolicies()
-	for _, p := range r.Policies {
-		ok := false
-		for _, k := range known {
-			if p.Name == k {
-				ok = true
-				break
-			}
-		}
-		if !ok {
-			return fmt.Errorf("unknown policy %q (known: %s)", p.Name, strings.Join(known, ", "))
-		}
-	}
-	cfg := sim.ScaledConfig(r.Cores, maxInt(r.Scale, 1))
-	for _, w := range r.Workloads {
-		if w == "hetero" {
-			continue
-		}
-		if _, err := lookupModel(cfg, w, maxInt(r.Scale, 1)); err != nil {
-			return err
-		}
-	}
-	if r.TimeoutSec < 0 {
-		return fmt.Errorf("timeoutSec must be >= 0")
-	}
-	if r.Instructions > 100_000_000 {
-		return fmt.Errorf("instructions above the 100M service ceiling")
-	}
-	return nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-// lookupModel resolves a workload name (substring match) against the
-// scaled model population, exactly like drishti-sim -workload.
-func lookupModel(cfg sim.Config, name string, scale int) (workload.Model, error) {
-	for _, m := range workload.ScaleAll(workload.AllSPECGAP(), scale, cfg.SetIndexBits()) {
-		if strings.Contains(m.Name, name) {
-			return m, nil
-		}
-	}
-	return workload.Model{}, fmt.Errorf("no workload model matching %q", name)
-}
-
-// config builds the simulated machine for the request (policy unset; the
-// executor stamps one per cell).
-func (r JobRequest) config() sim.Config {
-	cfg := sim.ScaledConfig(r.Cores, r.Scale)
-	cfg.Instructions = r.Instructions
-	cfg.Warmup = r.Warmup
-	cfg.Seed = r.Seed
-	return cfg
-}
-
-// mixes materializes the request's workloads as scaled mixes.
-func (r JobRequest) mixes() ([]workload.Mix, error) {
-	cfg := r.config()
-	out := make([]workload.Mix, 0, len(r.Workloads))
-	for _, w := range r.Workloads {
-		if w == "hetero" {
-			models := workload.ScaleAll(workload.AllSPECGAP(), r.Scale, cfg.SetIndexBits())
-			out = append(out, workload.HeterogeneousMixes(models, r.Cores, 1, r.Seed)[0])
-			continue
-		}
-		m, err := lookupModel(cfg, w, r.Scale)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, workload.Homogeneous(m, r.Cores, r.Seed))
-	}
-	return out, nil
-}
-
-// CellResult is one (workload, policy) simulation inside a job.
-type CellResult struct {
-	Policy    string      `json:"policy"`
-	Workload  string      `json:"workload"`
-	Mix       string      `json:"mix"`
-	FromStore bool        `json:"fromStore"` // served from the durable store
-	IPCSum    float64     `json:"ipcSum"`
-	MPKI      float64     `json:"mpki"`
-	WPKI      float64     `json:"wpki"`
-	APKI      float64     `json:"apki"`
-	Result    *sim.Result `json:"result,omitempty"`
-}
-
-// JobResult is what GET /v1/jobs/{id}/result returns for a done job.
-type JobResult struct {
-	Cells       []CellResult `json:"cells"`
-	StoreHits   int          `json:"storeHits"`
-	StoreMisses int          `json:"storeMisses"`
-	ElapsedMS   int64        `json:"elapsedMs"`
-}
 
 // Job is one queued/running/finished unit of work. Mutable fields are
 // guarded by the owning Service's mutex.
@@ -201,18 +51,6 @@ type Job struct {
 	Result *JobResult `json:"-"` // served by /result, not by /jobs/{id}
 
 	cancel func() // non-nil while running; invoked by DELETE
-}
-
-// view is the wire form of a job's status (result elided).
-type view struct {
-	ID         string     `json:"id"`
-	Status     Status     `json:"status"`
-	Error      string     `json:"error,omitempty"`
-	Attempts   int        `json:"attempts"`
-	EnqueuedAt time.Time  `json:"enqueuedAt"`
-	StartedAt  *time.Time `json:"startedAt,omitempty"`
-	FinishedAt *time.Time `json:"finishedAt,omitempty"`
-	Request    JobRequest `json:"request"`
 }
 
 // snapshot renders the job for the API. Caller holds the service mutex.

@@ -21,10 +21,20 @@ import (
 
 	"drishti/internal/obs"
 	"drishti/internal/policies"
+	"drishti/internal/serve/api"
 	"drishti/internal/sim"
 	"drishti/internal/store"
 	"drishti/internal/workload"
 )
+
+// Distributor executes a job's sweep cells somewhere other than this
+// process — the fleet coordinator (internal/dist) implements it. Returning
+// an error wrapping api.ErrNoWorkers tells the service to fall back to
+// local in-process execution, so a coordinator with no registered workers
+// behaves exactly like a single node.
+type Distributor interface {
+	RunJob(ctx context.Context, jobID string, req api.JobRequest) (*api.JobResult, error)
+}
 
 // Options configure a Service. Zero values take the documented defaults.
 type Options struct {
@@ -59,6 +69,10 @@ type Options struct {
 	// Registry receives queue/store/job metrics (default the process
 	// registry).
 	Registry *obs.Registry
+
+	// Distributor, when non-nil, is offered every job before local
+	// execution (fleet mode). See the Distributor interface.
+	Distributor Distributor
 }
 
 func (o Options) withDefaults() Options {
@@ -186,7 +200,7 @@ var ErrDraining = errors.New("serve: shutting down")
 // snapshot taken before any worker can touch it (the live *Job is owned
 // by the service and its mutex from here on).
 func (s *Service) Submit(req JobRequest) (view, error) {
-	req = req.withDefaults()
+	req = req.WithDefaults()
 	if err := req.Validate(); err != nil {
 		return view{}, fmt.Errorf("invalid job: %w", err)
 	}
@@ -377,14 +391,28 @@ func (s *Service) execute(j *Job) {
 // runJob executes the request's workload × policy grid serially within the
 // job (the worker pool provides cross-job parallelism), front-loading every
 // cell with a store lookup. Identical cells computed by any earlier process
-// are served from disk without touching the simulator.
+// are served from disk without touching the simulator. In fleet mode the
+// configured Distributor gets the job first; it declines with
+// api.ErrNoWorkers when the fleet is empty and the local path below runs
+// exactly as on a single node.
 func (s *Service) runJob(ctx context.Context, j *Job) (*JobResult, error) {
 	req := j.Request
-	mixes, err := req.mixes()
+	if s.opts.Distributor != nil {
+		res, err := s.opts.Distributor.RunJob(ctx, j.ID, req)
+		switch {
+		case err == nil:
+			return res, nil
+		case errors.Is(err, api.ErrNoWorkers):
+			s.log.Info("no fleet workers registered; executing locally", "job", j.ID)
+		default:
+			return nil, err
+		}
+	}
+	mixes, err := req.Mixes()
 	if err != nil {
 		return nil, err
 	}
-	base := req.config()
+	base := req.Config()
 	out := &JobResult{}
 	for wi, mix := range mixes {
 		for _, pol := range req.Policies {
@@ -424,7 +452,7 @@ func (s *Service) runJob(ctx context.Context, j *Job) (*JobResult, error) {
 
 // runCell serves one simulation from the store or computes and stores it.
 func (s *Service) runCell(ctx context.Context, cfg sim.Config, mix workload.Mix) (*sim.Result, bool, error) {
-	key := cfg.Key() + "|" + mix.Key()
+	key := api.CellKey(cfg, mix)
 	var cached sim.Result
 	hit, err := s.st.Get(key, &cached)
 	if err != nil {

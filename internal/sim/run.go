@@ -59,8 +59,15 @@ func RunMixContext(ctx context.Context, cfg Config, mix workload.Mix) (*Result, 
 // Section 5.2. The returned vector aligns with the mix's cores. The
 // per-core runs are independent systems and execute concurrently on up to
 // GOMAXPROCS workers; use RunAloneN to bound the pool explicitly.
+// New callers should prefer RunAloneContext.
 func RunAlone(cfg Config, mix workload.Mix) ([]float64, error) {
-	return RunAloneN(cfg, mix, runtime.GOMAXPROCS(0))
+	return RunAloneContext(context.Background(), cfg, mix)
+}
+
+// RunAloneContext is RunAlone with cooperative cancellation. A context that
+// is never cancelled produces results bit-identical to RunAlone.
+func RunAloneContext(ctx context.Context, cfg Config, mix workload.Mix) ([]float64, error) {
+	return RunAloneNContext(ctx, cfg, mix, runtime.GOMAXPROCS(0))
 }
 
 // RunAloneN is RunAlone with an explicit worker-pool bound. Each alone-run
@@ -166,8 +173,16 @@ type MixOutcome struct {
 // RunWithMetrics runs the mix and computes WS/HS/MIS/unfairness against the
 // supplied alone-IPC vector (typically measured once per mix on the LRU
 // baseline and shared across policies; see DESIGN.md §4 scale note).
+// New callers should prefer RunWithMetricsContext.
 func RunWithMetrics(cfg Config, mix workload.Mix, aloneIPC []float64) (*MixOutcome, error) {
-	res, err := RunMix(cfg, mix)
+	return RunWithMetricsContext(context.Background(), cfg, mix, aloneIPC)
+}
+
+// RunWithMetricsContext is RunWithMetrics with cooperative cancellation. A
+// context that is never cancelled produces results bit-identical to
+// RunWithMetrics.
+func RunWithMetricsContext(ctx context.Context, cfg Config, mix workload.Mix, aloneIPC []float64) (*MixOutcome, error) {
+	res, err := RunMixContext(ctx, cfg, mix)
 	if err != nil {
 		return nil, err
 	}
