@@ -1,11 +1,15 @@
 GO ?= go
 GOFMT ?= gofmt
 
-# Quick performance benchmarks: the simulator hot loop and the trace
-# generator. Medians over BENCH_COUNT repetitions absorb scheduler noise.
-BENCH_QUICK = 'BenchmarkSimulatorThroughput$$|BenchmarkTraceGeneration$$'
+# Quick performance benchmarks: the simulator hot loop, the trace
+# generator, and the batched-sweep speedup. Medians over BENCH_COUNT
+# repetitions absorb scheduler noise. BENCH_TOLERANCE is the allowed
+# fractional regression before bench-gate fails; CI relaxes it because
+# shared runners are noisier than a dev box.
+BENCH_QUICK = 'BenchmarkSimulatorThroughput$$|BenchmarkTraceGeneration$$|BenchmarkBatchedSweep'
 BENCH_TIME ?= 10x
 BENCH_COUNT ?= 3
+BENCH_TOLERANCE ?= 0.10
 
 .PHONY: build test race race-serve lint verify bench bench-quick bench-gate pgo serve
 
@@ -48,10 +52,10 @@ bench-quick:
 		| $(GO) run ./scripts/benchcmp -record -out BENCH_sim.json
 
 # bench-gate: same benchmarks, compared against the committed baseline;
-# fails on a >10% throughput regression.
+# fails on a throughput regression beyond BENCH_TOLERANCE (default 10%).
 bench-gate:
 	$(GO) test -run '^$$' -bench $(BENCH_QUICK) -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) . \
-		| $(GO) run ./scripts/benchcmp -check -baseline BENCH_sim.json -tolerance 0.10
+		| $(GO) run ./scripts/benchcmp -check -baseline BENCH_sim.json -tolerance $(BENCH_TOLERANCE)
 
 # pgo: regenerate default.pgo from the throughput benchmarks plus a trimmed
 # representative policy×mix sweep. Apply it explicitly with

@@ -142,6 +142,77 @@ func BenchmarkSimulatorThroughputCores(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchedSweep measures effective sweep throughput for one
+// 6-policy × 1-mix sweep group — exactly the work a sweep pays per mix:
+// one alone pass per core (for the weighted-speedup metrics), the LRU
+// baseline, and one run per policy. The unbatched sub-benchmark runs them
+// as the historical 11 separate simulations; the batched one runs a single
+// lockstep batch in which the alone passes are lanes and the LRU lane
+// doubles as the baseline. Both report the same effective instruction
+// count (what the unbatched realization simulates) divided by wall time,
+// so the instr/s ratio IS the sweep-level speedup. The config disables
+// prefetchers so the batch takes the tier-2 path (shared private-cache
+// replay); results are bit-identical either way (golden-tested in
+// internal/sim).
+func BenchmarkBatchedSweep(b *testing.B) {
+	const cores = 4
+	cfg := drishti.ScaledConfig(cores, 8)
+	cfg.Instructions = 200_000
+	cfg.Warmup = 50_000
+	cfg.L1Prefetcher = "none"
+	cfg.L2Prefetcher = "none"
+	model, _ := drishti.ModelByName("605.mcf_s-1554B")
+	mix := drishti.Homogeneous(model.Scale(8, cfg.SetIndexBits()), cores, 1)
+	specs := []drishti.PolicySpec{
+		{Name: "lru"}, {Name: "dip"}, {Name: "srrip"},
+		{Name: "hawkeye"}, {Name: "hawkeye", Drishti: true}, {Name: "mockingjay", Drishti: true},
+	}
+	// The unbatched realization: cores single-core alone runs plus
+	// (1 baseline + len(specs)) full-mix runs.
+	perRun := cfg.Instructions + cfg.Warmup
+	effective := float64(uint64(cores)*perRun + uint64(cores)*uint64(len(specs)+1)*perRun)
+
+	b.Run("unbatched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := drishti.RunAloneN(cfg, mix, 1); err != nil {
+				b.Fatal(err)
+			}
+			base := cfg
+			base.Policy = drishti.PolicySpec{Name: "lru"}
+			if _, err := drishti.RunMix(base, mix); err != nil {
+				b.Fatal(err)
+			}
+			for _, s := range specs {
+				c := cfg
+				c.Policy = s
+				if _, err := drishti.RunMix(c, mix); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(effective*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+	})
+
+	b.Run("batched", func(b *testing.B) {
+		variants := make([]drishti.BatchVariant, 0, cores+len(specs))
+		for c := 0; c < cores; c++ {
+			variants = append(variants, drishti.BatchVariant{
+				Policy: drishti.PolicySpec{Name: "lru"}, Alone: true, AloneCore: c,
+			})
+		}
+		for _, s := range specs { // the lru lane doubles as the baseline
+			variants = append(variants, drishti.BatchVariant{Policy: s})
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := drishti.RunBatch(cfg, variants, mix); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(effective*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+	})
+}
+
 // BenchmarkTraceGeneration measures workload-generator throughput.
 func BenchmarkTraceGeneration(b *testing.B) {
 	g, err := drishti.NewGenerator(drishti.SPECModels()[0], 1)

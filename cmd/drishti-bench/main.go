@@ -47,6 +47,7 @@ func run() int {
 		mixes      = flag.Int("mixes", 0, "mixes per category")
 		seed       = flag.Uint64("seed", 0, "workload seed")
 		parallel   = flag.Int("parallel", 0, "sweep worker-pool size (default GOMAXPROCS or $DRISHTI_PARALLEL; 1 = serial)")
+		batch      = flag.Bool("batch", true, "batch sweep cells sharing a mix into one lockstep simulation (bit-identical; -batch=false or DRISHTI_BATCH=0 forces per-cell runs)")
 		quiet      = flag.Bool("quiet", false, "suppress progress and info-level run logs")
 		telemetry  = flag.String("telemetry", "", "write per-epoch telemetry to `file`")
 		telemEpoch = flag.Uint64("telemetry-epoch", 50_000, "LLC demand loads per telemetry epoch")
@@ -88,6 +89,18 @@ func run() int {
 	if *parallel > 0 {
 		p.Parallelism = *parallel
 	}
+	// The env default (DRISHTI_BATCH) is resolved by DefaultParams; an
+	// explicit -batch flag wins over it either way.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name != "batch" {
+			return
+		}
+		if *batch {
+			p.Batch = experiments.BatchAuto
+		} else {
+			p.Batch = experiments.BatchOff
+		}
+	})
 	p.Logger = log
 
 	args := flag.Args()

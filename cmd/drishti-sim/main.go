@@ -22,6 +22,7 @@ import (
 
 	"drishti/internal/buildinfo"
 	"drishti/internal/dram"
+	"drishti/internal/metrics"
 	"drishti/internal/obs"
 	"drishti/internal/policies"
 	"drishti/internal/sim"
@@ -47,6 +48,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit the full result as JSON instead of the report")
 		mshrs    = flag.Bool("mshrs", false, "enforce strict Table 4 MSHR limits (8/16/64)")
 		inclus   = flag.Bool("inclusive", false, "inclusive LLC (back-invalidating; baseline is non-inclusive)")
+		batch    = flag.Bool("batch", true, "with -metrics, run the mix and the per-core alone passes as one lockstep batch (bit-identical; -batch=false forces separate runs)")
 		quiet    = flag.Bool("quiet", false, "suppress info-level run logs")
 
 		telemetry  = flag.String("telemetry", "", "write per-epoch telemetry to `file`")
@@ -102,7 +104,36 @@ func main() {
 		"run", obs.RunID(cfg.Key(), mix.Key()),
 		"policy", cfg.Policy.DisplayName(), "mix", mix.Name,
 		"cores", *cores, "instr", *instr)
-	res, err := sim.RunMix(cfg, mix)
+
+	wantMetrics := *metricsF && !*jsonOut // -json elides the metrics block
+	var (
+		res   *sim.Result
+		alone []float64 // per-core alone IPCs, only under -metrics
+	)
+	if wantMetrics && *batch {
+		// One lockstep batch: the mix lane plus one alone lane per core
+		// share a single generation of the access streams. Lane results are
+		// bit-identical to the separate runs below.
+		variants := make([]sim.Variant, 1+*cores)
+		variants[0] = sim.Variant{Policy: cfg.Policy}
+		for c := 0; c < *cores; c++ {
+			variants[1+c] = sim.Variant{Policy: cfg.Policy, Alone: true, AloneCore: c}
+		}
+		var results []*sim.Result
+		results, err = sim.RunBatch(cfg, variants, mix)
+		if err == nil {
+			res = results[0]
+			alone = make([]float64, *cores)
+			for c := 0; c < *cores; c++ {
+				alone[c] = results[1+c].PerCore[c].IPC
+			}
+		}
+	} else {
+		res, err = sim.RunMix(cfg, mix)
+		if err == nil && wantMetrics {
+			alone, err = sim.RunAlone(cfg, mix)
+		}
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -116,18 +147,14 @@ func main() {
 	}
 	report(cfg, mix, res)
 
-	if *metricsF {
-		alone, err := sim.RunAlone(cfg, mix)
-		if err != nil {
-			fatal(err)
-		}
-		out, err := sim.RunWithMetrics(cfg, mix, alone)
+	if wantMetrics {
+		m, err := metrics.Compute(res.IPCs(), alone)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("\nmulti-core metrics (alone IPCs measured on this config):\n")
 		fmt.Printf("  WS=%.4f HS=%.4f unfairness=%.3f max-slowdown=%.1f%%\n",
-			out.Metrics.WS, out.Metrics.HS, out.Metrics.Unfairness, out.Metrics.MaxSlowdown()*100)
+			m.WS, m.HS, m.Unfairness, m.MaxSlowdown()*100)
 	}
 }
 

@@ -79,6 +79,9 @@ type (
 	Experiment = experiments.Experiment
 	// ExperimentParams controls experiment scale.
 	ExperimentParams = experiments.Params
+
+	// BatchVariant is one lane of a lockstep batch (see RunBatch).
+	BatchVariant = sim.Variant
 )
 
 // Predictor placements (Table 2's design space).
@@ -144,6 +147,24 @@ func RunAloneNContext(ctx context.Context, cfg Config, mix Mix, parallelism int)
 // should prefer RunAloneNContext.
 func RunAloneN(cfg Config, mix Mix, parallelism int) ([]float64, error) {
 	return RunAloneNContext(context.Background(), cfg, mix, parallelism)
+}
+
+// RunBatchContext runs several policy/alone variants of one base
+// configuration over a single shared generation of the mix's access
+// streams, in lockstep. Each lane's result is bit-identical to running
+// that configuration alone through RunMixContext (or to the corresponding
+// alone run), so batching is purely a throughput optimization — one
+// workload generation (and, when the configuration has no prefetchers and
+// a non-inclusive LLC, one private L1/L2 simulation) is shared by all
+// lanes. Results align with variants.
+func RunBatchContext(ctx context.Context, base Config, variants []BatchVariant, mix Mix) ([]*Result, error) {
+	return sim.RunBatchContext(ctx, base, variants, mix)
+}
+
+// RunBatch is RunBatchContext with context.Background. New callers should
+// prefer RunBatchContext.
+func RunBatch(base Config, variants []BatchVariant, mix Mix) ([]*Result, error) {
+	return RunBatchContext(context.Background(), base, variants, mix)
 }
 
 // RunWithMetricsContext runs a mix and computes WS/HS/MIS/unfairness

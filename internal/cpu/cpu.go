@@ -90,12 +90,58 @@ func (c *Core) issueSlot() {
 
 // AdvanceNonMem retires n non-memory instructions. This is issueSlot n
 // times, folded into one division: the cycle advances once per IssueWidth
-// slots consumed, wherever the slot counter started.
+// slots consumed, wherever the slot counter started. Most gaps between
+// memory references are shorter than the issue width, so the common case
+// skips the divide entirely.
 func (c *Core) AdvanceNonMem(n uint32) {
 	total := c.slotsUsed + int(n)
+	if total < c.cfg.IssueWidth {
+		c.slotsUsed = total
+		c.instrs += uint64(n)
+		return
+	}
 	c.cycle += uint64(total / c.cfg.IssueWidth)
 	c.slotsUsed = total % c.cfg.IssueWidth
 	c.instrs += uint64(n)
+}
+
+// Retire retires gap non-memory instructions followed by one memory
+// instruction of fixed access latency memLat — AdvanceNonMem plus IssueMem
+// fused into one state pass, for replay loops that issue one call per
+// trace record. Callers that need the post-gap cycle before choosing the
+// latency (MSHR waits) must use the two-call form instead.
+func (c *Core) Retire(gap, memLat uint32) {
+	total := c.slotsUsed + int(gap)
+	cycle := c.cycle
+	if total >= c.cfg.IssueWidth {
+		cycle += uint64(total / c.cfg.IssueWidth)
+		total %= c.cfg.IssueWidth
+	}
+	if c.robLen == c.cfg.ROBSize {
+		done := c.rob[c.robHead]
+		if c.robHead++; c.robHead == c.cfg.ROBSize {
+			c.robHead = 0
+		}
+		c.robLen--
+		if done > cycle {
+			cycle = done
+			total = 0
+		}
+	}
+	completion := cycle + uint64(memLat)
+	tail := c.robHead + c.robLen
+	if tail >= c.cfg.ROBSize {
+		tail -= c.cfg.ROBSize
+	}
+	c.rob[tail] = completion
+	c.robLen++
+	if total++; total >= c.cfg.IssueWidth {
+		total = 0
+		cycle++
+	}
+	c.slotsUsed = total
+	c.cycle = cycle
+	c.instrs += uint64(gap) + 1
 }
 
 // reserveROB frees a ROB slot, stalling the core if the oldest in-flight

@@ -1,0 +1,153 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+
+	"drishti/internal/policies"
+	"drishti/internal/serve/api"
+	"drishti/internal/sim"
+	"drishti/internal/store"
+	"drishti/internal/workload"
+)
+
+// Lockstep batching in the fleet. Cells of one job that differ only in
+// replacement policy describe the same machine running the same mix, so
+// they can share one generation of the access streams (sim.RunBatchContext)
+// instead of regenerating the workload once per cell. The grouping is a
+// coordinator/worker-local optimization: the wire schema is untouched —
+// leases still carry one CellSpec each, completions still settle one lease
+// each — a batch is simply several leases that happen to be executed by one
+// simulation. Per-lane results are bit-identical to the per-cell path
+// (sim's golden determinism test pins this), so the store contents and
+// job results cannot tell the difference.
+
+// batchGroupKey is the grouping address for lockstep batching: the cell's
+// content address with the policy erased. Cells with equal group keys are
+// the same machine on the same mix and may share a batch. Never on the
+// wire; the coordinator computes it at decompose time and workers re-derive
+// it from the lease's CellSpec.
+func batchGroupKey(cfg sim.Config, mix workload.Mix) string {
+	cfg.Policy = policies.Spec{}
+	return api.CellKey(cfg, mix)
+}
+
+// cellPlan is one cell of a group, resolved from its wire spec.
+type cellPlan struct {
+	spec api.CellSpec
+	cfg  sim.Config
+	mix  workload.Mix
+}
+
+// planCell rebuilds and verifies one cell exactly like executeCell does,
+// without running it.
+func planCell(spec api.CellSpec) (cellPlan, error) {
+	cfg, mix, err := spec.Request.Cell(spec.WorkloadIndex, spec.PolicyIndex)
+	if err != nil {
+		return cellPlan{}, err
+	}
+	if key := api.CellKey(cfg, mix); key != spec.Key {
+		return cellPlan{}, fmt.Errorf(
+			"dist: cell key mismatch (wire-schema drift?): coordinator sent %q, rebuilt %q", spec.Key, key)
+	}
+	return cellPlan{spec: spec, cfg: cfg, mix: mix}, nil
+}
+
+// executeCellGroup resolves a set of cells sharing one batch group with a
+// single lockstep simulation. Results and fromStore flags are aligned with
+// specs. Store hits are served per cell as usual; only the misses become
+// lanes of the batch. A non-nil error applies to the whole group — callers
+// fail or requeue every unresolved cell, exactly as if each had failed
+// alone (RunBatchContext reports the lowest-indexed failing lane, matching
+// the serial path's error ordering).
+func executeCellGroup(ctx context.Context, st *store.Store, log *slog.Logger, specs []api.CellSpec) ([]*sim.Result, []bool, error) {
+	results := make([]*sim.Result, len(specs))
+	fromStore := make([]bool, len(specs))
+
+	var (
+		group string
+		base  cellPlan
+		lanes []int // specs index per batch lane
+		vars  []sim.Variant
+	)
+	for i, spec := range specs {
+		pl, err := planCell(spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		gk := batchGroupKey(pl.cfg, pl.mix)
+		if i == 0 {
+			group, base = gk, pl
+		} else if gk != group {
+			return nil, nil, fmt.Errorf("dist: cell %d is not in batch group of cell %d", spec.Index, base.spec.Index)
+		}
+		var cached sim.Result
+		hit, err := st.Get(spec.Key, &cached)
+		if err != nil {
+			return nil, nil, err
+		}
+		if hit {
+			results[i] = &cached
+			fromStore[i] = true
+			continue
+		}
+		lanes = append(lanes, i)
+		vars = append(vars, sim.Variant{Policy: pl.cfg.Policy})
+	}
+
+	switch len(lanes) {
+	case 0:
+		return results, fromStore, nil
+	case 1:
+		// A single miss gains nothing from the batch machinery; run it on
+		// the plain path (bit-identical by the batch invariant).
+		i := lanes[0]
+		res, hit, err := executeCell(ctx, st, log, specs[i])
+		if err != nil {
+			return nil, nil, err
+		}
+		results[i], fromStore[i] = res, hit
+		return results, fromStore, nil
+	}
+
+	batch, err := sim.RunBatchContext(ctx, base.cfg, vars, base.mix)
+	if err != nil {
+		return nil, nil, err
+	}
+	for k, i := range lanes {
+		results[i] = batch[k]
+		if err := st.Put(specs[i].Key, batch[k]); err != nil {
+			// The result is good; only durability failed. Log and serve it.
+			log.Warn("store put failed", "err", err)
+		}
+	}
+	return results, fromStore, nil
+}
+
+// groupLeases partitions granted leases into batch groups, preserving the
+// grant order within and across groups. A lease whose spec fails to
+// resolve becomes a singleton group — the per-cell path will surface the
+// error through the normal complete-with-error flow.
+func groupLeases(leases []api.Lease) [][]api.Lease {
+	var (
+		order  []string
+		groups = make(map[string][]api.Lease)
+	)
+	for _, l := range leases {
+		pl, err := planCell(l.Cell)
+		gk := "!" + l.ID // unresolvable: never groups with anything
+		if err == nil {
+			gk = batchGroupKey(pl.cfg, pl.mix)
+		}
+		if _, ok := groups[gk]; !ok {
+			order = append(order, gk)
+		}
+		groups[gk] = append(groups[gk], l)
+	}
+	out := make([][]api.Lease, 0, len(order))
+	for _, gk := range order {
+		out = append(out, groups[gk])
+	}
+	return out
+}

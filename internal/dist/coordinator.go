@@ -121,6 +121,7 @@ type cellState struct {
 	policy   string // DisplayName, for the CellResult and error messages
 	workload string
 	mixName  string
+	groupKey string // lockstep batch group (batchGroupKey); never on the wire
 
 	attempts  int       // lease grants + local adoptions
 	notBefore time.Time // backoff gate for redispatch
@@ -298,6 +299,7 @@ func (c *Coordinator) decompose(jobID string, req api.JobRequest) (*fleetJob, []
 				policy:   cfg.Policy.DisplayName(),
 				workload: req.Workloads[wi],
 				mixName:  mix.Name,
+				groupKey: batchGroupKey(cfg, mix),
 			}
 			var cached sim.Result
 			hit, err := c.st.Get(key, &cached)
@@ -476,8 +478,9 @@ func (c *Coordinator) resolveCellLocked(cl *cellState, res *sim.Result, fromStor
 
 // popPendingLocked removes and returns the first dispatchable pending cell
 // (FIFO, skipping cells still inside their retry backoff and dropping
-// cells of settled jobs). onlyJob, when non-nil, restricts to that job.
-func (c *Coordinator) popPendingLocked(now time.Time, onlyJob *fleetJob) *cellState {
+// cells of settled jobs). onlyJob, when non-nil, restricts to that job;
+// group, when non-empty, restricts to cells of that lockstep batch group.
+func (c *Coordinator) popPendingLocked(now time.Time, onlyJob *fleetJob, group string) *cellState {
 	for i := 0; i < len(c.pending); i++ {
 		cl := c.pending[i]
 		if cl.job.abandoned || cl.job.finished() {
@@ -486,6 +489,9 @@ func (c *Coordinator) popPendingLocked(now time.Time, onlyJob *fleetJob) *cellSt
 			continue
 		}
 		if onlyJob != nil && cl.job != onlyJob {
+			continue
+		}
+		if group != "" && cl.groupKey != group {
 			continue
 		}
 		if now.Before(cl.notBefore) {
@@ -514,27 +520,47 @@ func (c *Coordinator) runLocal(ctx context.Context, job *fleetJob) {
 			c.mu.Unlock()
 			return
 		}
-		cl := c.popPendingLocked(now, job)
+		cl := c.popPendingLocked(now, job, "")
 		if cl == nil {
 			c.mu.Unlock()
 			return
 		}
-		cl.attempts++
+		// Adopt the cell's whole batch group: the local fallback batches
+		// exactly like a worker would.
+		group := []*cellState{cl}
+		for {
+			next := c.popPendingLocked(now, job, cl.groupKey)
+			if next == nil {
+				break
+			}
+			group = append(group, next)
+		}
+		specs := make([]api.CellSpec, len(group))
+		for i, g := range group {
+			g.attempts++
+			specs[i] = g.spec
+		}
 		c.mu.Unlock()
 
-		c.log.Info("running cell locally (no live workers)", "job", job.id, "cell", cl.spec.Index)
-		res, fromStore, err := executeCell(ctx, c.st, c.log, cl.spec)
+		c.log.Info("running cells locally (no live workers)", "job", job.id,
+			"cell", cl.spec.Index, "group", len(group))
+		results, fromStore, err := executeCellGroup(ctx, c.st, c.log, specs)
 		if err != nil {
 			if ctx.Err() != nil {
 				return // job context cancelled; RunJob's select settles it
 			}
 			c.mu.Lock()
-			c.requeueLocked(cl, time.Now(), err.Error())
+			now := time.Now()
+			for _, g := range group {
+				c.requeueLocked(g, now, err.Error())
+			}
 			c.mu.Unlock()
 			continue
 		}
-		c.cLocal.Inc()
-		c.resolveCell(cl, res, fromStore)
+		for i, g := range group {
+			c.cLocal.Inc()
+			c.resolveCell(g, results[i], fromStore[i])
+		}
 	}
 }
 
@@ -608,11 +634,17 @@ func (c *Coordinator) lease(workerID string, maxN int) ([]api.Lease, error) {
 	}
 	n := min(maxN, w.capacity-len(w.leases))
 	var out []api.Lease
+	group := "" // pack cells of one batch group onto the same worker
 	for len(out) < n {
-		cl := c.popPendingLocked(now, nil)
+		cl := c.popPendingLocked(now, nil, group)
+		if cl == nil && group != "" {
+			// Group exhausted; fall back to FIFO and start the next group.
+			cl = c.popPendingLocked(now, nil, "")
+		}
 		if cl == nil {
 			break
 		}
+		group = cl.groupKey
 		c.lseq++
 		cl.leaseID = fmt.Sprintf("l%06d", c.lseq)
 		cl.workerID = w.id

@@ -249,6 +249,10 @@ func TestE2EFleetByteIdenticalWithWorkerKill(t *testing.T) {
 	// Fleet: two workers; the victim finishes cells but can never upload
 	// them (simulated crash), and its context is cancelled as soon as it
 	// holds a lease — both paths end in lease expiry and reassignment.
+	// The victim runs alone first so it is guaranteed to win a lease (a
+	// competing worker could otherwise drain the queue before the victim's
+	// poll, a real flake on a loaded 1-CPU host); the survivor joins only
+	// after the kill and picks up the reassigned cells.
 	f := newFleet(t, dist.CoordinatorOptions{
 		LeaseTTL:     1500 * time.Millisecond,
 		WorkerTTL:    time.Minute,
@@ -261,7 +265,12 @@ func TestE2EFleetByteIdenticalWithWorkerKill(t *testing.T) {
 		Capacity: 1,
 		Client:   &http.Client{Timeout: 30 * time.Second, Transport: blockCompletes{http.DefaultTransport}},
 	})
-	startWorker(t, f, dist.WorkerOptions{Name: "survivor", Capacity: 2})
+	for deadline := time.Now().Add(30 * time.Second); len(fleetStatus(t, f).Workers) == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("victim never registered")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 
 	id := submitJob(t, f, req)
 	killed := false
@@ -278,6 +287,7 @@ func TestE2EFleetByteIdenticalWithWorkerKill(t *testing.T) {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
+	startWorker(t, f, dist.WorkerOptions{Name: "survivor", Capacity: 2})
 	waitDone(t, f, id, 2*time.Minute)
 
 	got := canonicalPayload(t, fetchResult(t, f, id))
@@ -314,6 +324,71 @@ func TestE2EFleetByteIdenticalWithWorkerKill(t *testing.T) {
 	}
 	if st := fleetStatus(t, f); st.StoreHitRatio <= 0 {
 		t.Errorf("StoreHitRatio = %v after a fully deduped sweep", st.StoreHitRatio)
+	}
+}
+
+// TestFleetBatchedLeaseGroup pins lockstep batching in the fleet: a job
+// whose cells differ only in policy is granted to one worker as a single
+// lease group, executed as one batched simulation, and the payload is
+// byte-identical to the same sweep on a plain single-node service (whose
+// local path runs cells one by one).
+func TestFleetBatchedLeaseGroup(t *testing.T) {
+	req := api.JobRequest{
+		Cores:        2,
+		Scale:        8,
+		Instructions: 8_000,
+		Warmup:       2_000,
+		Policies: []api.PolicyRequest{
+			{Name: "lru"}, {Name: "srrip"}, {Name: "dip"}, {Name: "mockingjay", Drishti: true},
+		},
+		Workloads: []string{workload.AllSPECGAP()[0].Name},
+	}
+
+	// Reference: the same sweep on a plain single-node service.
+	single, err := serve.New(serve.Options{
+		StoreDir: t.TempDir(),
+		Workers:  1,
+		Registry: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssrv := httptest.NewServer(single.Handler())
+	t.Cleanup(ssrv.Close)
+	sf := &fleet{svc: single, srv: ssrv}
+	sid := submitJob(t, sf, req)
+	waitDone(t, sf, sid, time.Minute)
+	want := canonicalPayload(t, fetchResult(t, sf, sid))
+	{
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		single.Shutdown(ctx)
+		cancel()
+	}
+
+	f := newFleet(t, dist.CoordinatorOptions{
+		PollInterval: 10 * time.Millisecond,
+		SweepEvery:   50 * time.Millisecond,
+	})
+	wreg := obs.NewRegistry()
+	startWorker(t, f, dist.WorkerOptions{Name: "batcher", Capacity: 8, Registry: wreg})
+	for deadline := time.Now().Add(30 * time.Second); len(fleetStatus(t, f).Workers) == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never registered")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	id := submitJob(t, f, req)
+	waitDone(t, f, id, time.Minute)
+	got := canonicalPayload(t, fetchResult(t, f, id))
+	if !bytes.Equal(got, want) {
+		t.Errorf("batched fleet payload differs from single-node run\n--- fleet ---\n%s\n--- single ---\n%s", got, want)
+	}
+	if v := wreg.Counter("worker_batch_groups").Value(); v == 0 {
+		t.Error("worker executed no batched lease group (cells were granted one by one?)")
+	}
+	if v := wreg.Counter("worker_cells_executed").Value(); v != uint64(len(req.Policies)) {
+		t.Errorf("worker_cells_executed = %d, want %d", v, len(req.Policies))
 	}
 }
 

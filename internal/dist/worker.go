@@ -73,6 +73,7 @@ type Worker struct {
 	inflight atomic.Int32
 
 	cExecuted, cFromStore, cRejected, cFailed *obs.Counter
+	cBatchGroups                              *obs.Counter
 }
 
 // NewWorker opens the worker's store and prepares a client; no network
@@ -108,10 +109,11 @@ func NewWorker(opts WorkerOptions) (*Worker, error) {
 		log:    opts.Logger,
 		client: opts.Client,
 
-		cExecuted:  reg.Counter("worker_cells_executed"),
-		cFromStore: reg.Counter("worker_cells_from_store"),
-		cRejected:  reg.Counter("worker_completes_rejected"),
-		cFailed:    reg.Counter("worker_cells_failed"),
+		cExecuted:    reg.Counter("worker_cells_executed"),
+		cFromStore:   reg.Counter("worker_cells_from_store"),
+		cRejected:    reg.Counter("worker_completes_rejected"),
+		cFailed:      reg.Counter("worker_cells_failed"),
+		cBatchGroups: reg.Counter("worker_batch_groups"),
 	}, nil
 }
 
@@ -155,18 +157,59 @@ func (w *Worker) Run(ctx context.Context) error {
 		case len(leases) == 0:
 			sleepCtx(ctx, w.pollInterval())
 		default:
-			for _, l := range leases {
-				w.inflight.Add(1)
+			// Leases sharing a batch group run as one lockstep simulation;
+			// the coordinator packs groups onto one grant, so most grants
+			// are a single group.
+			for _, g := range groupLeases(leases) {
+				w.inflight.Add(int32(len(g)))
 				wg.Add(1)
-				go func(l api.Lease) {
+				go func(g []api.Lease) {
 					defer wg.Done()
-					defer w.inflight.Add(-1)
-					w.runLease(ctx, l)
-				}(l)
+					defer w.inflight.Add(int32(-len(g)))
+					w.runLeaseGroup(ctx, g)
+				}(g)
 			}
 		}
 	}
 	return nil
+}
+
+// runLeaseGroup executes leases that share one batch group — a single
+// lockstep simulation for the whole group — and uploads one completion per
+// lease, so the coordinator's lease accounting never sees the batching.
+func (w *Worker) runLeaseGroup(ctx context.Context, ls []api.Lease) {
+	if len(ls) == 1 {
+		w.runLease(ctx, ls[0])
+		return
+	}
+	w.cBatchGroups.Inc()
+	w.log.Info("lease group accepted", "job", ls[0].JobID, "cells", len(ls))
+	specs := make([]api.CellSpec, len(ls))
+	for i, l := range ls {
+		specs[i] = l.Cell
+	}
+	results, fromStore, err := executeCellGroup(ctx, w.st, w.log, specs)
+	if err != nil {
+		if ctx.Err() != nil {
+			return // killed mid-batch; the leases expire and are reassigned
+		}
+		for _, l := range ls {
+			w.cFailed.Inc()
+			w.completeWithRetry(ctx, api.CompleteRequest{
+				WorkerID: w.workerID(), LeaseID: l.ID, Error: err.Error(),
+			})
+		}
+		return
+	}
+	for i, l := range ls {
+		w.cExecuted.Inc()
+		if fromStore[i] {
+			w.cFromStore.Inc()
+		}
+		w.completeWithRetry(ctx, api.CompleteRequest{
+			WorkerID: w.workerID(), LeaseID: l.ID, FromStore: fromStore[i], Result: results[i],
+		})
+	}
 }
 
 // runLease executes one leased cell and uploads the outcome.

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"drishti/internal/policies"
+)
+
+// TestSweepBatchedMatchesUnbatched is the sweep-level bit-identity guard
+// for lockstep batching: the batched grouper (alone + baseline + policy
+// lanes over one shared stream per mix) must produce exactly the
+// per-cell path's numbers. The two sweeps run CONCURRENTLY on purpose —
+// under -race this doubles as the shared-state check for the batch
+// grouper racing a plain sweep through the same memo caches.
+func TestSweepBatchedMatchesUnbatched(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep determinism test is not -short")
+	}
+	cfg, mixes, specs := sweepFixture()
+
+	ResetCache()
+	var (
+		wg                   sync.WaitGroup
+		batched, unbatched   *sweepResult
+		batchErr, unbatchErr error
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		batched, batchErr = runSweep(cfg, mixes, specs, Params{Parallelism: 2, Batch: BatchAuto})
+	}()
+	go func() {
+		defer wg.Done()
+		unbatched, unbatchErr = runSweep(cfg, mixes, specs, Params{Parallelism: 2, Batch: BatchOff})
+	}()
+	wg.Wait()
+	ResetCache()
+	if batchErr != nil {
+		t.Fatalf("batched sweep: %v", batchErr)
+	}
+	if unbatchErr != nil {
+		t.Fatalf("unbatched sweep: %v", unbatchErr)
+	}
+
+	for si := range specs {
+		for mi := range mixes {
+			if b, u := batched.normWS[si][mi], unbatched.normWS[si][mi]; b != u {
+				t.Errorf("normWS[%d][%d]: batched %v != unbatched %v", si, mi, b, u)
+			}
+			bres, ures := batched.outcomes[si][mi].res, unbatched.outcomes[si][mi].res
+			if bres.MPKI != ures.MPKI {
+				t.Errorf("MPKI[%d][%d]: batched %v != unbatched %v", si, mi, bres.MPKI, ures.MPKI)
+			}
+			if bres.WPKI != ures.WPKI {
+				t.Errorf("WPKI[%d][%d]: batched %v != unbatched %v", si, mi, bres.WPKI, ures.WPKI)
+			}
+			if bres.Energy.Total != ures.Energy.Total {
+				t.Errorf("energy[%d][%d]: batched %v != unbatched %v", si, mi,
+					bres.Energy.Total, ures.Energy.Total)
+			}
+		}
+	}
+	for mi := range mixes {
+		bev, uev := batched.evals[mi], unbatched.evals[mi]
+		if bev == nil || uev == nil {
+			t.Fatalf("eval[%d] missing: batched %v unbatched %v", mi, bev, uev)
+		}
+		if bev.baseWS != uev.baseWS {
+			t.Errorf("baseWS[%d]: batched %v != unbatched %v", mi, bev.baseWS, uev.baseWS)
+		}
+		for c := range bev.alone {
+			if bev.alone[c] != uev.alone[c] {
+				t.Errorf("alone[%d][%d]: batched %v != unbatched %v", mi, c, bev.alone[c], uev.alone[c])
+			}
+		}
+	}
+	for si := range specs {
+		if batched.geoNormWS(si) != unbatched.geoNormWS(si) {
+			t.Errorf("geoNormWS(%d) differs", si)
+		}
+	}
+}
+
+// TestSweepBatchedDedupsBaseline: when LRU is one of the swept specs its
+// lane doubles as the eval baseline — the baseline result in the eval and
+// the LRU cell's result must be the same simulation (and exactly equal).
+func TestSweepBatchedDedupsBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	p := tinyParams()
+	cfg := p.config(2)
+	mixes := p.paperMixes(cfg, 2)[:1]
+	specs := []policies.Spec{{Name: "lru"}, {Name: "srrip"}}
+
+	ResetCache()
+	sr, err := runSweep(cfg, mixes, specs, Params{Parallelism: 1, Batch: BatchAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ResetCache()
+	for si, spec := range specs {
+		if spec.Name != "lru" || spec.Drishti {
+			continue
+		}
+		if sr.outcomes[si][0].res != sr.evals[0].baseRes {
+			t.Errorf("LRU cell result is not the deduplicated baseline lane")
+		}
+		if sr.normWS[si][0] != 1 {
+			t.Errorf("LRU normalized WS = %v, want exactly 1 (same run as baseline)", sr.normWS[si][0])
+		}
+	}
+}

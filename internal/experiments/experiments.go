@@ -62,7 +62,28 @@ type Params struct {
 	// tagged with the mix name and carry the policy name.
 	TelemetryEpoch uint64
 	TelemetrySink  obs.EpochSink
+
+	// Batch selects how sweeps execute the cells that share a mix.
+	// BatchAuto (the zero value, the default) groups them — every policy
+	// cell, the LRU baseline, and the per-core alone calibration runs —
+	// into one lockstep batch over a shared access stream
+	// (sim.RunBatchContext), paying workload generation once per mix
+	// instead of once per run. BatchOff forces the historical one-
+	// simulation-per-cell path. Results are bit-identical either way
+	// (golden-tested), so this is purely a throughput/memory knob;
+	// DRISHTI_BATCH=0 flips the default to off.
+	Batch BatchMode
 }
+
+// BatchMode selects the sweep execution strategy; see Params.Batch.
+type BatchMode int
+
+const (
+	// BatchAuto (zero value) batches cells sharing a mix.
+	BatchAuto BatchMode = iota
+	// BatchOff runs every cell as its own simulation.
+	BatchOff
+)
 
 // ctx returns the cancellation context, defaulting to Background.
 func (p Params) ctx() context.Context {
@@ -109,6 +130,9 @@ func DefaultParams() Params {
 	}
 	if v, ok := envInt("DRISHTI_PARALLEL"); ok {
 		p.Parallelism = v
+	}
+	if v, ok := envInt("DRISHTI_BATCH"); ok && v == 0 {
+		p.Batch = BatchOff
 	}
 	return p
 }

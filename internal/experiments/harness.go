@@ -204,6 +204,9 @@ func runSweep(cfg sim.Config, mixes []workload.Mix, specs []policies.Spec, p Par
 	if par > nCells {
 		par = nCells
 	}
+	if p.Batch != BatchOff {
+		return runSweepBatched(sr, cfg, mixes, specs, p, cellDone)
+	}
 	if par <= 1 {
 		for mi, mix := range mixes {
 			ev, err := evalMixCached(ctx, cfg, mix, 1)
@@ -285,6 +288,161 @@ func runSweep(cfg sim.Config, mixes []workload.Mix, specs []policies.Spec, p Par
 		return nil, firstErr
 	}
 	return sr, nil
+}
+
+// runSweepBatched executes the sweep mix by mix, folding each mix's cells
+// into one lockstep batch (sim.RunBatchContext): the per-core alone
+// calibration lanes and the LRU baseline lane (both skipped when the
+// mix's eval is already cached) ride with the policy lanes over a single
+// shared generation of the access streams, so workload generation is paid
+// once per mix instead of once per run. Lane results are bit-identical to
+// the per-cell path, so the sweepResult is too; only the work grouping
+// changes. The worker pool dispatches whole mixes. On failure the
+// lowest-mix error is returned — a batch fails as a unit, so the serial
+// path's per-cell error attribution within a mix is not recoverable.
+func runSweepBatched(sr *sweepResult, cfg sim.Config, mixes []workload.Mix, specs []policies.Spec, p Params, cellDone func(workload.Mix, policies.Spec, *policyOutcome)) (*sweepResult, error) {
+	ctx := p.ctx()
+	par := p.Parallel()
+	if par > len(mixes) {
+		par = len(mixes)
+	}
+	runOne := func(mi int) error {
+		ev, outs, err := runBatchedMix(ctx, cfg, mixes[mi], specs)
+		if err != nil {
+			return err
+		}
+		sr.evals[mi] = ev
+		for si, out := range outs {
+			// Cell-private slots: no lock needed, as in the per-cell pool.
+			sr.normWS[si][mi] = out.normWS
+			sr.outcomes[si][mi] = out
+			cellDone(mixes[mi], specs[si], out)
+		}
+		return nil
+	}
+	if par <= 1 {
+		for mi := range mixes {
+			if err := runOne(mi); err != nil {
+				return nil, err
+			}
+		}
+		return sr, nil
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		errMix   = len(mixes)
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, par)
+	)
+	record := func(mi int, err error) {
+		mu.Lock()
+		if mi < errMix {
+			errMix, firstErr = mi, err
+		}
+		mu.Unlock()
+	}
+	for mi := 0; mi < len(mixes); mi++ {
+		if err := ctx.Err(); err != nil {
+			record(mi, err)
+			break
+		}
+		mu.Lock()
+		failed := firstErr != nil
+		mu.Unlock()
+		if failed {
+			break
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(mi int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := runOne(mi); err != nil {
+				record(mi, err)
+			}
+		}(mi)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return sr, nil
+}
+
+// runBatchedMix runs one mix's lanes — per-core alone calibration and the
+// LRU baseline when the eval is not already cached, plus one lane per
+// policy spec — as a single lockstep batch, and assembles the same
+// mixEval/policyOutcome values the per-cell path produces. When LRU is
+// itself one of the swept specs its lane doubles as the baseline, so the
+// baseline simulation the serial path repeats is deduplicated away.
+func runBatchedMix(ctx context.Context, cfg sim.Config, mix workload.Mix, specs []policies.Spec) (*mixEval, []*policyOutcome, error) {
+	lru := policies.Spec{Name: "lru"}
+	base := cfg
+	base.Policy = lru
+	evKey := cfgKey(base, mix)
+	ev, cached := evalCache.Get(evKey)
+
+	var variants []sim.Variant
+	aloneIdx := -1
+	if !cached {
+		aloneIdx = len(variants)
+		for c := 0; c < cfg.Cores; c++ {
+			variants = append(variants, sim.Variant{Policy: lru, Alone: true, AloneCore: c})
+		}
+	}
+	baseIdx := -1
+	specIdx := make([]int, len(specs))
+	for si, spec := range specs {
+		specIdx[si] = len(variants)
+		variants = append(variants, sim.Variant{Policy: spec})
+		if baseIdx < 0 && spec.Key() == lru.Key() {
+			baseIdx = specIdx[si] // the LRU cell doubles as the baseline
+		}
+	}
+	if !cached && baseIdx < 0 {
+		baseIdx = len(variants)
+		variants = append(variants, sim.Variant{Policy: lru})
+	}
+
+	results, err := sim.RunBatchContext(ctx, cfg, variants, mix)
+	if err != nil {
+		return nil, nil, fmt.Errorf("batched cells for %s: %w", mix.Name, err)
+	}
+
+	if !cached {
+		alone := make([]float64, cfg.Cores)
+		for c := 0; c < cfg.Cores; c++ {
+			alone[c] = results[aloneIdx+c].PerCore[c].IPC
+			if alone[c] <= 0 {
+				return nil, nil, fmt.Errorf("mix %s core %d: zero alone IPC", mix.Name, c)
+			}
+		}
+		baseRes := results[baseIdx]
+		m, err := metrics.Compute(baseRes.IPCs(), alone)
+		if err != nil {
+			return nil, nil, err
+		}
+		fresh := &mixEval{mix: mix, alone: alone, baseWS: m.WS, baseRes: baseRes}
+		// Publish through the cache's singleflight so concurrent unbatched
+		// sweeps share one eval; whichever side wins the race, the values
+		// are bit-identical.
+		ev, err = evalCache.Do(evKey, func() (*mixEval, error) { return fresh, nil })
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	outs := make([]*policyOutcome, len(specs))
+	for si := range specs {
+		res := results[specIdx[si]]
+		m, err := metrics.Compute(res.IPCs(), ev.alone)
+		if err != nil {
+			return nil, nil, err
+		}
+		outs[si] = &policyOutcome{res: res, multi: m, normWS: m.WS / ev.baseWS}
+	}
+	return ev, outs, nil
 }
 
 // geoNormWS returns the geomean normalized WS for spec index si.

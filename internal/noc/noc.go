@@ -12,10 +12,11 @@ type Mesh struct {
 	nodes    int
 	cols     int
 	rows     int
-	perHop   uint32 // cycles per hop (router traversal + link)
-	router   uint32 // fixed injection/ejection overhead
-	Messages uint64 // messages routed (for energy/traffic accounting)
-	HopSum   uint64 // total hops, for average-latency reporting
+	perHop   uint32   // cycles per hop (router traversal + link)
+	router   uint32   // fixed injection/ejection overhead
+	hops     []uint32 // precomputed XY hop counts, indexed a*nodes+b
+	Messages uint64   // messages routed (for energy/traffic accounting)
+	HopSum   uint64   // total hops, for average-latency reporting
 }
 
 // NewMesh builds a mesh of n nodes in a near-square grid. perHop is the
@@ -30,14 +31,28 @@ func NewMesh(n int, perHop, router uint32) *Mesh {
 		cols++
 	}
 	rows := (n + cols - 1) / cols
-	return &Mesh{nodes: n, cols: cols, rows: rows, perHop: perHop, router: router}
+	m := &Mesh{nodes: n, cols: cols, rows: rows, perHop: perHop, router: router}
+	// Hop counts sit on the LLC access path (every slice access routes
+	// core→slice); an n×n table trades a few KB for dropping the per-access
+	// div/mod coordinate math.
+	m.hops = make([]uint32, n*n)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			m.hops[a*n+b] = m.hopsXY(a, b)
+		}
+	}
+	return m
 }
 
 // Nodes returns the node count.
 func (m *Mesh) Nodes() int { return m.nodes }
 
 // Hops returns the XY-routing hop count between nodes a and b.
-func (m *Mesh) Hops(a, b int) uint32 {
+func (m *Mesh) Hops(a, b int) uint32 { return m.hops[a*m.nodes+b] }
+
+// hopsXY computes the XY-routing hop count from grid coordinates (table
+// construction only; lookups go through Hops).
+func (m *Mesh) hopsXY(a, b int) uint32 {
 	ax, ay := a%m.cols, a/m.cols
 	bx, by := b%m.cols, b/m.cols
 	dx := ax - bx

@@ -1,0 +1,760 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"drishti/internal/cache"
+	"drishti/internal/mem"
+	"drishti/internal/policies"
+	"drishti/internal/repl"
+	"drishti/internal/trace"
+	"drishti/internal/workload"
+)
+
+// This file implements lockstep batched simulation: K lanes (simulator
+// instances differing only in replacement policy / DSC configuration, or
+// alone-run activation) execute against one shared access stream, paying
+// the workload-generation cost once instead of K times.
+//
+// Two sharing tiers, chosen automatically from the base config:
+//
+//   - Tier 1 (always legal): the raw trace.Rec stream is materialized once
+//     per core into a bounded workload.Stream window; each lane reads it
+//     through a cursor and simulates its full hierarchy as usual.
+//
+//   - Tier 2 (prefetchers off, non-inclusive LLC): the private L1/L2
+//     hierarchy is additionally simulated once per core by an expStream,
+//     because under those conditions private-cache behavior is identical
+//     in every lane: L1 (LRU) and L2 (SRRIP) decisions depend only on the
+//     access order, never on timing, and nothing below the L2 feeds back
+//     into the private caches (prefetch throttling consults DRAM queue
+//     timing and inclusive LLCs back-invalidate — both disabled). Lanes
+//     replay the recorded outcomes (hit levels, writeback victims) and
+//     simulate only their own lane-varying state: core timing, MSHRs,
+//     LLC slices, policy/predictor stack, NoCs, and DRAM.
+//
+// Each lane is a complete System driven by its own resumable runner in
+// round-robin quanta. A lane's step sequence is exactly what its solo run
+// would execute, just time-sliced, so batched results are bit-identical
+// to unbatched runs (asserted per lane by the golden tests). Per-core
+// window limits bound how far lanes may drift apart so the shared window
+// stays small; chunks behind the slowest lane are recycled.
+
+// batchQuantum is how many steps a lane runs per rotation.
+const batchQuantum = 8192
+
+// batchWindow is the per-core record skew allowed between the fastest and
+// slowest lane before the fast lane pauses (grown on demand if a rotation
+// ever makes no progress; see runLockstep).
+const batchWindow = 8192
+
+// batchMemBudget bounds the estimated resident shared-window bytes; above
+// it RunBatchContext falls back to per-lane generator forks (no shared
+// window, same results). A variable so tests can force the fork path.
+var batchMemBudget = 256 << 20
+
+// Variant is one lane of a batched run: a replacement-policy point, run
+// either on the full mix or as a single-core alone run. The zero value is
+// a mix lane with the zero policy spec.
+type Variant struct {
+	// Policy replaces the base config's replacement policy for this lane.
+	Policy policies.Spec
+	// Alone runs the lane with only core AloneCore active (RunAlone
+	// semantics: same machine, telemetry off). Alone lanes share the
+	// per-core stream with mix lanes — an alone run consumes exactly the
+	// records the mix run feeds that core, because generation has no
+	// feedback from the simulation.
+	Alone     bool
+	AloneCore int
+}
+
+// RunBatch is RunBatchContext with context.Background.
+func RunBatch(base Config, variants []Variant, mix workload.Mix) ([]*Result, error) {
+	return RunBatchContext(context.Background(), base, variants, mix)
+}
+
+// RunBatchContext runs every variant lane over one shared generation of
+// the mix's access streams and returns per-lane results aligned with
+// variants. Each lane's result is bit-identical to running its
+// configuration alone through RunMixContext (or runAloneCore for alone
+// lanes). On failure the error of the lowest-indexed failing lane is
+// returned and the whole batch aborts.
+func RunBatchContext(ctx context.Context, base Config, variants []Variant, mix workload.Mix) ([]*Result, error) {
+	if len(variants) == 0 {
+		return nil, fmt.Errorf("sim: batch with no variants")
+	}
+	if mix.Cores() != base.Cores {
+		return nil, fmt.Errorf("sim: mix %s targets %d cores, config has %d", mix.Name, mix.Cores(), base.Cores)
+	}
+	cfgs := make([]Config, len(variants))
+	used := make([]bool, base.Cores) // cores any lane activates
+	for i, v := range variants {
+		cfg := base
+		cfg.Policy = v.Policy
+		if v.Alone {
+			if v.AloneCore < 0 || v.AloneCore >= base.Cores {
+				return nil, fmt.Errorf("sim: batch variant %d: alone core %d out of range", i, v.AloneCore)
+			}
+			// Alone runs are IPC calibration, not the run of record
+			// (mirrors runAloneCore).
+			cfg.TelemetryEpoch, cfg.TelemetrySink, cfg.TelemetryTag = 0, nil, ""
+			used[v.AloneCore] = true
+		} else {
+			if cfg.TelemetryEpoch > 0 && cfg.TelemetryTag == "" {
+				cfg.TelemetryTag = mix.Name
+			}
+			for c := range used {
+				used[c] = true
+			}
+		}
+		cfgs[i] = cfg
+	}
+	if err := mix.Validate(); err != nil {
+		return nil, err
+	}
+
+	tier2 := tier2Eligible(base)
+	if batchResidentBytes(used, tier2) > batchMemBudget {
+		return runBatchForked(ctx, cfgs, variants, mix)
+	}
+
+	// Shared per-core streams, built only for cores some lane activates.
+	var (
+		raws []*workload.Stream
+		exps []*expStream
+	)
+	if tier2 {
+		exps = make([]*expStream, base.Cores)
+	} else {
+		raws = make([]*workload.Stream, base.Cores)
+	}
+	for c := 0; c < base.Cores; c++ {
+		if !used[c] {
+			continue
+		}
+		g, err := workload.NewGenerator(mix.Models[c], mix.Seeds[c])
+		if err != nil {
+			return nil, err
+		}
+		if tier2 {
+			exps[c] = newExpStream(base, c, g)
+		} else {
+			raws[c] = workload.NewStream(g, 0)
+		}
+	}
+
+	lanes := make([]*batchLane, len(variants))
+	for i, v := range variants {
+		ln, err := newBatchLane(ctx, cfgs[i], v, raws, exps)
+		if err != nil {
+			return nil, fmt.Errorf("sim: batch lane %d (%s): %w", i, v.Policy.DisplayName(), err)
+		}
+		lanes[i] = ln
+	}
+	if err := runLockstep(lanes, raws, exps); err != nil {
+		return nil, err
+	}
+	out := make([]*Result, len(lanes))
+	for i, ln := range lanes {
+		res, err := ln.sys.finishRun()
+		if err != nil {
+			return nil, fmt.Errorf("sim: batch lane %d (%s): %w", i, variants[i].Policy.DisplayName(), err)
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// tier2Eligible reports whether the private hierarchy can be simulated
+// once and shared across lanes (see the file comment for the argument).
+func tier2Eligible(cfg Config) bool {
+	noPf := func(name string) bool { return name == "" || name == "none" }
+	return noPf(cfg.L1Prefetcher) && noPf(cfg.L2Prefetcher) && !cfg.InclusiveLLC
+}
+
+// batchResidentBytes estimates the peak resident shared-window footprint.
+func batchResidentBytes(used []bool, tier2 bool) int {
+	perRec := 24 // trace.Rec
+	if tier2 {
+		perRec = 42 // expStream SoA columns
+	}
+	cores := 0
+	for _, u := range used {
+		if u {
+			cores++
+		}
+	}
+	// Window plus the chunks in flight on either side of it.
+	return cores * (batchWindow + 2*streamChunkLen) * perRec
+}
+
+// streamChunkLen mirrors workload's default chunk size for the estimate.
+const streamChunkLen = 2048
+
+// batchLane is one variant's System plus its paused runner and stream
+// positions.
+type batchLane struct {
+	sys   *System
+	run   *runner
+	cores []int // active core IDs
+	done  bool
+}
+
+// expMarker marks a core active in a tier-2 lane; the expanded step path
+// never reads it.
+type expMarker struct{}
+
+func (expMarker) Next() (trace.Rec, bool) { panic("sim: tier-2 batch lane read its raw reader") }
+func (expMarker) Reset()                  { panic("sim: tier-2 batch lane reset its raw reader") }
+
+func newBatchLane(ctx context.Context, cfg Config, v Variant, raws []*workload.Stream, exps []*expStream) (*batchLane, error) {
+	readers := make([]trace.Reader, cfg.Cores)
+	var expCursors []*expCursor
+	if exps != nil {
+		expCursors = make([]*expCursor, cfg.Cores)
+	}
+	var cores []int
+	activate := func(c int) {
+		cores = append(cores, c)
+		if exps != nil {
+			readers[c] = expMarker{}
+			expCursors[c] = &expCursor{stream: exps[c]}
+		} else {
+			readers[c] = raws[c].Cursor()
+		}
+	}
+	if v.Alone {
+		activate(v.AloneCore)
+	} else {
+		for c := 0; c < cfg.Cores; c++ {
+			activate(c)
+		}
+	}
+	sys, err := New(cfg, readers)
+	if err != nil {
+		return nil, err
+	}
+	sys.expCursors = expCursors
+	run, err := sys.newRunner(ctx) // window limits installed by runLockstep
+	if err != nil {
+		return nil, err
+	}
+	return &batchLane{sys: sys, run: run, cores: cores}, nil
+}
+
+// runLockstep drives every lane in round-robin quanta until all finish.
+// Per-core limits bound lane skew; the floor (lowest-position) lane of a
+// core is never gated, and if cross-core window shapes ever block every
+// lane in one rotation, the limits grow by a window so progress resumes.
+func runLockstep(lanes []*batchLane, raws []*workload.Stream, exps []*expStream) error {
+	cores := 0
+	if raws != nil {
+		cores = len(raws)
+	} else {
+		cores = len(exps)
+	}
+	limits := make([]uint64, cores)
+	for c := range limits {
+		limits[c] = batchWindow
+	}
+	for _, ln := range lanes {
+		ln.run.limits = limits // shared: window advances reach every lane
+		ln.run.consumed = make([]uint64, cores)
+	}
+	live := len(lanes)
+	for live > 0 {
+		stepped := false
+		for i, ln := range lanes {
+			if ln.done {
+				continue
+			}
+			before := ln.run.guard
+			done, _, err := ln.run.run(batchQuantum)
+			if err != nil {
+				return fmt.Errorf("sim: batch lane %d: %w", i, err)
+			}
+			if ln.run.guard != before {
+				stepped = true
+			}
+			if done {
+				ln.done = true
+				live--
+			}
+		}
+		if live == 0 {
+			break
+		}
+		// Advance the window: recycle everything below the slowest
+		// unfinished lane and let the fastest run a window past it.
+		for c := 0; c < cores; c++ {
+			floor, any := ^uint64(0), false
+			for _, ln := range lanes {
+				if ln.done {
+					continue
+				}
+				for _, lc := range ln.cores {
+					if lc == c {
+						if p := ln.run.consumed[c]; p < floor {
+							floor = p
+						}
+						any = true
+						break
+					}
+				}
+			}
+			if !any {
+				continue
+			}
+			if raws != nil && raws[c] != nil {
+				raws[c].Release(floor)
+			}
+			if exps != nil && exps[c] != nil {
+				exps[c].release(floor)
+			}
+			limit := floor + batchWindow
+			if !stepped && limit <= limits[c] {
+				// Deadlock breaker: mutually-blocked window shapes across
+				// different cores can stall a rotation; widen until a lane
+				// moves. Results are unaffected — limits only pause lanes.
+				limit = limits[c] + batchWindow
+			}
+			limits[c] = limit
+		}
+	}
+	return nil
+}
+
+// runBatchForked is the memory-budget fallback: every lane replays the
+// stream itself from a cheap generator fork, serially. Identical results,
+// no shared window.
+func runBatchForked(ctx context.Context, cfgs []Config, variants []Variant, mix workload.Mix) ([]*Result, error) {
+	protos := make([]*workload.Generator, mix.Cores())
+	for c := range protos {
+		g, err := workload.NewGenerator(mix.Models[c], mix.Seeds[c])
+		if err != nil {
+			return nil, err
+		}
+		protos[c] = g
+	}
+	out := make([]*Result, len(variants))
+	for i, v := range variants {
+		readers := make([]trace.Reader, cfgs[i].Cores)
+		if v.Alone {
+			readers[v.AloneCore] = protos[v.AloneCore].Fork()
+		} else {
+			for c := range readers {
+				readers[c] = protos[c].Fork()
+			}
+		}
+		sys, err := New(cfgs[i], readers)
+		if err != nil {
+			return nil, fmt.Errorf("sim: batch lane %d (%s): %w", i, v.Policy.DisplayName(), err)
+		}
+		res, err := sys.RunContext(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("sim: batch lane %d (%s): %w", i, v.Policy.DisplayName(), err)
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// --- tier-2 expanded stream --------------------------------------------------
+
+// Expanded-record flag bits.
+const (
+	expWrite uint8 = 1 << iota // store (RFO)
+	expL1Hit                   // hit in L1; no lane-side work beyond timing
+	expL2Hit                   // L1 miss that hit in L2
+	expWB1                     // L2 demand fill evicted a dirty line (wb1)
+	expWB2                     // L1 eviction's L2 writeback evicted dirty (wb2)
+)
+
+// expChunk is one chunk of expanded records in SoA layout. loc[i] is the
+// number of consecutive core-local records starting at i (0 when record i
+// itself is not local): a record is local when it never leaves the private
+// hierarchy — an L1 hit, or an L2 hit whose L1 eviction caused no L2
+// writeback miss (no expWB2) — so replaying it touches only the issuing
+// core's own state (cycle/ROB counters and its per-core MSHR), never the
+// lane-shared LLC/NoC/DRAM. Lanes replay whole local runs under a single
+// scheduler step (see stepExpandedN).
+type expChunk struct {
+	gap   []uint32
+	flags []uint8
+	loc   []uint16
+	pc    []uint64
+	block []uint64
+	wb1   []uint64
+	wb2   []uint64
+}
+
+func newExpChunk(n int) *expChunk {
+	return &expChunk{
+		gap:   make([]uint32, 0, n),
+		flags: make([]uint8, 0, n),
+		loc:   make([]uint16, 0, n),
+		pc:    make([]uint64, 0, n),
+		block: make([]uint64, 0, n),
+		wb1:   make([]uint64, 0, n),
+		wb2:   make([]uint64, 0, n),
+	}
+}
+
+func (ck *expChunk) reset() {
+	ck.gap = ck.gap[:0]
+	ck.flags = ck.flags[:0]
+	ck.loc = ck.loc[:0]
+	ck.pc = ck.pc[:0]
+	ck.block = ck.block[:0]
+	ck.wb1 = ck.wb1[:0]
+	ck.wb2 = ck.wb2[:0]
+}
+
+// annotateLocalRuns fills loc after a chunk is fully expanded. Runs never
+// cross chunk boundaries (a lane just takes two fast steps).
+func (ck *expChunk) annotateLocalRuns() {
+	run := uint16(0)
+	for j := len(ck.flags) - 1; j >= 0; j-- {
+		f := ck.flags[j]
+		if f&expL1Hit != 0 || (f&expL2Hit != 0 && f&expWB2 == 0) {
+			run++
+		} else {
+			run = 0
+		}
+		ck.loc[j] = run
+	}
+}
+
+// expChunkLen is the expansion granularity.
+const expChunkLen = 2048
+
+// expStream is the tier-2 shared stream for one core: each raw record runs
+// through the core's private L1/L2 hierarchy exactly once (in the same
+// operation order as System.accessL1/accessL2/writebackL2), and the
+// outcome — hit level, demand block, and any writeback victims — is
+// recorded for every lane to replay. The private caches here see
+// Access.Cycle zero, which is safe because neither the cache bookkeeping
+// nor the L1/L2 policies (LRU, SRRIP) read it.
+type expStream struct {
+	src    trace.Reader
+	coreID int
+	l1, l2 *cache.Cache
+	base   uint64 // absolute index of chunks[0]'s first record
+	next   uint64 // absolute index of the first unexpanded record
+	chunks []*expChunk
+	free   []*expChunk
+	done   bool
+}
+
+func newExpStream(cfg Config, coreID int, src trace.Reader) *expStream {
+	// Private caches constructed exactly as System.New does; cache.New only
+	// fails on geometry errors, which cfg.Validate has already excluded.
+	l1, err := cache.New(cache.Config{Name: fmt.Sprintf("exp-l1d-%d", coreID), Sets: cfg.l1Sets(), Ways: cfg.L1Ways},
+		repl.NewLRU(cfg.l1Sets(), cfg.L1Ways))
+	if err != nil {
+		panic(err)
+	}
+	l2, err := cache.New(cache.Config{Name: fmt.Sprintf("exp-l2-%d", coreID), Sets: cfg.l2Sets(), Ways: cfg.L2Ways},
+		repl.NewSRRIP(cfg.l2Sets(), cfg.L2Ways))
+	if err != nil {
+		panic(err)
+	}
+	return &expStream{src: src, coreID: coreID, l1: l1, l2: l2}
+}
+
+// fill expands one chunk of raw records through the private hierarchy.
+func (e *expStream) fill() bool {
+	if e.done {
+		return false
+	}
+	var ck *expChunk
+	if n := len(e.free); n > 0 {
+		ck, e.free = e.free[n-1], e.free[:n-1]
+		ck.reset()
+	} else {
+		ck = newExpChunk(expChunkLen)
+	}
+	for len(ck.gap) < expChunkLen {
+		rec, ok := e.src.Next()
+		if !ok {
+			// Finite trace exhausted: loop it, mirroring System.step.
+			e.src.Reset()
+			if rec, ok = e.src.Next(); !ok {
+				e.done = true
+				break
+			}
+		}
+		e.expand(ck, rec)
+	}
+	if len(ck.gap) == 0 {
+		return false
+	}
+	ck.loc = ck.loc[:len(ck.gap)]
+	ck.annotateLocalRuns()
+	e.chunks = append(e.chunks, ck)
+	e.next += uint64(len(ck.gap))
+	return true
+}
+
+// expand runs one record through L1/L2 and appends its outcome. The
+// private-cache operation order matches the serial path exactly:
+// l1.Access → l2.Access → l2.FillMiss → l1.FillMiss → (writeback)
+// l2.Access → l2.FillMiss.
+func (e *expStream) expand(ck *expChunk, rec trace.Rec) {
+	block := mem.Block(rec.Addr)
+	typ := mem.Load
+	var flags uint8
+	if rec.Write {
+		typ = mem.RFO
+		flags = expWrite
+	}
+	a := repl.Access{PC: rec.PC, Block: block, Core: e.coreID, Type: typ}
+	var wb1, wb2 uint64
+	if hit, _ := e.l1.Access(a); hit {
+		flags |= expL1Hit
+	} else {
+		if hit2, _ := e.l2.Access(a); hit2 {
+			flags |= expL2Hit
+		} else {
+			if ev := e.l2.FillMiss(a, false); ev.Valid && ev.Dirty {
+				flags |= expWB1
+				wb1 = ev.Block
+			}
+		}
+		if ev := e.l1.FillMiss(a, typ == mem.RFO); ev.Valid && ev.Dirty {
+			// System.writebackL2, minus the lane-side LLC traffic.
+			wa := repl.Access{Block: ev.Block, Core: e.coreID, Type: mem.Writeback}
+			if whit, _ := e.l2.Access(wa); !whit {
+				if evw := e.l2.FillMiss(wa, true); evw.Valid && evw.Dirty {
+					flags |= expWB2
+					wb2 = evw.Block
+				}
+			}
+		}
+	}
+	ck.gap = append(ck.gap, rec.Gap)
+	ck.flags = append(ck.flags, flags)
+	ck.pc = append(ck.pc, rec.PC)
+	ck.block = append(ck.block, block)
+	ck.wb1 = append(ck.wb1, wb1)
+	ck.wb2 = append(ck.wb2, wb2)
+}
+
+// release recycles chunks wholly below min.
+func (e *expStream) release(min uint64) {
+	drop := 0
+	for drop < len(e.chunks) &&
+		len(e.chunks[drop].gap) == expChunkLen &&
+		e.base+uint64(drop+1)*expChunkLen <= min {
+		drop++
+	}
+	if drop == 0 {
+		return
+	}
+	e.free = append(e.free, e.chunks[:drop]...)
+	e.chunks = append(e.chunks[:0], e.chunks[drop:]...)
+	e.base += uint64(drop) * expChunkLen
+}
+
+// expCursor is one lane's position in a core's expanded stream.
+type expCursor struct {
+	stream *expStream
+	pos    uint64
+}
+
+// stepExpandedN replays expanded records for coreID and returns how many
+// it consumed (0 only for a degenerate empty source). The slow path
+// replays one record — the lane-side half of System.step/accessL1/accessL2
+// (core timing, MSHR reservations, LLC and writeback traffic) with the
+// private-hierarchy outcomes read from the shared expansion; latency
+// arithmetic and call order mirror the serial path operation for
+// operation.
+//
+// The fast path replays a burst of core-local records (loc column) under
+// one scheduler step, eliding the per-record heap/gate/loop overhead. The
+// burst reproduces the serial schedule exactly — not just equivalently:
+// it continues only while the serial heap would keep picking this core
+// (its (cycle, coreID) stays lexicographically at or below the heap's
+// runner-up, which is constant during the burst because only the stepped
+// core's key ever changes), and it breaks at any record where the serial
+// step loop would act between steps (finish crossing with no cores left,
+// warmup crossing). Per-record CPU ops still run individually because ROB
+// occupancy (lane-specific miss latencies in flight) makes each record's
+// timing state-dependent.
+func (r *runner) stepExpandedN(coreID int, budget uint64) uint64 {
+	s := r.s
+	cur := s.expCursors[coreID]
+	e := cur.stream
+	for cur.pos >= e.next {
+		if !e.fill() {
+			return 0 // degenerate empty source; mirrors step's bail-out
+		}
+	}
+	off := cur.pos - e.base
+	ck := e.chunks[off/expChunkLen]
+	i := int(off % expChunkLen)
+
+	if run := uint64(ck.loc[i]); run > 1 {
+		if run > budget {
+			run = budget // never read past the shared-window limit
+		}
+		k2, id2 := r.sched.second()
+		if n := uint64(r.replayLocalRun(coreID, ck, i, int(run), k2, id2)); n > 0 {
+			cur.pos += n
+			return n
+		}
+		// 0 = the scheduled record ends the whole run; single-step it.
+	}
+	cur.pos++
+
+	core := s.cores[coreID]
+	core.AdvanceNonMem(ck.gap[i])
+	flags := ck.flags[i]
+	now := core.Cycle()
+	lat := s.cfg.L1Latency
+	if flags&expL1Hit == 0 {
+		latL2 := s.cfg.L2Latency
+		if flags&expL2Hit == 0 {
+			typ := mem.Load
+			if flags&expWrite != 0 {
+				typ = mem.RFO
+			}
+			a := repl.Access{PC: ck.pc[i], Block: ck.block[i], Core: coreID, Type: typ, Cycle: now}
+			latL2 += s.accessLLC(coreID, a, now)
+			if s.l2MSHR != nil {
+				latL2 += s.l2MSHR[coreID].reserve(now, latL2)
+			}
+			if flags&expWB1 != 0 {
+				s.writebackLLC(coreID, ck.wb1[i], now)
+			}
+		}
+		lat += latL2
+		if s.l1MSHR != nil {
+			lat += s.l1MSHR[coreID].reserve(now, lat)
+		}
+		if flags&expWB2 != 0 {
+			s.writebackLLC(coreID, ck.wb2[i], now)
+		}
+	}
+	if flags&expWrite != 0 {
+		// Stores commit without blocking retirement.
+		core.IssueMem(1)
+	} else {
+		core.IssueMem(lat)
+	}
+	return 1
+}
+
+// replayLocalRun replays up to n records of ck starting at i — all
+// core-local — for coreID, and returns how many it executed (0 means the
+// scheduled record must run as a single step instead). Per-record ops are
+// byte-for-byte the slow path's local subset: L1 hits cost L1Latency; L2
+// hits cost L1+L2 latency plus any L1-MSHR wait (per-core state, so still
+// local).
+//
+// Two burst disciplines, both bit-identical to serial:
+//
+//   - Exact (pre-warmup, or telemetry live): the burst continues only
+//     while the serial heap would keep picking this core — (cycle,
+//     coreID) lexicographically at or below the runner-up (k2, id2) — and
+//     breaks after a warmup crossing so the outer loop's
+//     maybeFinishWarmup fires on the same step as serial. The step
+//     sequence is exactly serial's, so global events that snapshot other
+//     cores (warmup reset, telemetry epochs) see identical state.
+//
+//   - Atomic (post-warmup, no telemetry): the burst runs to its end
+//     regardless of the runner-up. Equivalence: executed heap keys are
+//     non-decreasing, so shared-state steps (the only steps that touch
+//     LLC/NoC/DRAM/fabric) still execute in (cycle, coreID) order —
+//     local records can't reorder them — and per-core timing is
+//     schedule-independent. Overshooting the run's final step with local
+//     records is invisible: collect() reads only the finishedAt
+//     snapshots (captured per record, below) and shared-state counters.
+//     The one step that must not execute early is the run-terminating
+//     crossing itself — steps with smaller keys on other cores still
+//     owe shared-state work — so when this core is the last unfinished
+//     one, the burst stops short of the crossing record and lets it run
+//     as a single step at its true heap key.
+func (r *runner) replayLocalRun(coreID int, ck *expChunk, i, n int, k2 uint64, id2 int32) int {
+	s := r.s
+	core := s.cores[coreID]
+	l1Lat := s.cfg.L1Latency
+	l2Lat := l1Lat + s.cfg.L2Latency
+	id := int32(coreID)
+	done := s.finishedAt[coreID].done
+	atomic := s.warmupDone && s.telem == nil
+	lastCore := atomic && !done && r.remaining == 1
+	var mshr *mshrFile
+	if s.l1MSHR != nil {
+		mshr = s.l1MSHR[coreID]
+	}
+	// Express the finish/warmup crossings as retired-instruction budgets so
+	// the per-record checks are one counter compare: record j retires
+	// gap[j]+1 instructions. A warmup budget is only needed while this core
+	// is still below the warmup line — once it has crossed, further local
+	// records can't make maybeFinishWarmup newly fire (the other cores'
+	// counts don't move during the burst), exactly as in serial stepping.
+	const never = ^uint64(0)
+	needF := never // instructions until this core's finish crossing
+	if !done {
+		needF = s.totalTarget - s.warmupBase() - core.Instructions()
+	}
+	needW := never // instructions until this core first crosses warmup
+	if !s.warmupDone && core.Instructions() < s.cfg.Warmup {
+		needW = s.cfg.Warmup - core.Instructions()
+	}
+	gaps := ck.gap[i : i+n]
+	fls := ck.flags[i : i+n]
+	var cum uint64
+	for j := 0; j < n; j++ {
+		gap := gaps[j]
+		if atomic {
+			if lastCore && cum+uint64(gap)+1 >= needF {
+				return j // run-ending step executes at its true heap key
+			}
+		} else if j > 0 {
+			if cyc := core.Cycle(); cyc > k2 || (cyc == k2 && id > id2) {
+				return j // serial heap would pick the runner-up now
+			}
+		}
+		if fl := fls[j]; fl&expL1Hit != 0 || mshr == nil {
+			// Fixed latency — fused single-pass retire.
+			lat := l1Lat
+			if fl&expL1Hit == 0 {
+				lat = l2Lat
+			}
+			if fl&expWrite != 0 {
+				lat = 1 // stores commit without blocking retirement
+			}
+			core.Retire(gap, lat)
+		} else {
+			// L2 hit with an MSHR: the wait depends on the post-gap cycle.
+			core.AdvanceNonMem(gap)
+			lat := l2Lat + mshr.reserve(core.Cycle(), l2Lat)
+			if fl&expWrite != 0 {
+				core.IssueMem(1)
+			} else {
+				core.IssueMem(lat)
+			}
+		}
+		cum += uint64(gap) + 1
+		if cum >= needF {
+			s.finishedAt[coreID] = recorded{
+				done:   true,
+				cycles: core.Cycles(),
+				instrs: core.Instructions(),
+				ipc:    core.IPC(),
+			}
+			done = true
+			needF = never
+			if r.remaining--; r.remaining == 0 {
+				return j + 1 // exact mode: the whole run ends on this step
+			}
+		}
+		if cum >= needW {
+			return j + 1 // outer loop must run maybeFinishWarmup now
+		}
+	}
+	return n
+}

@@ -98,6 +98,86 @@ func goldenRun(t *testing.T, c goldenCell) *Result {
 	return res
 }
 
+// TestGoldenBatchedMatchesSerial is the bit-identity guard for lockstep
+// batching: the golden grid's cells, grouped by (model, cores) into
+// multi-policy batches, must hash to the exact same values the serial path
+// pins in goldenHashes — per lane, for both sharing tiers. Tier 1 shares
+// only the raw record stream; the tier-2 pass additionally shares the
+// private L1/L2 hierarchy (prefetchers off) and is checked batched vs
+// serial since those cells have no pinned hash.
+func TestGoldenBatchedMatchesSerial(t *testing.T) {
+	type group struct {
+		cells []goldenCell
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, c := range goldenGrid {
+		key := fmt.Sprintf("%s/c%d/pc=%v", c.model, c.cores, c.trackPC)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.cells = append(g.cells, c)
+	}
+	for _, key := range order {
+		g := groups[key]
+		c0 := g.cells[0]
+		t.Run(key, func(t *testing.T) {
+			t.Parallel()
+			cfg := ScaledConfig(c0.cores, 8)
+			cfg.Instructions = 30_000
+			cfg.Warmup = 6_000
+			cfg.TrackPCSlices = c0.trackPC
+			m, ok := workload.ByName(c0.model)
+			if !ok {
+				t.Fatalf("model %s missing", c0.model)
+			}
+			mix := workload.Homogeneous(m.Scale(8, cfg.SetIndexBits()), c0.cores, 5)
+
+			variants := make([]Variant, len(g.cells))
+			for i, c := range g.cells {
+				variants[i] = Variant{Policy: c.policy}
+			}
+
+			// Tier 1: default prefetchers, against the pinned hashes.
+			batched, err := RunBatch(cfg, variants, mix)
+			if err != nil {
+				t.Fatalf("tier-1 batch: %v", err)
+			}
+			for i, c := range g.cells {
+				got := goldenHash(t, batched[i])
+				if want := goldenHashes[goldenKey(c)]; got != want {
+					t.Errorf("tier-1 lane %s drifted from serial golden:\n got %s\nwant %s", goldenKey(c), got, want)
+				}
+			}
+
+			// Tier 2: prefetchers off, against fresh serial runs.
+			t2 := cfg
+			t2.L1Prefetcher, t2.L2Prefetcher = "none", "none"
+			if !tier2Eligible(t2) {
+				t.Fatal("prefetcher-free config should be tier-2 eligible")
+			}
+			batched, err = RunBatch(t2, variants, mix)
+			if err != nil {
+				t.Fatalf("tier-2 batch: %v", err)
+			}
+			for i, c := range g.cells {
+				sc := t2
+				sc.Policy = c.policy
+				serial, err := RunMix(sc, mix)
+				if err != nil {
+					t.Fatalf("tier-2 serial %s: %v", c.policy.Key(), err)
+				}
+				if got, want := goldenHash(t, batched[i]), goldenHash(t, serial); got != want {
+					t.Errorf("tier-2 lane %s differs from serial:\n got %s\nwant %s", goldenKey(c), got, want)
+				}
+			}
+		})
+	}
+}
+
 // TestGoldenResultHashes is the bit-identity guard for the hot-path
 // optimizations: every cell of the grid must hash exactly to the value
 // captured before the refactor.

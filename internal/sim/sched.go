@@ -45,6 +45,22 @@ func (h *coreHeap) fixMin(newCycle uint64) {
 	h.siftDown(0)
 }
 
+// second returns the runner-up (cycle, coreID) after the root — the key
+// the root's core must stay at or below (lexicographically) to remain the
+// scheduler's pick. With a single core there is no runner-up and the root
+// is always picked: (max, max) is returned so any key qualifies.
+func (h *coreHeap) second() (uint64, int32) {
+	n := len(h.id)
+	if n < 2 {
+		return ^uint64(0), int32(1<<31 - 1)
+	}
+	m := 1
+	if n > 2 && h.less(2, 1) {
+		m = 2
+	}
+	return h.cycle[m], h.id[m]
+}
+
 func (h *coreHeap) less(i, j int) bool {
 	return h.cycle[i] < h.cycle[j] || (h.cycle[i] == h.cycle[j] && h.id[i] < h.id[j])
 }

@@ -69,6 +69,12 @@ type System struct {
 	// Epoch telemetry (nil when Config.TelemetryEpoch is zero; the hot path
 	// pays one nil check).
 	telem *telemetry
+
+	// expCursors, when non-nil, makes this system a batched tier-2 lane:
+	// steps replay pre-expanded private-hierarchy outcomes from a shared
+	// stream (see expStream) instead of simulating L1/L2 locally. Set only
+	// by the batch runner.
+	expCursors []*expCursor
 }
 
 type recorded struct {
@@ -449,81 +455,18 @@ func (s *System) Run() (*Result, error) { return s.RunContext(context.Background
 // Done channel is nil) costs one nil check per step, so the
 // non-cancellable path is unchanged.
 func (s *System) RunContext(ctx context.Context) (*Result, error) {
-	var cancelCh <-chan struct{}
-	if ctx != nil {
-		cancelCh = ctx.Done()
+	r, err := s.newRunner(ctx)
+	if err != nil {
+		return nil, err
 	}
-	var activeIDs []int
-	for c := range s.readers {
-		if s.readers[c] != nil {
-			activeIDs = append(activeIDs, c)
-		} else {
-			s.finishedAt[c] = recorded{done: true}
-		}
+	done, _, err := r.run(^uint64(0))
+	if err != nil {
+		return nil, err
 	}
-	active := len(activeIDs)
-	if active == 0 {
-		return nil, fmt.Errorf("sim: no active cores")
+	if !done { // ungated runs only stop on done or error
+		return nil, fmt.Errorf("sim: run stalled before completion")
 	}
-	if s.cfg.Warmup == 0 {
-		s.warmupDone = true
-	}
-
-	// Earliest-core scheduling via an indexed min-heap on (cycle, coreID):
-	// O(log cores) per step instead of the old O(cores) scan, with the same
-	// deterministic lowest-ID tie-break (see coreHeap). Finished cores keep
-	// running — their traces loop so contention persists — so heap
-	// membership is fixed for the whole run and only the stepped core's key
-	// ever changes.
-	sched := newCoreHeap(activeIDs, func(c int) uint64 { return s.cores[c].Cycle() })
-
-	remaining := active
-	guard := uint64(0)
-	guardMax := 64 * s.totalTarget * uint64(active)
-	for remaining > 0 {
-		if cancelCh != nil && guard&1023 == 0 {
-			select {
-			case <-cancelCh:
-				return nil, fmt.Errorf("sim: run cancelled after %d steps: %w", guard, ctx.Err())
-			default:
-			}
-		}
-		coreID := sched.min()
-		s.step(coreID)
-		sched.fixMin(s.cores[coreID].Cycle())
-		if !s.finishedAt[coreID].done && s.cores[coreID].Instructions()+s.warmupBase() >= s.totalTarget {
-			core := s.cores[coreID]
-			s.finishedAt[coreID] = recorded{
-				done:   true,
-				cycles: core.Cycles(),
-				instrs: core.Instructions(),
-				ipc:    core.IPC(),
-			}
-			remaining--
-		}
-		// Warmup can only complete on a step where the stepped core itself
-		// crossed the budget (every other core's count is unchanged), so
-		// skip the all-cores scan otherwise.
-		if !s.warmupDone && s.cores[coreID].Instructions() >= s.cfg.Warmup {
-			s.maybeFinishWarmup()
-		}
-		if guard++; guard > guardMax && guardMax > 0 {
-			detail := ""
-			for c := range s.cores {
-				if s.readers[c] != nil {
-					detail += fmt.Sprintf(" core%d[i=%d c=%d done=%v]", c, s.cores[c].Instructions(), s.cores[c].Cycles(), s.finishedAt[c].done)
-				}
-			}
-			return nil, fmt.Errorf("sim: run exceeded %d steps without completing:%s", guardMax, detail)
-		}
-	}
-	if s.telem != nil {
-		s.telem.flush(s, true)
-		if s.telem.err != nil {
-			return nil, fmt.Errorf("sim: telemetry sink: %w", s.telem.err)
-		}
-	}
-	return s.collect(), nil
+	return s.finishRun()
 }
 
 // warmupBase returns how many instructions of a core's target were consumed

@@ -26,6 +26,14 @@ func (r *Rand) Fork(tag uint64) *Rand {
 	return NewRand(Mix64(r.state ^ Mix64(tag)))
 }
 
+// Clone returns an independent copy of the generator at its current
+// position: the clone and the original produce the same future stream and
+// never affect each other.
+func (r *Rand) Clone() *Rand {
+	c := *r
+	return &c
+}
+
 // Uint64 returns the next value in the stream.
 func (r *Rand) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15
@@ -121,6 +129,16 @@ func NewGeom(r *Rand, mean float64) *Geom {
 	return g
 }
 
+// CloneWith returns a copy of the sampler drawing from r, which callers
+// pass as the clone of the original parent stream (Geom shares its parent's
+// Rand, so cloning the sampler alone would leave it coupled to the
+// original).
+func (g *Geom) CloneWith(r *Rand) *Geom {
+	c := *g
+	c.r = r
+	return &c
+}
+
 // Next returns the next sample. Like Rand.Geometric with a non-positive
 // mean, it returns zero without consuming the stream.
 func (g *Geom) Next() int {
@@ -177,6 +195,19 @@ func NewZipf(r *Rand, n uint64, s float64) *Zipf {
 		z.hIntMemo[i] = math.NaN()
 	}
 	return z
+}
+
+// Clone returns an independent copy of the sampler at its current position:
+// same future samples, no shared mutable state. The private Rand and the
+// lazily-filled memo tables are deep-copied (memo entries only replay
+// bit-identical values, but the tables are written on first use, so clones
+// stepping concurrently must not share them).
+func (z *Zipf) Clone() *Zipf {
+	c := *z
+	c.r = z.r.Clone()
+	c.hMemo = append([]float64(nil), z.hMemo...)
+	c.hIntMemo = append([]float64(nil), z.hIntMemo...)
+	return &c
 }
 
 func (z *Zipf) h(x float64) float64 { return math.Exp(-z.s * math.Log(x)) }
