@@ -11,7 +11,7 @@ BENCH_TIME ?= 10x
 BENCH_COUNT ?= 3
 BENCH_TOLERANCE ?= 0.10
 
-.PHONY: build test race race-serve lint verify bench bench-quick bench-gate pgo serve
+.PHONY: build test race race-serve lint verify bench bench-quick bench-gate trace-sample pgo serve
 
 # Tier-1 verification (ROADMAP.md): build + tests, then the race detector
 # and static checks. The experiment harness fans simulations out onto a
@@ -33,7 +33,7 @@ race:
 	$(GO) test -race ./...
 
 race-serve:
-	$(GO) test -race -short ./internal/serve/... ./internal/store/ ./internal/dist/
+	$(GO) test -race -short ./internal/serve/... ./internal/store/ ./internal/dist/ ./internal/obs/trace/
 
 # lint: go vet plus a gofmt cleanliness check (fails listing unformatted
 # files; run `gofmt -w` on them to fix).
@@ -53,9 +53,16 @@ bench-quick:
 
 # bench-gate: same benchmarks, compared against the committed baseline;
 # fails on a throughput regression beyond BENCH_TOLERANCE (default 10%).
+# The raw benchmark output lands in BENCH_gate.txt so CI can upload it as
+# an artifact even when the gate fails.
 bench-gate:
-	$(GO) test -run '^$$' -bench $(BENCH_QUICK) -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) . \
-		| $(GO) run ./scripts/benchcmp -check -baseline BENCH_sim.json -tolerance $(BENCH_TOLERANCE)
+	$(GO) test -run '^$$' -bench $(BENCH_QUICK) -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) . > BENCH_gate.txt
+	$(GO) run ./scripts/benchcmp -check -baseline BENCH_sim.json -tolerance $(BENCH_TOLERANCE) < BENCH_gate.txt
+
+# trace-sample: run one traced job through an in-process service and write
+# its span journal (render with drishti-sim -trace-timeline).
+trace-sample:
+	$(GO) run ./scripts/tracesample -out trace-sample.ndjson
 
 # pgo: regenerate default.pgo from the throughput benchmarks plus a trimmed
 # representative policy×mix sweep. Apply it explicitly with

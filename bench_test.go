@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"testing"
+	"time"
 
 	"drishti"
 )
@@ -211,6 +212,63 @@ func BenchmarkBatchedSweep(b *testing.B) {
 		}
 		b.ReportMetric(effective*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
 	})
+}
+
+// phaseCount is a minimal sim phase observer (the hook distributed
+// tracing attaches): it only accumulates, like the span-attribute
+// collector in internal/dist does.
+type phaseCount struct {
+	n int
+	d time.Duration
+}
+
+func (p *phaseCount) ObservePhase(phase string, lane int, d time.Duration) {
+	p.n++
+	p.d += d
+}
+
+// BenchmarkTracedBatchedSweep is BenchmarkBatchedSweep/batched with a
+// phase observer attached — the tracing-ON cost of the sim-side hooks.
+// EXPERIMENTS.md §1.7 records the measured overhead (target <2%).
+// Deliberately outside the bench-gate set: the gate pins the tracing-off
+// path, which is a single nil check.
+func BenchmarkTracedBatchedSweep(b *testing.B) {
+	const cores = 4
+	cfg := drishti.ScaledConfig(cores, 8)
+	cfg.Instructions = 200_000
+	cfg.Warmup = 50_000
+	cfg.L1Prefetcher = "none"
+	cfg.L2Prefetcher = "none"
+	model, _ := drishti.ModelByName("605.mcf_s-1554B")
+	mix := drishti.Homogeneous(model.Scale(8, cfg.SetIndexBits()), cores, 1)
+	specs := []drishti.PolicySpec{
+		{Name: "lru"}, {Name: "dip"}, {Name: "srrip"},
+		{Name: "hawkeye"}, {Name: "hawkeye", Drishti: true}, {Name: "mockingjay", Drishti: true},
+	}
+	perRun := cfg.Instructions + cfg.Warmup
+	effective := float64(uint64(cores)*perRun + uint64(cores)*uint64(len(specs)+1)*perRun)
+
+	obs := &phaseCount{}
+	cfg.Phases = obs
+	variants := make([]drishti.BatchVariant, 0, cores+len(specs))
+	for c := 0; c < cores; c++ {
+		variants = append(variants, drishti.BatchVariant{
+			Policy: drishti.PolicySpec{Name: "lru"}, Alone: true, AloneCore: c,
+		})
+	}
+	for _, s := range specs {
+		variants = append(variants, drishti.BatchVariant{Policy: s})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := drishti.RunBatch(cfg, variants, mix); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(effective*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+	if obs.n == 0 {
+		b.Fatal("phase observer never fired")
+	}
 }
 
 // BenchmarkTraceGeneration measures workload-generator throughput.

@@ -28,12 +28,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"drishti/internal/buildinfo"
 	"drishti/internal/dist"
 	"drishti/internal/obs"
+	"drishti/internal/obs/trace"
 	"drishti/internal/serve"
 )
 
@@ -55,6 +57,9 @@ func run() int {
 		leaseTTL     = flag.Duration("lease-ttl", 30*time.Second, "fleet: reassign a cell if a worker holds it longer than this")
 		workerTTL    = flag.Duration("worker-ttl", 45*time.Second, "fleet: declare a worker dead after this much heartbeat silence")
 		fleetRetries = flag.Int("fleet-retries", 3, "fleet: reassignments per cell before the job fails")
+
+		traceJournal = flag.String("trace-journal", "auto",
+			"span journal `file` for distributed tracing (auto = <store>/trace.journal; off disables tracing)")
 	)
 	flag.Parse()
 	if *version {
@@ -62,6 +67,29 @@ func run() int {
 		return 0
 	}
 	log := obs.NewLogger(os.Stderr, "drishti-served", *quiet)
+
+	// Distributed tracing: every job gets a trace ID, spans from the
+	// coordinator and from workers are collected in memory (served at
+	// GET /v1/jobs/{id}/trace) and persisted to an NDJSON journal next to
+	// the store (render it with drishti-sim -trace-timeline).
+	var rec *trace.Recorder
+	if path := *traceJournal; path != "off" && path != "" {
+		if path == "auto" {
+			path = filepath.Join(*dir, "trace.journal")
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "drishti-served:", err)
+			return 1
+		}
+		j, err := trace.OpenJournal(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "drishti-served:", err)
+			return 1
+		}
+		defer j.Close()
+		rec = trace.NewRecorder("served", j)
+		log.Info("tracing enabled", "journal", path)
+	}
 
 	// In fleet mode the coordinator opens its own handle on the same
 	// store directory (the store is multi-process-safe by design), so it
@@ -76,6 +104,7 @@ func run() int {
 			MaxCellRetries: *fleetRetries,
 			Logger:         log,
 			Registry:       obs.Default(),
+			Trace:          rec,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "drishti-served:", err)
@@ -91,6 +120,7 @@ func run() int {
 		MaxRetries:     *retries,
 		Logger:         log,
 		Registry:       obs.Default(),
+		Trace:          rec,
 	}
 	if coord != nil {
 		opts.Distributor = coord

@@ -9,12 +9,19 @@
 // -telemetry records the per-epoch time series (slice miss rates, predictor
 // bank activity, DSC utilization, NoC traffic) without changing the result;
 // see EXPERIMENTS.md "Observability" for the schema.
+//
+// -trace-timeline renders a span journal written by drishti-served (the
+// trace.journal next to its store) as per-node swimlane timelines with the
+// critical path highlighted, then exits:
+//
+//	drishti-sim -trace-timeline drishti.store/trace.journal
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"os"
 	"sort"
@@ -24,6 +31,7 @@ import (
 	"drishti/internal/dram"
 	"drishti/internal/metrics"
 	"drishti/internal/obs"
+	"drishti/internal/obs/trace"
 	"drishti/internal/policies"
 	"drishti/internal/sim"
 	"drishti/internal/workload"
@@ -54,12 +62,20 @@ func main() {
 		telemetry  = flag.String("telemetry", "", "write per-epoch telemetry to `file`")
 		telemEpoch = flag.Uint64("telemetry-epoch", 50_000, "LLC demand loads per telemetry epoch")
 		telemFmt   = flag.String("telemetry-format", "ndjson", "telemetry format: ndjson or csv")
+
+		traceTimeline = flag.String("trace-timeline", "", "render the span journal `file` as per-node timelines and exit")
 	)
 	flag.Parse()
 	log = obs.NewLogger(os.Stderr, "drishti-sim", *quiet)
 
 	if *version {
 		fmt.Println("drishti-sim", buildinfo.Read())
+		return
+	}
+	if *traceTimeline != "" {
+		if err := renderTraceTimelines(os.Stdout, *traceTimeline); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -156,6 +172,33 @@ func main() {
 		fmt.Printf("  WS=%.4f HS=%.4f unfairness=%.3f max-slowdown=%.1f%%\n",
 			m.WS, m.HS, m.Unfairness, m.MaxSlowdown()*100)
 	}
+}
+
+// renderTraceTimelines reads a span journal and renders one timeline per
+// trace, in order of each trace's first appearance in the journal.
+func renderTraceTimelines(w io.Writer, path string) error {
+	spans, err := trace.ReadJournal(path)
+	if err != nil {
+		return err
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("%s: journal holds no spans", path)
+	}
+	var order []string
+	byTrace := make(map[string][]trace.Span)
+	for _, sp := range spans {
+		if _, ok := byTrace[sp.TraceID]; !ok {
+			order = append(order, sp.TraceID)
+		}
+		byTrace[sp.TraceID] = append(byTrace[sp.TraceID], sp)
+	}
+	for i, id := range order {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		trace.RenderTimeline(w, byTrace[id])
+	}
+	return nil
 }
 
 func buildMix(cfg sim.Config, kind, wl string, cores, scale int, seed uint64) (workload.Mix, error) {

@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"time"
 
+	"drishti/internal/obs/trace"
 	"drishti/internal/policies"
 	"drishti/internal/serve/api"
 	"drishti/internal/sim"
@@ -54,6 +56,44 @@ func planCell(spec api.CellSpec) (cellPlan, error) {
 	return cellPlan{spec: spec, cfg: cfg, mix: mix}, nil
 }
 
+// phaseTimes accumulates the simulator's phase-timing callbacks for one
+// batch (sim.PhaseObserver). Lane -1 phases are shared across the batch;
+// non-negative lanes index the batch's variants.
+type phaseTimes struct {
+	shared map[string]time.Duration
+	lane   map[int]time.Duration // accumulated "lane-run" per lane
+}
+
+func newPhaseTimes() *phaseTimes {
+	return &phaseTimes{shared: make(map[string]time.Duration), lane: make(map[int]time.Duration)}
+}
+
+func (p *phaseTimes) ObservePhase(phase string, lane int, d time.Duration) {
+	if lane < 0 {
+		p.shared[phase] += d
+		return
+	}
+	p.lane[lane] += d
+}
+
+// stampShared copies the batch's shared phase timings (workload gen,
+// private-hierarchy replay, lockstep barriers) onto a span as attributes.
+func (p *phaseTimes) stampShared(sp *trace.ActiveSpan) {
+	for _, ph := range []string{"workload-gen", "private-replay", "barrier"} {
+		if d, ok := p.shared[ph]; ok {
+			sp.SetAttr("phase."+ph, d.Round(time.Microsecond).String())
+		}
+	}
+}
+
+// parentAt indexes a possibly-nil parent slice (tracing off ⇒ nil).
+func parentAt(parents []trace.SpanContext, i int) trace.SpanContext {
+	if i < len(parents) {
+		return parents[i]
+	}
+	return trace.SpanContext{}
+}
+
 // executeCellGroup resolves a set of cells sharing one batch group with a
 // single lockstep simulation. Results and fromStore flags are aligned with
 // specs. Store hits are served per cell as usual; only the misses become
@@ -61,7 +101,14 @@ func planCell(spec api.CellSpec) (cellPlan, error) {
 // fail or requeue every unresolved cell, exactly as if each had failed
 // alone (RunBatchContext reports the lowest-indexed failing lane, matching
 // the serial path's error ordering).
-func executeCellGroup(ctx context.Context, st *store.Store, log *slog.Logger, specs []api.CellSpec) ([]*sim.Result, []bool, error) {
+//
+// parents carries one span context per spec (the cell's lease span, or the
+// job span on the coordinator's local fallback); with tracing off both
+// parents and tr are nil and the function emits nothing. The batch itself
+// gets a "batch-group" span carrying the shared phase timings, each lane a
+// "lane" span under its own cell's parent, and store traffic "store-hit" /
+// "store-write" spans.
+func executeCellGroup(ctx context.Context, st *store.Store, log *slog.Logger, specs []api.CellSpec, parents []trace.SpanContext, tr *trace.Tracer) ([]*sim.Result, []bool, error) {
 	results := make([]*sim.Result, len(specs))
 	fromStore := make([]bool, len(specs))
 
@@ -88,6 +135,9 @@ func executeCellGroup(ctx context.Context, st *store.Store, log *slog.Logger, sp
 			return nil, nil, err
 		}
 		if hit {
+			hs := tr.Start(parentAt(parents, i), "store-hit")
+			hs.SetAttr("key", spec.Key)
+			hs.End()
 			results[i] = &cached
 			fromStore[i] = true
 			continue
@@ -103,7 +153,7 @@ func executeCellGroup(ctx context.Context, st *store.Store, log *slog.Logger, sp
 		// A single miss gains nothing from the batch machinery; run it on
 		// the plain path (bit-identical by the batch invariant).
 		i := lanes[0]
-		res, hit, err := executeCell(ctx, st, log, specs[i])
+		res, hit, err := executeCell(ctx, st, log, specs[i], parentAt(parents, i), tr)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -111,16 +161,57 @@ func executeCellGroup(ctx context.Context, st *store.Store, log *slog.Logger, sp
 		return results, fromStore, nil
 	}
 
+	var pt *phaseTimes
+	gspan := tr.Start(parentAt(parents, lanes[0]), "batch-group")
+	if gspan != nil {
+		gspan.SetAttr("lanes", fmt.Sprint(len(lanes)))
+		gspan.SetAttr("cells", fmt.Sprint(len(specs)))
+		pt = newPhaseTimes()
+		base.cfg.Phases = pt // observational only; excluded from Config.Key
+	}
+	// One "lane" span per batch lane, parented to that cell's own lease
+	// span so each lease's subtree stays self-contained even though the K
+	// lanes share one simulation.
+	lspans := make([]*trace.ActiveSpan, len(lanes))
+	for k, i := range lanes {
+		ls := tr.Start(parentAt(parents, i), "lane")
+		ls.SetAttr("lane", fmt.Sprint(k))
+		ls.SetAttr("policy", vars[k].Policy.DisplayName())
+		lspans[k] = ls
+	}
 	batch, err := sim.RunBatchContext(ctx, base.cfg, vars, base.mix)
 	if err != nil {
+		for _, ls := range lspans {
+			ls.SetAttr("error", err.Error())
+			ls.End()
+		}
+		if gspan != nil {
+			gspan.SetAttr("error", err.Error())
+			gspan.End()
+		}
 		return nil, nil, err
 	}
 	for k, i := range lanes {
 		results[i] = batch[k]
+		ls := lspans[k]
+		if pt != nil {
+			if d, ok := pt.lane[k]; ok {
+				ls.SetAttr("phase.lane-run", d.Round(time.Microsecond).String())
+			}
+		}
+		ls.End()
+		ws := tr.Start(ls.Context(), "store-write")
+		ws.SetAttr("key", specs[i].Key)
 		if err := st.Put(specs[i].Key, batch[k]); err != nil {
 			// The result is good; only durability failed. Log and serve it.
 			log.Warn("store put failed", "err", err)
+			ws.SetAttr("error", err.Error())
 		}
+		ws.End()
+	}
+	if gspan != nil {
+		pt.stampShared(gspan)
+		gspan.End()
 	}
 	return results, fromStore, nil
 }

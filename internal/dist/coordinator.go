@@ -20,10 +20,12 @@ import (
 	"fmt"
 	"log/slog"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"drishti/internal/obs"
+	"drishti/internal/obs/trace"
 	"drishti/internal/serve/api"
 	"drishti/internal/sim"
 	"drishti/internal/store"
@@ -68,6 +70,13 @@ type CoordinatorOptions struct {
 
 	// Registry receives fleet metrics (default the process registry).
 	Registry *obs.Registry
+
+	// Trace, when non-nil, enables distributed tracing: the coordinator
+	// opens decompose and lease spans, propagates trace context on lease
+	// grants, and records the spans workers ship back on completion.
+	// Share the recorder with the owning serve.Service so coordinator and
+	// worker spans join the job's tree.
+	Trace *trace.Recorder
 }
 
 func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
@@ -128,9 +137,11 @@ type cellState struct {
 	lastErr   string
 
 	// Lease fields; zero when pending.
-	leaseID  string
-	workerID string
-	deadline time.Time
+	leaseID   string
+	workerID  string
+	deadline  time.Time
+	grantedAt time.Time         // lease-grant instant, for the latency histogram
+	span      *trace.ActiveSpan // lease span, ended at release; nil when tracing is off
 
 	resolved bool
 }
@@ -146,6 +157,7 @@ type fleetJob struct {
 	err       error
 	done      chan struct{}
 	abandoned bool
+	trace     trace.SpanContext // job span context; lease spans parent here
 }
 
 func (j *fleetJob) finished() bool {
@@ -175,6 +187,8 @@ type Coordinator struct {
 	gWorkers, gLeases, gPending            *obs.Gauge
 	cExpired, cCompleted, cRetried, cLocal *obs.Counter
 	cResolved, cFromStore                  *obs.Counter
+	hLeaseLatency                          *obs.Histogram
+	gBatchLanes                            *obs.Gauge
 }
 
 // NewCoordinator opens the store and prepares an empty fleet. The
@@ -205,6 +219,10 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 		cLocal:     reg.Counter("fleet_cells_local"),
 		cResolved:  reg.Counter("fleet_cells_resolved"),
 		cFromStore: reg.Counter("fleet_cells_from_store"),
+		// Grant→complete wall time; sweep cells run tens of ms to tens of
+		// seconds, so 100ms buckets over 64 slots cover the useful range.
+		hLeaseLatency: reg.Histogram("fleet_lease_latency_ms", 0, 100, 64),
+		gBatchLanes:   reg.Gauge("worker_batch_lane_count"),
 	}, nil
 }
 
@@ -225,10 +243,20 @@ func (c *Coordinator) RunJob(ctx context.Context, jobID string, req api.JobReque
 		return nil, api.ErrNoWorkers
 	}
 
+	// Decompose span (covers the per-cell store checks); the job span
+	// context arrives from the service via ctx and parents every lease.
+	parent := trace.FromContext(ctx)
+	dspan := c.opts.Trace.Tracer().Start(parent, "decompose")
 	job, cells, err := c.decompose(jobID, req)
 	if err != nil {
+		dspan.SetAttr("error", err.Error())
+		dspan.End()
 		return nil, err
 	}
+	job.trace = parent
+	dspan.SetAttr("cells", strconv.Itoa(len(job.results)))
+	dspan.SetAttr("storeHits", strconv.Itoa(job.hits))
+	dspan.End()
 	if job.remaining == 0 { // whole sweep served from the store
 		return c.assemble(job), nil
 	}
@@ -399,6 +427,8 @@ func (c *Coordinator) sweepLocked(now time.Time) {
 // requeueLocked returns a leased cell to the pending queue with backoff,
 // or fails its job once the retry budget is spent.
 func (c *Coordinator) requeueLocked(cl *cellState, now time.Time, why string) {
+	cl.span.SetAttr("status", "requeued")
+	cl.span.SetAttr("why", why)
 	c.releaseLocked(cl)
 	if cl.job.abandoned || cl.job.finished() {
 		return
@@ -420,8 +450,13 @@ func (c *Coordinator) requeueLocked(cl *cellState, now time.Time, why string) {
 	c.gPending.Set(float64(len(c.pending)))
 }
 
-// releaseLocked clears a cell's lease bookkeeping.
+// releaseLocked clears a cell's lease bookkeeping and ends the lease
+// span (callers stamp a status attr first when the outcome matters).
 func (c *Coordinator) releaseLocked(cl *cellState) {
+	if cl.span != nil {
+		cl.span.End()
+		cl.span = nil
+	}
 	if cl.leaseID == "" {
 		return
 	}
@@ -544,7 +579,16 @@ func (c *Coordinator) runLocal(ctx context.Context, job *fleetJob) {
 
 		c.log.Info("running cells locally (no live workers)", "job", job.id,
 			"cell", cl.spec.Index, "group", len(group))
-		results, fromStore, err := executeCellGroup(ctx, c.st, c.log, specs)
+		// Locally-adopted cells have no lease span; their lanes hang
+		// directly off the job span.
+		var parents []trace.SpanContext
+		if job.trace.Valid() {
+			parents = make([]trace.SpanContext, len(specs))
+			for i := range parents {
+				parents[i] = job.trace
+			}
+		}
+		results, fromStore, err := executeCellGroup(ctx, c.st, c.log, specs, parents, c.opts.Trace.Tracer())
 		if err != nil {
 			if ctx.Err() != nil {
 				return // job context cancelled; RunJob's select settles it
@@ -633,8 +677,11 @@ func (c *Coordinator) lease(workerID string, maxN int) ([]api.Lease, error) {
 		maxN = 1
 	}
 	n := min(maxN, w.capacity-len(w.leases))
+	tr := c.opts.Trace.Tracer()
 	var out []api.Lease
-	group := "" // pack cells of one batch group onto the same worker
+	group := ""        // pack cells of one batch group onto the same worker
+	groupLanes := 0    // cells granted for the current group
+	maxGroupLanes := 0 // largest pack in this grant, for the lane gauge
 	for len(out) < n {
 		cl := c.popPendingLocked(now, nil, group)
 		if cl == nil && group != "" {
@@ -644,20 +691,41 @@ func (c *Coordinator) lease(workerID string, maxN int) ([]api.Lease, error) {
 		if cl == nil {
 			break
 		}
+		if cl.groupKey == group {
+			groupLanes++
+		} else {
+			groupLanes = 1
+		}
+		if groupLanes > maxGroupLanes {
+			maxGroupLanes = groupLanes
+		}
 		group = cl.groupKey
 		c.lseq++
 		cl.leaseID = fmt.Sprintf("l%06d", c.lseq)
 		cl.workerID = w.id
 		cl.deadline = now.Add(c.opts.LeaseTTL)
+		cl.grantedAt = now
 		cl.attempts++
+		sp := tr.Start(cl.job.trace, "lease")
+		sp.SetAttr("worker", w.id)
+		sp.SetAttr("cell", strconv.Itoa(cl.spec.Index))
+		sp.SetAttr("policy", cl.policy)
+		sp.SetAttr("mix", cl.mixName)
+		cl.span = sp
 		c.leases[cl.leaseID] = cl
 		w.leases[cl.leaseID] = cl
+		sc := sp.Context()
 		out = append(out, api.Lease{
 			ID:             cl.leaseID,
 			JobID:          cl.job.id,
 			Cell:           cl.spec,
 			DeadlineUnixMS: cl.deadline.UnixMilli(),
+			TraceID:        sc.TraceID,
+			SpanID:         sc.SpanID,
 		})
+	}
+	if len(out) > 0 {
+		c.gBatchLanes.Set(float64(maxGroupLanes))
 	}
 	c.gLeases.Set(float64(len(c.leases)))
 	return out, nil
@@ -690,8 +758,18 @@ func (c *Coordinator) complete(req api.CompleteRequest) bool {
 	}
 	key := cl.spec.Key
 	c.cCompleted.Inc()
+	if !cl.grantedAt.IsZero() {
+		c.hLeaseLatency.Observe(time.Since(cl.grantedAt).Milliseconds())
+	}
+	cl.span.SetAttr("status", "ok")
+	cl.span.SetAttr("fromStore", strconv.FormatBool(req.FromStore))
 	accepted := c.resolveCellLocked(cl, req.Result, req.FromStore)
 	c.mu.Unlock()
+	// Adopt the worker-side spans into the job's tree (journal + trace
+	// endpoint). Shipped on the group's first completion; see the worker.
+	for i := range req.Spans {
+		c.opts.Trace.Record(&req.Spans[i])
+	}
 	if !accepted {
 		return false
 	}
@@ -726,6 +804,9 @@ func (c *Coordinator) status() api.FleetStatus {
 	if st.CellsResolved > 0 {
 		st.StoreHitRatio = float64(st.CellsFromStore) / float64(st.CellsResolved)
 	}
+	ls := c.hLeaseLatency.Snapshot()
+	st.LeaseLatency = api.LatencyStats{Count: ls.Count, Mean: ls.Mean, P50: ls.P50, P99: ls.P99}
+	st.BatchLaneCount = int(c.gBatchLanes.Value())
 	for _, w := range c.workers {
 		st.Workers = append(st.Workers, api.WorkerStatus{
 			ID:             w.id,

@@ -43,6 +43,7 @@ func newFleet(t *testing.T, copts dist.CoordinatorOptions) *fleet {
 		Workers:     2,
 		Registry:    reg,
 		Distributor: coord,
+		Trace:       copts.Trace, // shared recorder, like drishti-served -fleet
 	})
 	if err != nil {
 		t.Fatal(err)

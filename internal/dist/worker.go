@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"drishti/internal/obs"
+	"drishti/internal/obs/trace"
 	"drishti/internal/serve/api"
 	"drishti/internal/sim"
 	"drishti/internal/store"
@@ -184,45 +185,89 @@ func (w *Worker) runLeaseGroup(ctx context.Context, ls []api.Lease) {
 	}
 	w.cBatchGroups.Inc()
 	w.log.Info("lease group accepted", "job", ls[0].JobID, "cells", len(ls))
+	// Tracing is on exactly when the coordinator propagated trace context
+	// on the leases. Spans buffer locally and ship on the group's first
+	// completion, so the coordinator reassembles the full tree without any
+	// extra round trips.
+	var (
+		buf     *trace.Buffer
+		tr      *trace.Tracer
+		parents []trace.SpanContext
+		gspan   *trace.ActiveSpan
+	)
+	if ls[0].TraceID != "" {
+		buf = &trace.Buffer{}
+		tr = trace.NewTracer(w.workerID(), buf)
+		gspan = tr.Start(trace.SpanContext{TraceID: ls[0].TraceID, SpanID: ls[0].SpanID}, "lease-group")
+		gspan.SetAttr("leases", strconv.Itoa(len(ls)))
+		parents = make([]trace.SpanContext, len(ls))
+		for i, l := range ls {
+			parents[i] = trace.SpanContext{TraceID: l.TraceID, SpanID: l.SpanID}
+		}
+	}
 	specs := make([]api.CellSpec, len(ls))
 	for i, l := range ls {
 		specs[i] = l.Cell
 	}
-	results, fromStore, err := executeCellGroup(ctx, w.st, w.log, specs)
+	results, fromStore, err := executeCellGroup(ctx, w.st, w.log, specs, parents, tr)
 	if err != nil {
 		if ctx.Err() != nil {
 			return // killed mid-batch; the leases expire and are reassigned
 		}
-		for _, l := range ls {
+		gspan.SetAttr("error", err.Error())
+		gspan.End()
+		spans := buf.Drain()
+		for i, l := range ls {
 			w.cFailed.Inc()
-			w.completeWithRetry(ctx, api.CompleteRequest{
+			req := api.CompleteRequest{
 				WorkerID: w.workerID(), LeaseID: l.ID, Error: err.Error(),
-			})
+			}
+			if i == 0 {
+				req.Spans = spans
+			}
+			w.completeWithRetry(ctx, req)
 		}
 		return
 	}
+	gspan.End()
+	spans := buf.Drain()
 	for i, l := range ls {
 		w.cExecuted.Inc()
 		if fromStore[i] {
 			w.cFromStore.Inc()
 		}
-		w.completeWithRetry(ctx, api.CompleteRequest{
+		req := api.CompleteRequest{
 			WorkerID: w.workerID(), LeaseID: l.ID, FromStore: fromStore[i], Result: results[i],
-		})
+		}
+		if i == 0 {
+			req.Spans = spans
+		}
+		w.completeWithRetry(ctx, req)
 	}
 }
 
-// runLease executes one leased cell and uploads the outcome.
+// runLease executes one leased cell and uploads the outcome (with the
+// cell's spans attached when the lease carries trace context).
 func (w *Worker) runLease(ctx context.Context, l api.Lease) {
 	w.log.Info("lease accepted", "lease", l.ID, "job", l.JobID, "cell", l.Cell.Index)
-	res, fromStore, err := executeCell(ctx, w.st, w.log, l.Cell)
+	var (
+		buf    *trace.Buffer
+		tr     *trace.Tracer
+		parent trace.SpanContext
+	)
+	if l.TraceID != "" {
+		buf = &trace.Buffer{}
+		tr = trace.NewTracer(w.workerID(), buf)
+		parent = trace.SpanContext{TraceID: l.TraceID, SpanID: l.SpanID}
+	}
+	res, fromStore, err := executeCell(ctx, w.st, w.log, l.Cell, parent, tr)
 	if err != nil {
 		if ctx.Err() != nil {
 			return // killed mid-cell; the lease expires and is reassigned
 		}
 		w.cFailed.Inc()
 		w.completeWithRetry(ctx, api.CompleteRequest{
-			WorkerID: w.workerID(), LeaseID: l.ID, Error: err.Error(),
+			WorkerID: w.workerID(), LeaseID: l.ID, Error: err.Error(), Spans: buf.Drain(),
 		})
 		return
 	}
@@ -231,7 +276,7 @@ func (w *Worker) runLease(ctx context.Context, l api.Lease) {
 		w.cFromStore.Inc()
 	}
 	w.completeWithRetry(ctx, api.CompleteRequest{
-		WorkerID: w.workerID(), LeaseID: l.ID, FromStore: fromStore, Result: res,
+		WorkerID: w.workerID(), LeaseID: l.ID, FromStore: fromStore, Result: res, Spans: buf.Drain(),
 	})
 }
 
@@ -239,8 +284,9 @@ func (w *Worker) runLease(ctx context.Context, l api.Lease) {
 // the wire spec, verify the content address matches the coordinator's
 // (loud failure on any schema drift), then serve from the store or
 // simulate and store. Shared by workers and the coordinator's local
-// fallback so every node computes cells identically.
-func executeCell(ctx context.Context, st *store.Store, log *slog.Logger, spec api.CellSpec) (*sim.Result, bool, error) {
+// fallback so every node computes cells identically. parent/tr attach the
+// cell's spans to its lease (both zero/nil when tracing is off).
+func executeCell(ctx context.Context, st *store.Store, log *slog.Logger, spec api.CellSpec, parent trace.SpanContext, tr *trace.Tracer) (*sim.Result, bool, error) {
 	cfg, mix, err := spec.Request.Cell(spec.WorkloadIndex, spec.PolicyIndex)
 	if err != nil {
 		return nil, false, err
@@ -256,16 +302,28 @@ func executeCell(ctx context.Context, st *store.Store, log *slog.Logger, spec ap
 		return nil, false, err
 	}
 	if hit {
+		hs := tr.Start(parent, "store-hit")
+		hs.SetAttr("key", key)
+		hs.End()
 		return &cached, true, nil
 	}
+	ls := tr.Start(parent, "lane")
+	ls.SetAttr("policy", cfg.Policy.DisplayName())
 	res, err := sim.RunMixContext(ctx, cfg, mix)
 	if err != nil {
+		ls.SetAttr("error", err.Error())
+		ls.End()
 		return nil, false, err
 	}
+	ls.End()
+	ws := tr.Start(ls.Context(), "store-write")
+	ws.SetAttr("key", key)
 	if err := st.Put(key, res); err != nil {
 		// The result is good; only durability failed. Log and serve it.
 		log.Warn("store put failed", "err", err)
+		ws.SetAttr("error", err.Error())
 	}
+	ws.End()
 	return res, false, nil
 }
 

@@ -111,6 +111,9 @@ type mixEval struct {
 func evalMix(ctx context.Context, cfg sim.Config, mix workload.Mix, alonePar int) (*mixEval, error) {
 	base := cfg
 	base.Policy = policies.Spec{Name: "lru"}
+	if base.TelemetryEpoch > 0 && base.TelemetrySink != nil {
+		base.TelemetrySink = obs.TagEpochs(base.TelemetrySink, 0, obs.RunID(base.Key(), mix.Key()))
+	}
 	alone, err := sim.RunAloneNContext(ctx, base, mix, alonePar)
 	if err != nil {
 		return nil, fmt.Errorf("alone runs for %s: %w", mix.Name, err)
@@ -141,6 +144,11 @@ type policyOutcome struct {
 // runPolicy evaluates spec on the mix against the cached baseline.
 func (e *mixEval) runPolicy(ctx context.Context, cfg sim.Config, spec policies.Spec) (*policyOutcome, error) {
 	cfg.Policy = spec
+	if cfg.TelemetryEpoch > 0 && cfg.TelemetrySink != nil {
+		// Stamp the cell's run ID onto its epochs (lane 0: not a batch
+		// lane), so a shared sink attributes every stream to its cell.
+		cfg.TelemetrySink = obs.TagEpochs(cfg.TelemetrySink, 0, obs.RunID(cfg.Key(), e.mix.Key()))
+	}
 	res, err := sim.RunMixContext(ctx, cfg, e.mix)
 	if err != nil {
 		return nil, fmt.Errorf("%s on %s: %w", spec.DisplayName(), e.mix.Name, err)
@@ -405,6 +413,16 @@ func runBatchedMix(ctx context.Context, cfg sim.Config, mix workload.Mix, specs 
 		variants = append(variants, sim.Variant{Policy: lru})
 	}
 
+	if cfg.TelemetryEpoch > 0 && cfg.TelemetrySink != nil {
+		// Per-lane attribution: each lane's epochs carry its 1-based lane
+		// index and its cell's run ID, so a shared sink never collapses
+		// the K lanes of one batch into a single indistinguishable stream.
+		for i := range variants {
+			c := cfg
+			c.Policy = variants[i].Policy
+			variants[i].TelemetrySink = obs.TagEpochs(cfg.TelemetrySink, i+1, obs.RunID(c.Key(), mix.Key()))
+		}
+	}
 	results, err := sim.RunBatchContext(ctx, cfg, variants, mix)
 	if err != nil {
 		return nil, nil, fmt.Errorf("batched cells for %s: %w", mix.Name, err)

@@ -24,6 +24,14 @@ type Epoch struct {
 	Warmup bool   `json:"warmup,omitempty"` // true for epochs inside the warmup region
 	Final  bool   `json:"final,omitempty"`  // true for the (possibly short) last epoch
 
+	// Lane and Cell attribute an epoch to its batch lane and sweep cell
+	// when several lockstep lanes share one sink (see TagEpochs). Lane is
+	// 1-based — the lane's index in the batch plus one — so 0 (omitted)
+	// means "not a batched lane". Both are NDJSON-only: the CSV schema
+	// predates them and its header is pinned.
+	Lane int    `json:"lane,omitempty"`
+	Cell string `json:"cell,omitempty"` // sweep cell ID (store key hash)
+
 	Slices []SliceEpoch `json:"slices"`          // per LLC slice
 	Cores  []CoreEpoch  `json:"cores"`           // per core (demand traffic it sent to the LLC)
 	Banks  []BankEpoch  `json:"banks,omitempty"` // per predictor bank (empty for non-predictor policies)
@@ -83,6 +91,28 @@ type StarEpoch struct {
 // concurrent use: parallel sweep cells share one sink.
 type EpochSink interface {
 	WriteEpoch(*Epoch) error
+}
+
+// TagEpochs wraps next so every epoch passing through is stamped with
+// lane/cell attribution before being forwarded. lane is 1-based (pass 0
+// to leave the field off, e.g. for serial runs); cell is typically the
+// sweep cell's store-key hash. The simulator allocates a fresh Epoch per
+// flush, so stamping in place is safe.
+func TagEpochs(next EpochSink, lane int, cell string) EpochSink {
+	return &tagSink{next: next, lane: lane, cell: cell}
+}
+
+type tagSink struct {
+	next EpochSink
+	lane int
+	cell string
+}
+
+// WriteEpoch implements EpochSink.
+func (t *tagSink) WriteEpoch(e *Epoch) error {
+	e.Lane = t.lane
+	e.Cell = t.cell
+	return t.next.WriteEpoch(e)
 }
 
 // --- NDJSON ------------------------------------------------------------------

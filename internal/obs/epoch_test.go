@@ -3,11 +3,14 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"os"
 	"strings"
 	"sync"
 	"testing"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
 
 // goldenEpochs is a fixed pair of epochs exercising every schema field.
 func goldenEpochs() []*Epoch {
@@ -24,6 +27,7 @@ func goldenEpochs() []*Epoch {
 		},
 		{
 			Run: "mix01", Policy: "d-mockingjay", Seq: 1, Loads: 512, Final: true,
+			Lane: 2, Cell: "c0ffee42",
 			Slices: []SliceEpoch{{Accesses: 12, Misses: 3, MissRate: 0.25}, {Accesses: 4, Misses: 4, MissRate: 1}},
 			Cores:  []CoreEpoch{{Accesses: 16, Misses: 7, HitRate: 0.5625}, {}},
 			Mesh:   MeshEpoch{Messages: 31, Hops: 62},
@@ -41,6 +45,11 @@ func TestEpochNDJSONGolden(t *testing.T) {
 	w := NewNDJSONWriter(&buf)
 	for _, e := range goldenEpochs() {
 		if err := w.WriteEpoch(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if *update {
+		if err := os.WriteFile("testdata/epoch.golden", buf.Bytes(), 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -88,6 +97,34 @@ func TestEpochCSV(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), ",dsc,0,,,,,,5,20,0.2,1,0,3,,,") {
 		t.Fatalf("dsc row missing:\n%s", buf.String())
+	}
+}
+
+// TestTagEpochs: the tagging wrapper stamps lane/cell attribution on
+// every epoch and otherwise forwards untouched.
+func TestTagEpochs(t *testing.T) {
+	var buf bytes.Buffer
+	sink := TagEpochs(NewNDJSONWriter(&buf), 3, "deadbeef")
+	if err := sink.WriteEpoch(&Epoch{Run: "mix01", Policy: "lru", Seq: 7, Loads: 11}); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["lane"] != float64(3) || m["cell"] != "deadbeef" {
+		t.Fatalf("tags not stamped: %v", m)
+	}
+	if m["run"] != "mix01" || m["seq"] != float64(7) {
+		t.Fatalf("payload mangled: %v", m)
+	}
+	// lane 0 stays off the wire (serial / untagged runs).
+	buf.Reset()
+	if err := TagEpochs(NewNDJSONWriter(&buf), 0, "").WriteEpoch(&Epoch{Run: "r"}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "lane") || strings.Contains(buf.String(), "cell") {
+		t.Fatalf("zero tags leaked into wire: %s", buf.String())
 	}
 }
 

@@ -1,0 +1,118 @@
+package trace
+
+import "sync"
+
+// defaultCollectorCap bounds how many distinct traces the in-memory
+// collector retains before evicting the oldest; a long-lived service
+// must not grow without bound.
+const defaultCollectorCap = 256
+
+// Collector is an in-memory Sink that groups completed spans by trace
+// ID so the coordinator can serve whole span trees over
+// GET /v1/jobs/{id}/trace. When more than cap distinct traces are held,
+// the oldest trace (by first-seen order) is evicted.
+type Collector struct {
+	mu     sync.Mutex
+	cap    int
+	traces map[string][]Span
+	order  []string
+}
+
+// NewCollector returns a collector retaining up to cap traces
+// (cap <= 0 selects the default).
+func NewCollector(cap int) *Collector {
+	if cap <= 0 {
+		cap = defaultCollectorCap
+	}
+	return &Collector{cap: cap, traces: make(map[string][]Span)}
+}
+
+// Record implements Sink.
+func (c *Collector) Record(s *Span) {
+	if s.TraceID == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.traces[s.TraceID]; !ok {
+		if len(c.order) >= c.cap {
+			evict := c.order[0]
+			c.order = c.order[1:]
+			delete(c.traces, evict)
+		}
+		c.order = append(c.order, s.TraceID)
+	}
+	c.traces[s.TraceID] = append(c.traces[s.TraceID], *s)
+}
+
+// Spans returns a copy of the collected spans of one trace (nil when
+// the trace is unknown or evicted).
+func (c *Collector) Spans(traceID string) []Span {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	got := c.traces[traceID]
+	if got == nil {
+		return nil
+	}
+	out := make([]Span, len(got))
+	copy(out, got)
+	return out
+}
+
+// Recorder bundles the pieces one tracing-enabled process needs: an
+// in-memory collector (for serving traces), an optional persistent
+// journal, and the node name stamped on locally minted spans. A nil
+// *Recorder is fully inert, so callers thread a single optional field
+// through their Options.
+type Recorder struct {
+	node      string
+	collector *Collector
+	journal   *Journal
+	sink      Sink
+}
+
+// NewRecorder builds a recorder for node. journal may be nil
+// (in-memory only).
+func NewRecorder(node string, journal *Journal) *Recorder {
+	r := &Recorder{node: node, collector: NewCollector(0), journal: journal}
+	if journal != nil {
+		r.sink = Multi(r.collector, journal)
+	} else {
+		r.sink = r.collector
+	}
+	return r
+}
+
+// Record implements Sink: spans are collected and journalled. Used both
+// by local tracers and for spans shipped back from workers (nil-safe).
+func (r *Recorder) Record(s *Span) {
+	if r == nil {
+		return
+	}
+	r.sink.Record(s)
+}
+
+// Spans returns the collected spans of one trace (nil-safe).
+func (r *Recorder) Spans(traceID string) []Span {
+	if r == nil {
+		return nil
+	}
+	return r.collector.Spans(traceID)
+}
+
+// Tracer returns a tracer minting spans on this recorder's node
+// (nil on a nil recorder, making all downstream span calls no-ops).
+func (r *Recorder) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return NewTracer(r.node, r)
+}
+
+// Close closes the journal, if any (nil-safe).
+func (r *Recorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	return r.journal.Close()
+}

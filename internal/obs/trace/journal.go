@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// JournalVersion is the schema version stamped on every journal line.
+// Bump it whenever the Span wire encoding changes, and regenerate the
+// golden file in testdata/ with -update.
+const JournalVersion = 1
+
+// journalLine is one NDJSON record of the event journal.
+type journalLine struct {
+	V    int  `json:"v"`
+	Span Span `json:"span"`
+}
+
+// Journal is an append-only NDJSON event journal of completed spans,
+// persisted next to the result store. Appends are crash-safe: each span
+// is marshalled fully before a single O_APPEND write, so a crash can
+// only ever truncate the final line, never interleave or corrupt
+// earlier ones. Journal implements Sink.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenJournal opens (creating if needed) the journal at path for
+// appending.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("trace journal: %w", err)
+	}
+	return &Journal{f: f}, nil
+}
+
+// Record implements Sink. Marshal errors are impossible for Span
+// (string/int fields only) and write errors are swallowed: tracing must
+// never take down the serving path.
+func (j *Journal) Record(s *Span) {
+	if j == nil {
+		return
+	}
+	line, err := json.Marshal(journalLine{V: JournalVersion, Span: *s})
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	_, _ = j.f.Write(line)
+	j.mu.Unlock()
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// ErrJournalVersion reports a journal line written by an incompatible
+// schema version.
+var ErrJournalVersion = errors.New("trace journal: unsupported schema version")
+
+// ReadJournal reads every span from the journal at path. A torn or
+// truncated *final* line — the only damage a crash mid-append can cause
+// — is tolerated and skipped; malformed lines anywhere else, and any
+// line with an unknown schema version, are errors.
+func ReadJournal(path string) ([]Span, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace journal: %w", err)
+	}
+	defer f.Close()
+	return readJournal(f)
+}
+
+func readJournal(r io.Reader) ([]Span, error) {
+	var spans []Span
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	var pendingErr error
+	for sc.Scan() {
+		lineNo++
+		if pendingErr != nil {
+			// The malformed line was not the last one: real corruption.
+			return nil, pendingErr
+		}
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var jl journalLine
+		if err := json.Unmarshal(raw, &jl); err != nil {
+			// Maybe a crash-torn tail; only fatal if more lines follow.
+			pendingErr = fmt.Errorf("trace journal: line %d: %w", lineNo, err)
+			continue
+		}
+		if jl.V != JournalVersion {
+			return nil, fmt.Errorf("%w: line %d has v=%d, want %d",
+				ErrJournalVersion, lineNo, jl.V, JournalVersion)
+		}
+		spans = append(spans, jl.Span)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace journal: %w", err)
+	}
+	return spans, nil
+}

@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func goldenSpans() []Span {
+	return []Span{
+		{
+			TraceID:     "0123456789abcdef0123456789abcdef",
+			SpanID:      "00000000000000aa",
+			Name:        "job",
+			Node:        "served",
+			StartUnixNS: 1700000000000000000,
+			DurationNS:  250_000_000,
+			Attrs:       map[string]string{"status": "done"},
+		},
+		{
+			TraceID:     "0123456789abcdef0123456789abcdef",
+			SpanID:      "00000000000000bb",
+			ParentID:    "00000000000000aa",
+			Name:        "lane",
+			Node:        "w001-a",
+			StartUnixNS: 1700000000010000000,
+			DurationNS:  120_000_000,
+		},
+	}
+}
+
+// TestJournalGolden pins the on-disk journal schema. A deliberate
+// schema change must bump JournalVersion and regenerate with -update.
+func TestJournalGolden(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range goldenSpans() {
+		s := goldenSpans()[i]
+		j.Record(&s)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "journal.golden")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("journal bytes drifted from %s.\nA deliberate schema change must bump JournalVersion and regenerate with -update.\ngot:\n%swant:\n%s",
+			golden, got, want)
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := goldenSpans()
+	for i := range want {
+		j.Record(&want[i])
+	}
+	// Re-open and append: the journal must accumulate, not truncate.
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := Span{TraceID: "ff", SpanID: "01", Name: "late", StartUnixNS: 1, DurationNS: 2}
+	j2.Record(&extra)
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, extra)
+
+	got, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d spans, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].SpanID != want[i].SpanID || got[i].Name != want[i].Name {
+			t.Fatalf("span %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if got[0].Attrs["status"] != "done" {
+		t.Fatalf("attrs lost: %+v", got[0])
+	}
+}
+
+// TestJournalCrashTornTail: a crash mid-append leaves a truncated final
+// line; the journal must still read every complete span before it.
+func TestJournalCrashTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := goldenSpans()
+	for i := range spans {
+		j.Record(&spans[i])
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash: chop the file mid-way through the last line.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := bytes.LastIndexByte(bytes.TrimRight(raw, "\n"), '{')
+	if err := os.WriteFile(path, raw[:cut+5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJournal(path)
+	if err != nil {
+		t.Fatalf("torn tail must be tolerated, got error: %v", err)
+	}
+	if len(got) != len(spans)-1 {
+		t.Fatalf("read %d spans, want %d (all but the torn one)", len(got), len(spans)-1)
+	}
+	// And the journal stays appendable after the crash.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	j2.Record(&Span{TraceID: "t", SpanID: "s", Name: "recovered", StartUnixNS: 1, DurationNS: 1})
+}
+
+// TestJournalMidFileCorruption: damage anywhere but the tail is real
+// corruption and must surface as an error, not be skipped silently.
+func TestJournalMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.journal")
+	lines := []string{
+		`{"v":1,"span":{"traceId":"t","spanId":"a","name":"ok","startUnixNs":1,"durationNs":1}}`,
+		`{"v":1,"span":{"traceId":"t","spa`, // torn, but NOT last
+		`{"v":1,"span":{"traceId":"t","spanId":"b","name":"ok2","startUnixNs":2,"durationNs":1}}`,
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJournal(path); err == nil {
+		t.Fatal("mid-file corruption read back without error")
+	}
+}
+
+// TestJournalVersionMismatch: future schema versions are refused.
+func TestJournalVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.journal")
+	line := `{"v":99,"span":{"traceId":"t","spanId":"a","name":"x","startUnixNs":1,"durationNs":1}}` + "\n"
+	if err := os.WriteFile(path, []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadJournal(path)
+	if !errors.Is(err, ErrJournalVersion) {
+		t.Fatalf("got %v, want ErrJournalVersion", err)
+	}
+}

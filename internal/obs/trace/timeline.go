@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+const timelineBarWidth = 40
+
+// RenderTimeline writes a text timeline of one trace's spans: one
+// swimlane per node, spans drawn as proportional bars over the trace's
+// wall-clock extent, with the critical path (the chain from the root
+// that ends latest at every step) marked with '*' and drawn with '#'.
+func RenderTimeline(w io.Writer, spans []Span) {
+	if len(spans) == 0 {
+		fmt.Fprintln(w, "trace: no spans")
+		return
+	}
+	start, end := spans[0].StartUnixNS, spans[0].End()
+	for _, s := range spans[1:] {
+		if s.StartUnixNS < start {
+			start = s.StartUnixNS
+		}
+		if s.End() > end {
+			end = s.End()
+		}
+	}
+	total := end - start
+	if total <= 0 {
+		total = 1
+	}
+
+	critical := criticalPath(spans)
+	onPath := make(map[string]bool, len(critical))
+	for _, s := range critical {
+		onPath[s.SpanID] = true
+	}
+
+	// Group by node, lanes ordered by each node's earliest span.
+	byNode := make(map[string][]Span)
+	var nodes []string
+	ordered := make([]Span, len(spans))
+	copy(ordered, spans)
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].StartUnixNS != ordered[j].StartUnixNS {
+			return ordered[i].StartUnixNS < ordered[j].StartUnixNS
+		}
+		if ordered[i].Name != ordered[j].Name {
+			return ordered[i].Name < ordered[j].Name
+		}
+		return ordered[i].SpanID < ordered[j].SpanID
+	})
+	for _, s := range ordered {
+		node := s.Node
+		if node == "" {
+			node = "(unknown)"
+		}
+		if _, ok := byNode[node]; !ok {
+			nodes = append(nodes, node)
+		}
+		byNode[node] = append(byNode[node], s)
+	}
+
+	fmt.Fprintf(w, "trace %s · %d spans · %s\n",
+		spans[0].TraceID, len(spans), fmtDur(total))
+	nameW := 12
+	for _, s := range spans {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	for _, node := range nodes {
+		fmt.Fprintf(w, "%s\n", node)
+		for _, s := range byNode[node] {
+			lo := int(int64(timelineBarWidth) * (s.StartUnixNS - start) / total)
+			hi := int(int64(timelineBarWidth) * (s.End() - start) / total)
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if hi > timelineBarWidth {
+				hi = timelineBarWidth
+			}
+			bar := make([]byte, timelineBarWidth)
+			fill := byte('=')
+			mark := ' '
+			if onPath[s.SpanID] {
+				fill = '#'
+				mark = '*'
+			}
+			for i := range bar {
+				switch {
+				case i >= lo && i < hi:
+					bar[i] = fill
+				default:
+					bar[i] = '.'
+				}
+			}
+			fmt.Fprintf(w, "  %c %-*s %9s |%s|\n",
+				mark, nameW, s.Name, fmtDur(s.DurationNS), bar)
+		}
+	}
+	if len(critical) > 0 {
+		fmt.Fprintf(w, "critical path:")
+		var pathNS int64
+		for i, s := range critical {
+			if i > 0 {
+				fmt.Fprintf(w, " →")
+			}
+			fmt.Fprintf(w, " %s", s.Name)
+			pathNS += s.DurationNS
+		}
+		pct := 100 * float64(critical[len(critical)-1].End()-critical[0].StartUnixNS) / float64(total)
+		fmt.Fprintf(w, " (%.0f%% of trace)\n", pct)
+	}
+}
+
+// criticalPath returns the chain of spans from the root obtained by
+// descending, at every span, into the child that ends latest. With the
+// root ending last (the usual case — the job span encloses everything)
+// this is the path that determined the trace's wall-clock duration.
+func criticalPath(spans []Span) []Span {
+	children := make(map[string][]Span)
+	byID := make(map[string]Span, len(spans))
+	for _, s := range spans {
+		byID[s.SpanID] = s
+	}
+	var root *Span
+	for _, s := range spans {
+		if _, ok := byID[s.ParentID]; s.ParentID != "" && ok {
+			children[s.ParentID] = append(children[s.ParentID], s)
+			continue
+		}
+		// Orphan or true root: the earliest-starting one wins.
+		if root == nil || s.StartUnixNS < root.StartUnixNS {
+			c := s
+			root = &c
+		}
+	}
+	if root == nil {
+		return nil
+	}
+	path := []Span{*root}
+	cur := *root
+	for {
+		kids := children[cur.SpanID]
+		if len(kids) == 0 {
+			return path
+		}
+		best := kids[0]
+		for _, k := range kids[1:] {
+			if k.End() > best.End() ||
+				(k.End() == best.End() && k.SpanID < best.SpanID) {
+				best = k
+			}
+		}
+		path = append(path, best)
+		cur = best
+	}
+}
+
+func fmtDur(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

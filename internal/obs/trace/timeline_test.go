@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func timelineFixture() []Span {
+	// job (served) encloses decompose (served) and two worker lanes;
+	// lane-b ends last, so the critical path is job → lease → lane-b.
+	base := int64(1_700_000_000_000_000_000)
+	ms := int64(1_000_000)
+	return []Span{
+		{TraceID: "t0", SpanID: "s-job", Name: "job", Node: "served",
+			StartUnixNS: base, DurationNS: 100 * ms},
+		{TraceID: "t0", SpanID: "s-dec", ParentID: "s-job", Name: "decompose", Node: "served",
+			StartUnixNS: base + 1*ms, DurationNS: 4 * ms},
+		{TraceID: "t0", SpanID: "s-lease", ParentID: "s-job", Name: "lease", Node: "served",
+			StartUnixNS: base + 6*ms, DurationNS: 90 * ms},
+		{TraceID: "t0", SpanID: "s-lane-a", ParentID: "s-lease", Name: "lane-a", Node: "w001",
+			StartUnixNS: base + 10*ms, DurationNS: 30 * ms},
+		{TraceID: "t0", SpanID: "s-lane-b", ParentID: "s-lease", Name: "lane-b", Node: "w002",
+			StartUnixNS: base + 10*ms, DurationNS: 80 * ms},
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	var sb strings.Builder
+	RenderTimeline(&sb, timelineFixture())
+	out := sb.String()
+
+	for _, want := range []string{
+		"trace t0 · 5 spans · 100ms",
+		"served", "w001", "w002",
+		"job", "decompose", "lane-a", "lane-b",
+		"critical path: job → lease → lane-b",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// Critical-path rows are starred and drawn with '#'; off-path rows
+	// are not.
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "|") { // bar rows only
+			continue
+		}
+		switch {
+		case strings.Contains(line, " lane-b "):
+			if !strings.Contains(line, "*") || !strings.Contains(line, "#") {
+				t.Fatalf("lane-b not marked critical: %q", line)
+			}
+		case strings.Contains(line, " lane-a "):
+			if strings.Contains(line, "*") || strings.Contains(line, "#") {
+				t.Fatalf("lane-a wrongly marked critical: %q", line)
+			}
+		case strings.Contains(line, " decompose "):
+			if strings.Contains(line, "*") {
+				t.Fatalf("decompose wrongly on critical path: %q", line)
+			}
+		}
+	}
+}
+
+func TestRenderTimelineEmpty(t *testing.T) {
+	var sb strings.Builder
+	RenderTimeline(&sb, nil)
+	if !strings.Contains(sb.String(), "no spans") {
+		t.Fatalf("empty render: %q", sb.String())
+	}
+}
+
+func TestCriticalPathOrphanRoot(t *testing.T) {
+	// A span whose parent never arrived (lost completion) still roots
+	// a path instead of panicking.
+	spans := []Span{
+		{TraceID: "t", SpanID: "x", ParentID: "missing", Name: "lane",
+			StartUnixNS: 10, DurationNS: 5},
+	}
+	got := criticalPath(spans)
+	if len(got) != 1 || got[0].SpanID != "x" {
+		t.Fatalf("orphan path: %+v", got)
+	}
+}

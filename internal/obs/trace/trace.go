@@ -1,0 +1,218 @@
+// Package trace is lightweight span-based distributed tracing for the
+// drishti serving stack. A trace is a tree of spans identified by a
+// shared trace ID; spans carry wall-clock timing plus free-form string
+// attributes and flow from workers back to the coordinator over the
+// fleet wire protocol, where they are collected in memory and persisted
+// to an append-only NDJSON journal.
+//
+// The package is deliberately tiny and dependency-free: no sampling, no
+// clock propagation, no baggage. Everything is nil-safe — a nil *Tracer
+// (tracing disabled) makes Start return a nil *ActiveSpan whose methods
+// are all no-ops, so instrumented code pays one nil check and nothing
+// else.
+package trace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// Span is one completed timed operation. The JSON encoding is the wire
+// and journal schema; changes must bump JournalVersion and regenerate
+// the golden file in testdata/.
+type Span struct {
+	TraceID  string `json:"traceId"`
+	SpanID   string `json:"spanId"`
+	ParentID string `json:"parentId,omitempty"`
+	// Name is the operation ("job", "decompose", "lease", "lane", ...).
+	Name string `json:"name"`
+	// Node is the process that recorded the span (service name or
+	// worker ID); it keys the timeline swimlanes.
+	Node        string            `json:"node,omitempty"`
+	StartUnixNS int64             `json:"startUnixNs"`
+	DurationNS  int64             `json:"durationNs"`
+	Attrs       map[string]string `json:"attrs,omitempty"`
+}
+
+// End returns the span's end time as unix nanoseconds.
+func (s *Span) End() int64 { return s.StartUnixNS + s.DurationNS }
+
+// SpanContext is the propagated identity of a span: just enough to
+// parent remote children. A zero SpanContext means "no trace".
+type SpanContext struct {
+	TraceID string
+	SpanID  string
+}
+
+// Valid reports whether the context belongs to a live trace.
+func (sc SpanContext) Valid() bool { return sc.TraceID != "" }
+
+// Sink receives completed spans. Implementations must be safe for
+// concurrent use.
+type Sink interface {
+	Record(s *Span)
+}
+
+// Tracer mints spans for one node and hands the completed ones to a
+// sink. The zero value and the nil pointer are both inert.
+type Tracer struct {
+	node string
+	sink Sink
+}
+
+// NewTracer returns a tracer stamping node onto every span. A nil sink
+// yields a tracer whose spans are dropped on End (still usable for
+// context propagation, but pointless — prefer a nil *Tracer when
+// tracing is off).
+func NewTracer(node string, sink Sink) *Tracer {
+	return &Tracer{node: node, sink: sink}
+}
+
+// Start opens a span under parent. A zero parent starts a new trace
+// with a fresh trace ID; a parent with only a TraceID starts a root
+// span of that trace. On a nil tracer Start returns nil, and every
+// *ActiveSpan method is nil-safe, so callers never branch.
+func (t *Tracer) Start(parent SpanContext, name string) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	traceID := parent.TraceID
+	if traceID == "" {
+		traceID = NewTraceID()
+	}
+	return &ActiveSpan{
+		tracer: t,
+		span: Span{
+			TraceID:     traceID,
+			SpanID:      newSpanID(),
+			ParentID:    parent.SpanID,
+			Name:        name,
+			Node:        t.node,
+			StartUnixNS: time.Now().UnixNano(),
+		},
+		start: time.Now(),
+	}
+}
+
+// ActiveSpan is an in-progress span. Not safe for concurrent mutation;
+// one goroutine owns a span between Start and End.
+type ActiveSpan struct {
+	tracer *Tracer
+	span   Span
+	start  time.Time
+	ended  bool
+}
+
+// Context returns the span's propagation context (zero on nil).
+func (a *ActiveSpan) Context() SpanContext {
+	if a == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: a.span.TraceID, SpanID: a.span.SpanID}
+}
+
+// SetAttr attaches a key/value attribute (no-op on nil).
+func (a *ActiveSpan) SetAttr(key, value string) {
+	if a == nil {
+		return
+	}
+	if a.span.Attrs == nil {
+		a.span.Attrs = make(map[string]string, 4)
+	}
+	a.span.Attrs[key] = value
+}
+
+// End completes the span and records it. Safe to call more than once;
+// only the first call records.
+func (a *ActiveSpan) End() {
+	if a == nil || a.ended {
+		return
+	}
+	a.ended = true
+	a.span.DurationNS = time.Since(a.start).Nanoseconds()
+	if a.tracer != nil && a.tracer.sink != nil {
+		s := a.span
+		a.tracer.sink.Record(&s)
+	}
+}
+
+// NewTraceID returns a fresh 16-byte random trace ID in hex.
+func NewTraceID() string { return randomHex(16) }
+
+func newSpanID() string { return randomHex(8) }
+
+func randomHex(n int) string {
+	b := make([]byte, n)
+	// crypto/rand never fails on the platforms we run on; on the
+	// impossible error path b stays zeroed and the ID is still
+	// well-formed, keeping tracing non-fatal.
+	_, _ = rand.Read(b)
+	return hex.EncodeToString(b)
+}
+
+// Buffer is a Sink that accumulates spans in memory until drained.
+// Workers buffer the spans of one lease group and ship them on the
+// completion message.
+type Buffer struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Record implements Sink.
+func (b *Buffer) Record(s *Span) {
+	b.mu.Lock()
+	b.spans = append(b.spans, *s)
+	b.mu.Unlock()
+}
+
+// Drain returns and clears the buffered spans (nil-safe).
+func (b *Buffer) Drain() []Span {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	out := b.spans
+	b.spans = nil
+	b.mu.Unlock()
+	return out
+}
+
+// Multi fans a span out to several sinks (nils skipped).
+func Multi(sinks ...Sink) Sink {
+	kept := make([]Sink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			kept = append(kept, s)
+		}
+	}
+	return multiSink(kept)
+}
+
+type multiSink []Sink
+
+func (m multiSink) Record(s *Span) {
+	for _, sk := range m {
+		sk.Record(s)
+	}
+}
+
+// --- context propagation -----------------------------------------------------
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying sc, so trace identity flows through
+// call chains (e.g. Service → Distributor.RunJob) without signature
+// changes.
+func NewContext(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext extracts the span context stored by NewContext (zero when
+// absent).
+func FromContext(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(ctxKey{}).(SpanContext)
+	return sc
+}

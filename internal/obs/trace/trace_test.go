@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilTracerIsInert: the entire span API must be callable through a
+// nil tracer — that is the "tracing off" fast path.
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start(SpanContext{}, "noop")
+	if sp != nil {
+		t.Fatalf("nil tracer produced a span: %+v", sp)
+	}
+	// All methods on the nil span are no-ops.
+	sp.SetAttr("k", "v")
+	if got := sp.Context(); got.Valid() {
+		t.Fatalf("nil span has valid context %+v", got)
+	}
+	sp.End()
+	sp.End()
+
+	var rec *Recorder
+	rec.Record(&Span{TraceID: "t"})
+	if got := rec.Spans("t"); got != nil {
+		t.Fatalf("nil recorder returned spans: %v", got)
+	}
+	if tr := rec.Tracer(); tr != nil {
+		t.Fatalf("nil recorder returned tracer: %v", tr)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf *Buffer
+	if got := buf.Drain(); got != nil {
+		t.Fatalf("nil buffer drained %v", got)
+	}
+}
+
+func TestTracerSpans(t *testing.T) {
+	var buf Buffer
+	tr := NewTracer("node-a", &buf)
+
+	root := tr.Start(SpanContext{}, "job")
+	if !root.Context().Valid() {
+		t.Fatal("root has no trace ID")
+	}
+	child := tr.Start(root.Context(), "step")
+	child.SetAttr("cells", "4")
+	time.Sleep(time.Millisecond)
+	child.End()
+	child.End() // double End records once
+	root.End()
+
+	spans := buf.Drain()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	c, r := spans[0], spans[1]
+	if c.Name != "step" || r.Name != "job" {
+		t.Fatalf("span order: %q, %q", c.Name, r.Name)
+	}
+	if c.TraceID != r.TraceID {
+		t.Fatalf("trace IDs differ: %q vs %q", c.TraceID, r.TraceID)
+	}
+	if c.ParentID != r.SpanID {
+		t.Fatalf("child parent %q != root span %q", c.ParentID, r.SpanID)
+	}
+	if c.Node != "node-a" {
+		t.Fatalf("node = %q", c.Node)
+	}
+	if c.Attrs["cells"] != "4" {
+		t.Fatalf("attrs = %v", c.Attrs)
+	}
+	if c.DurationNS <= 0 {
+		t.Fatalf("duration = %d", c.DurationNS)
+	}
+	if got := buf.Drain(); len(got) != 0 {
+		t.Fatalf("drain not empty after drain: %v", got)
+	}
+}
+
+// TestStartWithRemoteParent: a parent context arriving over the wire
+// (trace ID + span ID) parents local spans into the remote trace.
+func TestStartWithRemoteParent(t *testing.T) {
+	var buf Buffer
+	tr := NewTracer("worker-1", &buf)
+	sp := tr.Start(SpanContext{TraceID: "cafe", SpanID: "beef"}, "lease-group")
+	sp.End()
+	got := buf.Drain()
+	if len(got) != 1 || got[0].TraceID != "cafe" || got[0].ParentID != "beef" {
+		t.Fatalf("remote-parented span: %+v", got)
+	}
+}
+
+func TestCollectorGroupsAndEvicts(t *testing.T) {
+	c := NewCollector(2)
+	c.Record(&Span{TraceID: "t1", SpanID: "a"})
+	c.Record(&Span{TraceID: "t2", SpanID: "b"})
+	c.Record(&Span{TraceID: "t1", SpanID: "c"})
+	if got := len(c.Spans("t1")); got != 2 {
+		t.Fatalf("t1 has %d spans, want 2", got)
+	}
+	// Third distinct trace evicts the oldest (t1).
+	c.Record(&Span{TraceID: "t3", SpanID: "d"})
+	if got := c.Spans("t1"); got != nil {
+		t.Fatalf("t1 not evicted: %v", got)
+	}
+	if got := len(c.Spans("t2")); got != 1 {
+		t.Fatalf("t2 has %d spans, want 1", got)
+	}
+	// Returned slice is a copy.
+	s := c.Spans("t2")
+	s[0].Name = "mutated"
+	if c.Spans("t2")[0].Name == "mutated" {
+		t.Fatal("Spans returned internal storage")
+	}
+}
+
+func TestRecorderRoundTrip(t *testing.T) {
+	rec := NewRecorder("served", nil)
+	tr := rec.Tracer()
+	sp := tr.Start(SpanContext{TraceID: "feed"}, "job")
+	sp.End()
+	got := rec.Spans("feed")
+	if len(got) != 1 || got[0].Name != "job" || got[0].Node != "served" {
+		t.Fatalf("recorder spans: %+v", got)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	sc := SpanContext{TraceID: "aa", SpanID: "bb"}
+	ctx := NewContext(context.Background(), sc)
+	if got := FromContext(ctx); got != sc {
+		t.Fatalf("got %+v, want %+v", got, sc)
+	}
+	if got := FromContext(context.Background()); got.Valid() {
+		t.Fatalf("empty context yielded %+v", got)
+	}
+}
+
+func TestNewTraceIDUnique(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if a == b {
+		t.Fatalf("collision: %s", a)
+	}
+	if len(a) != 32 {
+		t.Fatalf("trace ID %q has length %d, want 32", a, len(a))
+	}
+}
+
+// TestBufferConcurrent exercises the sinks under -race.
+func TestBufferConcurrent(t *testing.T) {
+	var buf Buffer
+	col := NewCollector(0)
+	sink := Multi(&buf, col, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sink.Record(&Span{TraceID: "t", SpanID: fmt.Sprintf("%d-%d", g, i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(buf.Drain()); got != 800 {
+		t.Fatalf("buffer drained %d spans, want 800", got)
+	}
+	if got := len(col.Spans("t")); got != 800 {
+		t.Fatalf("collector has %d spans, want 800", got)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"drishti/internal/obs/trace"
 	"drishti/internal/policies"
 	"drishti/internal/sim"
 	"drishti/internal/workload"
@@ -33,7 +34,11 @@ import (
 // Version is the current wire-schema generation. Fleet messages carry it
 // explicitly so a coordinator refuses workers built against another schema
 // instead of mis-decoding their payloads.
-const Version = 1
+//
+// v2 added distributed tracing: JobView.TraceID, trace context on Lease,
+// completed spans on CompleteRequest, and lease-latency/batch-lane
+// telemetry on FleetStatus.
+const Version = 2
 
 // Status is a job's lifecycle state.
 type Status string
@@ -261,6 +266,17 @@ type JobView struct {
 	StartedAt  *time.Time `json:"startedAt,omitempty"`
 	FinishedAt *time.Time `json:"finishedAt,omitempty"`
 	Request    JobRequest `json:"request"`
+	// TraceID identifies the job's distributed trace; fetch the span
+	// tree via GET /v1/jobs/{id}/trace. Empty when tracing is disabled.
+	TraceID string `json:"traceId,omitempty"`
+}
+
+// TraceView is GET /v1/jobs/{id}/trace: every span collected so far for
+// one job's trace (the tree is complete once the job is done and all
+// workers' completions have arrived).
+type TraceView struct {
+	TraceID string       `json:"traceId"`
+	Spans   []trace.Span `json:"spans"`
 }
 
 // Error is the JSON error envelope every endpoint returns on failure.

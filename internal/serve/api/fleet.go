@@ -3,6 +3,7 @@ package api
 import (
 	"errors"
 
+	"drishti/internal/obs/trace"
 	"drishti/internal/sim"
 )
 
@@ -66,6 +67,11 @@ type Lease struct {
 	JobID          string   `json:"jobId"`
 	Cell           CellSpec `json:"cell"`
 	DeadlineUnixMS int64    `json:"deadlineUnixMs"`
+	// TraceID/SpanID carry the coordinator's trace context (the lease
+	// span) so worker-side spans join the job's tree. Both empty when
+	// tracing is off; workers then skip tracing entirely.
+	TraceID string `json:"traceId,omitempty"`
+	SpanID  string `json:"spanId,omitempty"`
 }
 
 // LeaseResponse carries zero or more leases; empty means no work is
@@ -82,6 +88,10 @@ type CompleteRequest struct {
 	FromStore bool        `json:"fromStore"` // served from the worker's (shared) store
 	Result    *sim.Result `json:"result,omitempty"`
 	Error     string      `json:"error,omitempty"`
+	// Spans are the worker-side spans of this lease's group, shipped on
+	// the group's first completion so the coordinator holds the full
+	// trace tree. Empty when the lease carried no trace context.
+	Spans []trace.Span `json:"spans,omitempty"`
 }
 
 // CompleteResponse acknowledges a completion. Accepted=false (HTTP 409)
@@ -114,4 +124,19 @@ type FleetStatus struct {
 	CellsResolved  uint64         `json:"cellsResolved"`  // every cell the fleet has settled, however it was served
 	CellsFromStore uint64         `json:"cellsFromStore"` // fleet-wide store hits (coordinator + workers)
 	StoreHitRatio  float64        `json:"storeHitRatio"`  // CellsFromStore / CellsResolved
+
+	// LeaseLatency summarizes the fleet_lease_latency_ms histogram:
+	// grant→complete wall time of accepted completions.
+	LeaseLatency LatencyStats `json:"leaseLatency"`
+	// BatchLaneCount is the worker_batch_lane_count gauge: the largest
+	// same-group cell pack in the most recent lease grant.
+	BatchLaneCount int `json:"batchLaneCount"`
+}
+
+// LatencyStats is a histogram summary in milliseconds.
+type LatencyStats struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
 }

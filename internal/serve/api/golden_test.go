@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"drishti/internal/obs/trace"
 	"drishti/internal/sim"
 )
 
@@ -78,8 +79,16 @@ func TestGoldenWireFormat(t *testing.T) {
 		StartedAt:  &started,
 		FinishedAt: &finished,
 		Request:    req,
+		TraceID:    "0123456789abcdef0123456789abcdef",
 	}
 	checkGolden(t, "job_view.golden.json", encodeWire(t, view))
+
+	// A tracing-off job view must not leak an empty traceId field.
+	offView := view
+	offView.TraceID = ""
+	if bytes.Contains(encodeWire(t, offView), []byte("traceId")) {
+		t.Error("empty TraceID leaked into the wire format")
+	}
 
 	// An unversioned request must render byte-identically with and without
 	// the APIVersion field in the struct — omitempty keeps the wire clean.
@@ -128,6 +137,33 @@ func TestGoldenWireFormat(t *testing.T) {
 		CellsResolved:  9,
 		CellsFromStore: 2,
 		StoreHitRatio:  2.0 / 9.0,
+		LeaseLatency:   LatencyStats{Count: 7, Mean: 812.5, P50: 750, P99: 1900},
+		BatchLaneCount: 4,
 	}
 	checkGolden(t, "fleet_status.golden.json", encodeWire(t, fleet))
+
+	tv := TraceView{
+		TraceID: "0123456789abcdef0123456789abcdef",
+		Spans: []trace.Span{
+			{
+				TraceID:     "0123456789abcdef0123456789abcdef",
+				SpanID:      "00000000000000aa",
+				Name:        "job",
+				Node:        "served",
+				StartUnixNS: 1754390401000000000,
+				DurationNS:  1000000000,
+				Attrs:       map[string]string{"status": "done"},
+			},
+			{
+				TraceID:     "0123456789abcdef0123456789abcdef",
+				SpanID:      "00000000000000bb",
+				ParentID:    "00000000000000aa",
+				Name:        "lane",
+				Node:        "w001-node-a",
+				StartUnixNS: 1754390401200000000,
+				DurationNS:  650000000,
+			},
+		},
+	}
+	checkGolden(t, "trace_view.golden.json", encodeWire(t, tv))
 }

@@ -16,6 +16,7 @@ import (
 //	GET    /v1/jobs            list job statuses
 //	GET    /v1/jobs/{id}        one job's status
 //	GET    /v1/jobs/{id}/result a done job's result (409 until terminal)
+//	GET    /v1/jobs/{id}/trace  the job's span tree (404 when tracing is off)
 //	DELETE /v1/jobs/{id}        cancel (queued or running)
 //	GET    /v1/store/stats      durable-store counters + disk usage
 //	GET    /v1/version          build metadata
@@ -30,6 +31,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/store/stats", s.handleStoreStats)
 	mux.HandleFunc("GET /v1/version", func(w http.ResponseWriter, r *http.Request) {
@@ -112,6 +114,15 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tv, ok := s.Trace(r.PathValue("id"))
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound, api.Error{Error: "no trace for job (unknown job, or tracing disabled)"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, tv)
 }
 
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -50,6 +50,10 @@ type Job struct {
 
 	Result *JobResult `json:"-"` // served by /result, not by /jobs/{id}
 
+	// TraceID is the job's distributed-trace identity, assigned at Submit
+	// when tracing is enabled (empty otherwise). Immutable after Submit.
+	TraceID string `json:"traceId,omitempty"`
+
 	cancel func() // non-nil while running; invoked by DELETE
 }
 
@@ -62,6 +66,7 @@ func (j *Job) snapshot() view {
 		Attempts:   j.Attempts,
 		EnqueuedAt: j.EnqueuedAt,
 		Request:    j.Request,
+		TraceID:    j.TraceID,
 	}
 	if !j.StartedAt.IsZero() {
 		t := j.StartedAt

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"drishti/internal/obs"
+	"drishti/internal/obs/trace"
 	"drishti/internal/policies"
 	"drishti/internal/serve/api"
 	"drishti/internal/sim"
@@ -73,6 +74,12 @@ type Options struct {
 	// Distributor, when non-nil, is offered every job before local
 	// execution (fleet mode). See the Distributor interface.
 	Distributor Distributor
+
+	// Trace, when non-nil, enables distributed tracing: every job gets a
+	// trace ID at Submit, spans are recorded here, and the span tree is
+	// served at GET /v1/jobs/{id}/trace. Share one recorder with the
+	// fleet coordinator so its spans land in the same tree.
+	Trace *trace.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -218,6 +225,9 @@ func (s *Service) Submit(req JobRequest) (view, error) {
 	id := fmt.Sprintf("j%06d-%s", s.seq, obs.RunID(
 		strconv.Itoa(s.seq), strconv.FormatInt(time.Now().UnixNano(), 10)))
 	j := &Job{ID: id, Request: req, Status: StatusQueued, EnqueuedAt: time.Now()}
+	if s.opts.Trace != nil {
+		j.TraceID = trace.NewTraceID()
+	}
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	snap := j.snapshot()
@@ -321,6 +331,13 @@ func (s *Service) execute(j *Job) {
 	j.cancel = cancel
 	s.mu.Unlock()
 	defer cancel()
+	// Root span of the job's trace; the span context rides the context so
+	// the Distributor (fleet coordinator) parents its spans under it.
+	root := s.opts.Trace.Tracer().Start(trace.SpanContext{TraceID: j.TraceID}, "job")
+	if root != nil {
+		root.SetAttr("job", j.ID)
+		ctx = trace.NewContext(ctx, root.Context())
+	}
 	s.gInflight.Set(float64(s.inflight.Add(1)))
 	defer func() { s.gInflight.Set(float64(s.inflight.Add(-1))) }()
 
@@ -383,6 +400,8 @@ func (s *Service) execute(j *Job) {
 	}
 	status := j.Status
 	s.mu.Unlock()
+	root.SetAttr("status", string(status))
+	root.End()
 	s.hLatency.Observe(elapsed.Milliseconds())
 	s.log.Info("job finished", "job", j.ID, "status", string(status),
 		"attempts", attempts, "elapsed", elapsed.Round(time.Millisecond), "err", err)
@@ -414,6 +433,8 @@ func (s *Service) runJob(ctx context.Context, j *Job) (*JobResult, error) {
 	}
 	base := req.Config()
 	out := &JobResult{}
+	tracer := s.opts.Trace.Tracer()
+	parent := trace.FromContext(ctx)
 	for wi, mix := range mixes {
 		for _, pol := range req.Policies {
 			if err := ctx.Err(); err != nil {
@@ -421,10 +442,17 @@ func (s *Service) runJob(ctx context.Context, j *Job) (*JobResult, error) {
 			}
 			cfg := base
 			cfg.Policy = policies.Spec{Name: pol.Name, Drishti: pol.Drishti}
+			sp := tracer.Start(parent, "cell")
+			sp.SetAttr("policy", cfg.Policy.DisplayName())
+			sp.SetAttr("mix", mix.Name)
 			res, fromStore, err := s.runCell(ctx, cfg, mix)
 			if err != nil {
+				sp.SetAttr("error", err.Error())
+				sp.End()
 				return nil, fmt.Errorf("%s on %s: %w", cfg.Policy.DisplayName(), mix.Name, err)
 			}
+			sp.SetAttr("fromStore", strconv.FormatBool(fromStore))
+			sp.End()
 			if fromStore {
 				out.StoreHits++
 			} else {
@@ -448,6 +476,26 @@ func (s *Service) runJob(ctx context.Context, j *Job) (*JobResult, error) {
 		}
 	}
 	return out, nil
+}
+
+// Trace returns the collected span tree of one job's distributed trace.
+// ok is false when the job is unknown or tracing is disabled.
+func (s *Service) Trace(id string) (api.TraceView, bool) {
+	s.mu.Lock()
+	j, exists := s.jobs[id]
+	traceID := ""
+	if exists {
+		traceID = j.TraceID
+	}
+	s.mu.Unlock()
+	if traceID == "" {
+		return api.TraceView{}, false
+	}
+	spans := s.opts.Trace.Spans(traceID)
+	if spans == nil {
+		spans = []trace.Span{}
+	}
+	return api.TraceView{TraceID: traceID, Spans: spans}, true
 }
 
 // runCell serves one simulation from the store or computes and stores it.

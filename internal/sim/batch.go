@@ -3,9 +3,11 @@ package sim
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"drishti/internal/cache"
 	"drishti/internal/mem"
+	"drishti/internal/obs"
 	"drishti/internal/policies"
 	"drishti/internal/repl"
 	"drishti/internal/trace"
@@ -67,6 +69,16 @@ type Variant struct {
 	// feedback from the simulation.
 	Alone     bool
 	AloneCore int
+
+	// TelemetryTag, when non-empty, replaces the base config's
+	// TelemetryTag for this lane, so K lanes sharing one sink keep
+	// distinct attribution — a batched sweep cell's epochs carry the same
+	// tag its serial run would. Ignored for alone lanes (telemetry off).
+	TelemetryTag string
+	// TelemetrySink, when non-nil, replaces the base config's
+	// TelemetrySink for this lane (e.g. an obs.TagEpochs wrapper stamping
+	// lane/cell attribution). Ignored for alone lanes.
+	TelemetrySink obs.EpochSink
 }
 
 // RunBatch is RunBatchContext with context.Background.
@@ -101,6 +113,12 @@ func RunBatchContext(ctx context.Context, base Config, variants []Variant, mix w
 			cfg.TelemetryEpoch, cfg.TelemetrySink, cfg.TelemetryTag = 0, nil, ""
 			used[v.AloneCore] = true
 		} else {
+			if v.TelemetrySink != nil {
+				cfg.TelemetrySink = v.TelemetrySink
+			}
+			if v.TelemetryTag != "" {
+				cfg.TelemetryTag = v.TelemetryTag
+			}
 			if cfg.TelemetryEpoch > 0 && cfg.TelemetryTag == "" {
 				cfg.TelemetryTag = mix.Name
 			}
@@ -120,6 +138,11 @@ func RunBatchContext(ctx context.Context, base Config, variants []Variant, mix w
 	}
 
 	// Shared per-core streams, built only for cores some lane activates.
+	po := base.Phases
+	var genStart time.Time
+	if po != nil {
+		genStart = time.Now()
+	}
 	var (
 		raws []*workload.Stream
 		exps []*expStream
@@ -139,9 +162,15 @@ func RunBatchContext(ctx context.Context, base Config, variants []Variant, mix w
 		}
 		if tier2 {
 			exps[c] = newExpStream(base, c, g)
+			exps[c].phases = po
 		} else {
 			raws[c] = workload.NewStream(g, 0)
 		}
+	}
+	if po != nil {
+		// Stream construction only; the bulk of generation happens lazily
+		// inside lane stepping and is covered by lane-run/private-replay.
+		po.ObservePhase("workload-gen", -1, time.Since(genStart))
 	}
 
 	lanes := make([]*batchLane, len(variants))
@@ -152,7 +181,7 @@ func RunBatchContext(ctx context.Context, base Config, variants []Variant, mix w
 		}
 		lanes[i] = ln
 	}
-	if err := runLockstep(lanes, raws, exps); err != nil {
+	if err := runLockstep(lanes, raws, exps, po); err != nil {
 		return nil, err
 	}
 	out := make([]*Result, len(lanes))
@@ -247,7 +276,10 @@ func newBatchLane(ctx context.Context, cfg Config, v Variant, raws []*workload.S
 // Per-core limits bound lane skew; the floor (lowest-position) lane of a
 // core is never gated, and if cross-core window shapes ever block every
 // lane in one rotation, the limits grow by a window so progress resumes.
-func runLockstep(lanes []*batchLane, raws []*workload.Stream, exps []*expStream) error {
+// When po is non-nil, per-lane run time and window-barrier time are
+// accumulated and reported once at the end ("lane-run" per lane,
+// "barrier" shared); timing wraps existing work and never alters it.
+func runLockstep(lanes []*batchLane, raws []*workload.Stream, exps []*expStream, po PhaseObserver) error {
 	cores := 0
 	if raws != nil {
 		cores = len(raws)
@@ -262,6 +294,13 @@ func runLockstep(lanes []*batchLane, raws []*workload.Stream, exps []*expStream)
 		ln.run.limits = limits // shared: window advances reach every lane
 		ln.run.consumed = make([]uint64, cores)
 	}
+	var (
+		laneDur    []time.Duration
+		barrierDur time.Duration
+	)
+	if po != nil {
+		laneDur = make([]time.Duration, len(lanes))
+	}
 	live := len(lanes)
 	for live > 0 {
 		stepped := false
@@ -269,8 +308,15 @@ func runLockstep(lanes []*batchLane, raws []*workload.Stream, exps []*expStream)
 			if ln.done {
 				continue
 			}
+			var t0 time.Time
+			if po != nil {
+				t0 = time.Now()
+			}
 			before := ln.run.guard
 			done, _, err := ln.run.run(batchQuantum)
+			if po != nil {
+				laneDur[i] += time.Since(t0)
+			}
 			if err != nil {
 				return fmt.Errorf("sim: batch lane %d: %w", i, err)
 			}
@@ -284,6 +330,10 @@ func runLockstep(lanes []*batchLane, raws []*workload.Stream, exps []*expStream)
 		}
 		if live == 0 {
 			break
+		}
+		var b0 time.Time
+		if po != nil {
+			b0 = time.Now()
 		}
 		// Advance the window: recycle everything below the slowest
 		// unfinished lane and let the fastest run a window past it.
@@ -321,6 +371,15 @@ func runLockstep(lanes []*batchLane, raws []*workload.Stream, exps []*expStream)
 			}
 			limits[c] = limit
 		}
+		if po != nil {
+			barrierDur += time.Since(b0)
+		}
+	}
+	if po != nil {
+		for i, d := range laneDur {
+			po.ObservePhase("lane-run", i, d)
+		}
+		po.ObservePhase("barrier", -1, barrierDur)
 	}
 	return nil
 }
@@ -445,6 +504,7 @@ type expStream struct {
 	chunks []*expChunk
 	free   []*expChunk
 	done   bool
+	phases PhaseObserver // optional "private-replay" wall-time reporting
 }
 
 func newExpStream(cfg Config, coreID int, src trace.Reader) *expStream {
@@ -467,6 +527,10 @@ func newExpStream(cfg Config, coreID int, src trace.Reader) *expStream {
 func (e *expStream) fill() bool {
 	if e.done {
 		return false
+	}
+	if e.phases != nil {
+		t0 := time.Now()
+		defer func() { e.phases.ObservePhase("private-replay", -1, time.Since(t0)) }()
 	}
 	var ck *expChunk
 	if n := len(e.free); n > 0 {

@@ -6,6 +6,7 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"drishti/internal/cpu"
 	"drishti/internal/dram"
@@ -86,6 +87,24 @@ type Config struct {
 	TelemetryEpoch uint64
 	TelemetrySink  obs.EpochSink
 	TelemetryTag   string // run label stamped on every epoch (e.g. a run ID)
+
+	// Phases, when non-nil, receives coarse wall-clock phase timings from
+	// batched runs (workload generation, private-hierarchy replay, per-lane
+	// LLC access loops, lockstep window barriers). Like TelemetrySink it is
+	// observational only: it measures time around existing work and must
+	// never change simulation results. Nil costs one check per batch phase
+	// (never per access).
+	Phases PhaseObserver
+}
+
+// PhaseObserver receives wall-clock phase timings from a batched run.
+// Phase names are "workload-gen", "private-replay", "lane-run", and
+// "barrier"; lane is the variant index the timing belongs to, or -1 for
+// work shared by all lanes. A phase may be reported multiple times
+// (implementations accumulate). Calls arrive from the single goroutine
+// driving the batch.
+type PhaseObserver interface {
+	ObservePhase(phase string, lane int, d time.Duration)
 }
 
 // DefaultConfig returns the paper's baseline system for the given core

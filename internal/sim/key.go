@@ -35,7 +35,9 @@ func (c Config) Key() string {
 	// a memo-cache hit replays no epochs, so a telemetry-enabled run must
 	// not be satisfied by a cached telemetry-off result (or vice versa).
 	// The sink and tag are deliberately excluded — they don't affect what
-	// is simulated, only where the epochs go.
+	// is simulated, only where the epochs go. Phases is excluded for the
+	// same reason: a phase observer measures wall time around existing
+	// work and never changes the simulation.
 	fmt.Fprintf(&b, "|telem=%d", c.TelemetryEpoch)
 	return b.String()
 }

@@ -1,0 +1,97 @@
+// Command tracesample produces a small but genuine span journal: it runs
+// one sweep job through an in-process job service with tracing enabled and
+// writes every span to the given NDJSON file. CI uploads the output as a
+// workflow artifact so each build carries a renderable trace
+// (drishti-sim -trace-timeline <file>) of the exact code it tested.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"drishti/internal/obs"
+	"drishti/internal/obs/trace"
+	"drishti/internal/serve"
+)
+
+func main() {
+	out := flag.String("out", "trace-sample.ndjson", "journal output `file`")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "tracesample:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string) error {
+	dir, err := os.MkdirTemp("", "tracesample-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	j, err := trace.OpenJournal(out)
+	if err != nil {
+		return err
+	}
+	svc, err := serve.New(serve.Options{
+		StoreDir: dir,
+		Workers:  2,
+		Registry: obs.NewRegistry(),
+		Trace:    trace.NewRecorder("served", j),
+	})
+	if err != nil {
+		return err
+	}
+
+	v, err := svc.Submit(serve.JobRequest{
+		Cores:        2,
+		Scale:        8,
+		Instructions: 20_000,
+		Warmup:       5_000,
+		Seed:         1,
+		Policies:     []serve.PolicyRequest{{Name: "lru"}, {Name: "mockingjay", Drishti: true}},
+		Workloads:    []string{"605.mcf_s-1554B", "602.gcc_s-734B"},
+	})
+	if err != nil {
+		return err
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		cur, ok := svc.Get(v.ID)
+		if !ok {
+			return fmt.Errorf("job %s vanished", v.ID)
+		}
+		if cur.Status.Terminal() {
+			if cur.Status != serve.StatusDone {
+				return fmt.Errorf("job %s finished %s: %s", v.ID, cur.Status, cur.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s still %s after 2m", v.ID, cur.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := j.Close(); err != nil {
+		return err
+	}
+	spans, err := trace.ReadJournal(out)
+	if err != nil {
+		return err
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("journal %s holds no spans", out)
+	}
+	fmt.Printf("tracesample: %d spans (trace %s) written to %s\n", len(spans), v.TraceID, out)
+	return nil
+}
