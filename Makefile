@@ -11,7 +11,7 @@ BENCH_TIME ?= 10x
 BENCH_COUNT ?= 3
 BENCH_TOLERANCE ?= 0.10
 
-.PHONY: build test race race-serve lint verify bench bench-quick bench-gate trace-sample pgo serve
+.PHONY: build test race race-serve lint verify bench bench-quick bench-gate trace-sample scenarios pgo serve
 
 # Tier-1 verification (ROADMAP.md): build + tests, then the race detector
 # and static checks. The experiment harness fans simulations out onto a
@@ -21,7 +21,7 @@ BENCH_TOLERANCE ?= 0.10
 # (worker pool, queue, leases, atomic same-key writers) is their whole
 # point. bench-gate fails
 # verify when the quick benchmarks regress >10% against BENCH_sim.json.
-verify: build test race race-serve lint bench-gate
+verify: build test race race-serve lint scenarios bench-gate
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,20 @@ bench-quick:
 bench-gate:
 	$(GO) test -run '^$$' -bench $(BENCH_QUICK) -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) . > BENCH_gate.txt
 	$(GO) run ./scripts/benchcmp -check -baseline BENCH_sim.json -tolerance $(BENCH_TOLERANCE) < BENCH_gate.txt
+
+# scenarios: validate every committed scenario spec (parse, strict-decode,
+# compile, content address) and run the small trace-replay spec end to end
+# as a smoke test. The compiled summaries — run names, core counts, and
+# the exact cfg/mix keys each spec resolves to — accumulate in
+# SCENARIOS_compiled.json, which CI uploads as an artifact next to
+# BENCH_sim.json.
+scenarios:
+	@rm -f SCENARIOS_compiled.json
+	@set -e; for f in examples/scenarios/*.yaml; do \
+		echo "scenario check $$f"; \
+		$(GO) run ./cmd/drishti-sim -scenario $$f -check -json >> SCENARIOS_compiled.json; \
+	done
+	$(GO) run ./cmd/drishti-sim -scenario examples/scenarios/trace-replay.yaml -quiet > /dev/null
 
 # trace-sample: run one traced job through an in-process service and write
 # its span journal (render with drishti-sim -trace-timeline).

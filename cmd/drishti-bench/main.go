@@ -7,6 +7,7 @@
 //	drishti-bench -parallel 1 fig13      # force the serial sweep path
 //	drishti-bench -telemetry epochs.ndjson -telemetry-epoch 50000 fig13
 //	drishti-bench -http :8080 all        # serve /metrics + /debug/pprof
+//	drishti-bench -scenario spec.yaml    # run a declarative scenario spec
 //
 // Scale flags (or DRISHTI_* environment variables) trade fidelity for time;
 // see EXPERIMENTS.md for the settings used in the recorded results.
@@ -24,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"time"
@@ -31,6 +33,7 @@ import (
 	"drishti/internal/buildinfo"
 	"drishti/internal/experiments"
 	"drishti/internal/obs"
+	"drishti/internal/scenario"
 )
 
 func main() { os.Exit(run()) }
@@ -55,6 +58,7 @@ func run() int {
 		httpAddr   = flag.String("http", "", "serve /metrics and /debug/pprof on `addr` (e.g. :8080)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to `file`")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to `file` at exit")
+		scenarioF  = flag.String("scenario", "", "run a declarative scenario spec `file` (YAML or JSON) through the sweep harness instead of a named experiment")
 	)
 	flag.Parse()
 	log := obs.NewLogger(os.Stderr, "drishti-bench", *quiet)
@@ -104,8 +108,9 @@ func run() int {
 	p.Logger = log
 
 	args := flag.Args()
-	if len(args) == 0 {
+	if len(args) == 0 && *scenarioF == "" {
 		fmt.Fprintln(os.Stderr, "usage: drishti-bench [-list] [flags] <experiment-id>... | all")
+		fmt.Fprintln(os.Stderr, "       drishti-bench [flags] -scenario spec.yaml")
 		fmt.Fprintln(os.Stderr, "run 'drishti-bench -list' to see experiment IDs")
 		return 2
 	}
@@ -175,6 +180,28 @@ func run() int {
 				log.Error("-memprofile", "err", err)
 			}
 		}()
+	}
+
+	if *scenarioF != "" {
+		spec, err := scenario.Load(*scenarioF)
+		if err != nil {
+			log.Error("scenario", "err", err)
+			return 1
+		}
+		c, err := spec.Compile(filepath.Dir(*scenarioF))
+		if err != nil {
+			log.Error("scenario", "err", err)
+			return 1
+		}
+		t0 := time.Now()
+		if err := experiments.RunScenario(p, c, os.Stdout); err != nil {
+			log.Error("scenario failed", "name", c.Spec.Name, "err", err)
+			return 1
+		}
+		log.Info("scenario done", "name", c.Spec.Name, "elapsed", time.Since(t0).Round(time.Millisecond))
+		if len(args) == 0 {
+			return 0
+		}
 	}
 
 	var ids []string

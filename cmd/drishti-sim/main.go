@@ -15,6 +15,15 @@
 // critical path highlighted, then exits:
 //
 //	drishti-sim -trace-timeline drishti.store/trace.journal
+//
+// -scenario runs a declarative scenario spec (YAML or JSON; see README
+// "Scenario specs") instead of the flag-built single run: every sweep
+// config × policy in the file executes and reports. -check compiles and
+// prints the scenario — runs, mixes, content-address key — without
+// simulating:
+//
+//	drishti-sim -scenario examples/scenarios/bursty-multitenant.yaml
+//	drishti-sim -scenario examples/scenarios/server-pressure.yaml -check -json
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -33,6 +43,7 @@ import (
 	"drishti/internal/obs"
 	"drishti/internal/obs/trace"
 	"drishti/internal/policies"
+	"drishti/internal/scenario"
 	"drishti/internal/sim"
 	"drishti/internal/workload"
 )
@@ -64,6 +75,9 @@ func main() {
 		telemFmt   = flag.String("telemetry-format", "ndjson", "telemetry format: ndjson or csv")
 
 		traceTimeline = flag.String("trace-timeline", "", "render the span journal `file` as per-node timelines and exit")
+
+		scenarioF = flag.String("scenario", "", "run a declarative scenario spec `file` (YAML or JSON) instead of the flag-built run")
+		check     = flag.Bool("check", false, "with -scenario: parse, compile, and print the scenario without simulating")
 	)
 	flag.Parse()
 	log = obs.NewLogger(os.Stderr, "drishti-sim", *quiet)
@@ -77,6 +91,31 @@ func main() {
 			fatal(err)
 		}
 		return
+	}
+	if *scenarioF != "" {
+		// -instr/-warmup/-seed explicitly set on the command line override
+		// the spec for a quick lower-fidelity pass; everything else comes
+		// from the file.
+		override := func(cfg *sim.Config) {
+			flag.Visit(func(f *flag.Flag) {
+				switch f.Name {
+				case "instr":
+					cfg.Instructions = *instr
+				case "warmup":
+					cfg.Warmup = *warmup
+				case "seed":
+					cfg.Seed = *seed
+				}
+			})
+		}
+		if err := runScenario(os.Stdout, *scenarioF, *check, *jsonOut, override); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if !knownPolicy(*policy) {
+		fatal(fmt.Errorf("unknown policy %q; known policies:\n  %s",
+			*policy, strings.Join(policies.KnownPolicies(), "\n  ")))
 	}
 
 	cfg := sim.ScaledConfig(*cores, *scale)
@@ -197,6 +236,108 @@ func renderTraceTimelines(w io.Writer, path string) error {
 			fmt.Fprintln(w)
 		}
 		trace.RenderTimeline(w, byTrace[id])
+	}
+	return nil
+}
+
+func knownPolicy(name string) bool {
+	for _, k := range policies.KnownPolicies() {
+		if name == k {
+			return true
+		}
+	}
+	return false
+}
+
+// compiledRunJSON is the -scenario -json summary of one compiled run; the
+// key fields are the exact content addresses the store and memo caches use.
+type compiledRunJSON struct {
+	Name         string `json:"name"`
+	Cores        int    `json:"cores"`
+	SliceKB      int    `json:"sliceKB"`
+	Instructions uint64 `json:"instructions"`
+	Warmup       uint64 `json:"warmup"`
+	Mix          string `json:"mix"`
+	CfgKey       string `json:"cfgKey"`
+	MixKey       string `json:"mixKey"`
+}
+
+type compiledJSON struct {
+	Name     string            `json:"name"`
+	Version  int               `json:"version"`
+	Seed     uint64            `json:"seed"`
+	Key      string            `json:"key"`
+	Runs     []compiledRunJSON `json:"runs"`
+	Policies []string          `json:"policies"`
+	Results  []scenarioCell    `json:"results,omitempty"`
+}
+
+type scenarioCell struct {
+	Run    string      `json:"run"`
+	Policy string      `json:"policy"`
+	Result *sim.Result `json:"result"`
+}
+
+// runScenario loads, compiles, and (unless check) executes a scenario spec.
+// Relative trace file paths resolve against the spec file's directory.
+func runScenario(w io.Writer, path string, check, jsonOut bool, override func(*sim.Config)) error {
+	spec, err := scenario.Load(path)
+	if err != nil {
+		return err
+	}
+	c, err := spec.Compile(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	for i := range c.Runs {
+		override(&c.Runs[i].Cfg)
+	}
+	out := compiledJSON{Name: c.Spec.Name, Version: c.Spec.Version, Seed: c.Spec.Seed, Key: c.Key()}
+	for _, r := range c.Runs {
+		out.Runs = append(out.Runs, compiledRunJSON{
+			Name: r.Name, Cores: r.Cfg.Cores, SliceKB: r.Cfg.SliceKB,
+			Instructions: r.Cfg.Instructions, Warmup: r.Cfg.Warmup,
+			Mix: r.Mix.Name, CfgKey: r.Cfg.Key(), MixKey: r.Mix.Key(),
+		})
+	}
+	for _, p := range c.Policies {
+		out.Policies = append(out.Policies, p.DisplayName())
+	}
+	if !check {
+		for _, r := range c.Runs {
+			for _, p := range c.Policies {
+				cfg := r.Cfg
+				cfg.Policy = p
+				log.Info("running", "run", obs.RunID(cfg.Key(), r.Mix.Key()),
+					"scenarioRun", r.Name, "policy", p.DisplayName(), "mix", r.Mix.Name)
+				res, err := sim.RunMix(cfg, r.Mix)
+				if err != nil {
+					return fmt.Errorf("scenario run %s policy %s: %w", r.Name, p.DisplayName(), err)
+				}
+				if jsonOut {
+					out.Results = append(out.Results, scenarioCell{Run: r.Name, Policy: p.DisplayName(), Result: res})
+					continue
+				}
+				fmt.Fprintf(w, "== scenario %s  run=%s  policy=%s\n", c.Spec.Name, r.Name, p.DisplayName())
+				report(cfg, r.Mix, res)
+				fmt.Fprintln(w)
+			}
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	if check {
+		fmt.Fprintf(w, "scenario %s (version %d, seed %d): %d run(s) x %d policy(ies) = %d cells\n",
+			out.Name, out.Version, out.Seed, len(out.Runs), len(out.Policies), len(out.Runs)*len(out.Policies))
+		for _, r := range out.Runs {
+			fmt.Fprintf(w, "  run %-16s cores=%-3d slice=%dKB instr=%d warmup=%d mix=%s\n",
+				r.Name, r.Cores, r.SliceKB, r.Instructions, r.Warmup, r.Mix)
+		}
+		fmt.Fprintf(w, "  policies: %s\n", strings.Join(out.Policies, ", "))
+		fmt.Fprintf(w, "  key: %s\n", out.Key)
 	}
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"log/slog"
 	"os"
 	"sort"
+	"strings"
 
 	"drishti/internal/analysis"
 	"drishti/internal/buildinfo"
@@ -51,7 +52,8 @@ func main() {
 	case *gen:
 		model, ok := workload.ByName(*wl)
 		if !ok {
-			fatalf("unknown model %q (use -models)", *wl)
+			fatalf("unknown model %q; known models:\n  %s",
+				*wl, strings.Join(workload.Names(append(workload.AllSPECGAP(), workload.Fig19Models()...)), "\n  "))
 		}
 		model = model.Scale(*scale, *setBits)
 		g, err := workload.NewGenerator(model, *seed)

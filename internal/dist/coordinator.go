@@ -300,16 +300,19 @@ func (c *Coordinator) RunJob(ctx context.Context, jobID string, req api.JobReque
 // the store already holds are resolved immediately; the rest come back as
 // pending cellStates.
 func (c *Coordinator) decompose(jobID string, req api.JobRequest) (*fleetJob, []*cellState, error) {
-	nCells := len(req.Workloads) * len(req.Policies)
+	nw, np, err := req.Grid()
+	if err != nil {
+		return nil, nil, err
+	}
 	job := &fleetJob{
 		id:      jobID,
-		results: make([]api.CellResult, nCells),
+		results: make([]api.CellResult, nw*np),
 		done:    make(chan struct{}),
 	}
 	var cells []*cellState
 	idx := 0
-	for wi := range req.Workloads {
-		for pi := range req.Policies {
+	for wi := 0; wi < nw; wi++ {
+		for pi := 0; pi < np; pi++ {
 			cfg, mix, err := req.Cell(wi, pi)
 			if err != nil {
 				return nil, nil, err
@@ -325,7 +328,7 @@ func (c *Coordinator) decompose(jobID string, req api.JobRequest) (*fleetJob, []
 					PolicyIndex:   pi,
 				},
 				policy:   cfg.Policy.DisplayName(),
-				workload: req.Workloads[wi],
+				workload: req.WorkloadName(wi),
 				mixName:  mix.Name,
 				groupKey: batchGroupKey(cfg, mix),
 			}

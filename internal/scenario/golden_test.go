@@ -1,0 +1,69 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden spec-schema files")
+
+// encodeWire renders v the way the job service's writeJSON does (two-space
+// indent, trailing newline) so the golden bytes match what a wire client
+// round-trips.
+func encodeWire(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test ./internal/scenario -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from the golden format.\n--- got ---\n%s--- want ---\n%s"+
+			"A deliberate schema change must bump scenario.Version and regenerate with -update.",
+			name, got, want)
+	}
+}
+
+// TestGoldenSpecSchema pins the scenario spec's JSON schema bytes — every
+// field name, omitempty decision, and default — plus the compiled content
+// address of a fixed spec. A rename or tag change that would silently break
+// committed spec files (or move stored results to new keys) fails here.
+func TestGoldenSpecSchema(t *testing.T) {
+	spec, err := Parse([]byte(specYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The raw spec round-trips with defaults applied, the form the job API
+	// echoes back after WithDefaults.
+	checkGolden(t, "spec_v1.golden.json", encodeWire(t, spec.WithDefaults()))
+
+	key, err := spec.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "spec_v1.key.golden", append([]byte(key), '\n'))
+}

@@ -1,0 +1,62 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Load reads and strict-decodes a scenario spec file, YAML or JSON by
+// content. Callers compiling a loaded spec should pass the spec file's
+// directory as Compile's baseDir so relative trace paths resolve.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Parse strict-decodes a spec from YAML or JSON bytes: unknown fields and
+// trailing garbage are rejected, exactly like the job API's wire decoding
+// (a YAML document is normalized through JSON first, so both formats share
+// one schema).
+func Parse(data []byte) (*Spec, error) {
+	js := data
+	if trimmed := bytes.TrimLeft(data, " \t\r\n"); len(trimmed) == 0 || trimmed[0] != '{' {
+		doc, err := parseYAML(data)
+		if err != nil {
+			return nil, err
+		}
+		js, err = json.Marshal(doc)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: normalizing yaml: %w", err)
+		}
+	}
+	var s Spec
+	if err := decodeStrict(bytes.NewReader(js), &s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return &s, nil
+}
+
+// decodeStrict mirrors api.DecodeStrict (the api package imports this one,
+// so the helper is duplicated rather than the dependency inverted).
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON value")
+	}
+	return nil
+}

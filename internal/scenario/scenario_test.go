@@ -1,0 +1,281 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"drishti/internal/sim"
+	"drishti/internal/workload"
+)
+
+// specYAML is a spec exercising every source class; reordered below to pin
+// field-order independence.
+const specYAML = `
+version: 1
+name: kitchen-sink
+seed: 9
+machine:
+  cores: 8
+  scale: 8
+  instructions: 40000
+  warmup: 10000
+clients:
+  - name: pinned
+    cores: 2
+    workload:
+      preset: 605.mcf_s-1554B
+    arrival:
+      process: weibull
+      shape: 0.45
+  - name: inline
+    cores: 2
+    workload:
+      model:
+        meanGap: 4.0
+        streams:
+          - kind: loop
+            weight: 10
+            footprintKB: 64
+            pcs: 8
+          - kind: seq
+            weight: 2
+            footprintKB: 4096
+            pcs: 4
+            writeFrac: 0.2
+  - name: phasey
+    cores: 2
+    workload:
+      phases:
+        period: 5000
+        of:
+          - preset: 619.lbm_s-2676B
+          - preset: 605.mcf_s-1554B
+  - name: replay
+    workload:
+      trace:
+        csv: |
+          pc,addr,write,gap
+          0x1,0x40,0,2
+          0x2,0x80,1,3
+sweep:
+  policies:
+    - name: lru
+    - name: mockingjay
+      drishti: true
+  configs:
+    - name: small
+    - name: wide
+      cores: 16
+`
+
+// specYAMLReordered is the same document with every mapping's keys and the
+// client order-insensitive fields permuted (element order of clients,
+// policies, and configs is semantic and kept).
+const specYAMLReordered = `
+name: kitchen-sink
+seed: 9
+version: 1
+clients:
+  - workload:
+      preset: 605.mcf_s-1554B
+    arrival:
+      shape: 0.45
+      process: weibull
+    cores: 2
+    name: pinned
+  - cores: 2
+    workload:
+      model:
+        streams:
+          - weight: 10
+            pcs: 8
+            footprintKB: 64
+            kind: loop
+          - writeFrac: 0.2
+            kind: seq
+            footprintKB: 4096
+            weight: 2
+            pcs: 4
+        meanGap: 4.0
+    name: inline
+  - name: phasey
+    workload:
+      phases:
+        of:
+          - preset: 619.lbm_s-2676B
+          - preset: 605.mcf_s-1554B
+        period: 5000
+    cores: 2
+  - name: replay
+    workload:
+      trace:
+        csv: |
+          pc,addr,write,gap
+          0x1,0x40,0,2
+          0x2,0x80,1,3
+machine:
+  warmup: 10000
+  cores: 8
+  instructions: 40000
+  scale: 8
+sweep:
+  configs:
+    - name: small
+    - cores: 16
+      name: wide
+  policies:
+    - name: lru
+    - drishti: true
+      name: mockingjay
+`
+
+func mustCompile(t *testing.T, src string) *Compiled {
+	t.Helper()
+	spec, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := spec.Compile("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestCompileDeterministicAcrossOrderings pins that the content address is
+// a function of the spec's meaning, not its serialization: reordering
+// mapping keys must not move a single byte of the compiled key.
+func TestCompileDeterministicAcrossOrderings(t *testing.T) {
+	a := mustCompile(t, specYAML)
+	b := mustCompile(t, specYAMLReordered)
+	if a.Key() != b.Key() {
+		t.Errorf("reordered spec compiled to a different key:\n%s\n%s", a.Key(), b.Key())
+	}
+	// Repeated compilation of one spec is bit-stable too.
+	if again := mustCompile(t, specYAML); again.Key() != a.Key() {
+		t.Error("recompiling the same spec changed the key")
+	}
+}
+
+func TestCompileShape(t *testing.T) {
+	c := mustCompile(t, specYAML)
+	if len(c.Runs) != 2 || len(c.Policies) != 2 {
+		t.Fatalf("got %d runs x %d policies, want 2x2", len(c.Runs), len(c.Policies))
+	}
+	if c.Runs[0].Name != "small" || c.Runs[0].Cfg.Cores != 8 {
+		t.Errorf("run 0 = %s/%d cores", c.Runs[0].Name, c.Runs[0].Cfg.Cores)
+	}
+	if c.Runs[1].Name != "wide" || c.Runs[1].Cfg.Cores != 16 {
+		t.Errorf("run 1 = %s/%d cores", c.Runs[1].Name, c.Runs[1].Cfg.Cores)
+	}
+	mix := c.Runs[0].Mix
+	if mix.Cores() != 8 {
+		t.Fatalf("mix cores = %d", mix.Cores())
+	}
+	// Client layout: 2 preset + 2 inline + 2 phased + 2 rest (trace).
+	if len(mix.Sources) != 8 {
+		t.Fatalf("sources = %d, want 8 (mix has active sources)", len(mix.Sources))
+	}
+	if mix.Sources[4].Phased == nil || mix.Sources[6].Trace == nil {
+		t.Error("phased/trace sources not where the client layout puts them")
+	}
+	if !strings.Contains(mix.Models[0].Name, "mcf") || mix.Models[0].GapDist != "weibull" {
+		t.Errorf("client 0 model = %+v", mix.Models[0])
+	}
+	// The wide run re-allocates the rest client: 16 - 6 = 10 trace cores.
+	if n := c.Runs[1].Mix.Cores(); n != 16 {
+		t.Errorf("wide run cores = %d", n)
+	}
+}
+
+// TestHomogeneousEquivalence pins the dedup-critical identity: a
+// single-preset scenario spanning the machine compiles to byte-identical
+// cfg and mix keys as the Go-constructed homogeneous sweep, so spec
+// submissions re-hit stored results from plain submissions.
+func TestHomogeneousEquivalence(t *testing.T) {
+	const name = "605.mcf_s-1554B"
+	spec := Spec{
+		Version: 1,
+		Name:    "homo-check",
+		Seed:    1,
+		Machine: MachineSpec{Cores: 4, Scale: 8, Instructions: 20_000, Warmup: 5_000},
+		Clients: []ClientSpec{{Name: "all", Workload: SourceSpec{Preset: name}}},
+	}
+	c, err := spec.Compile("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.ScaledConfig(4, 8)
+	cfg.Instructions = 20_000
+	cfg.Warmup = 5_000
+	cfg.Seed = 1
+	var model workload.Model
+	for _, m := range workload.ScaleAll(workload.AllSPECGAP(), 8, cfg.SetIndexBits()) {
+		if m.Name == name {
+			model = m
+			break
+		}
+	}
+	want := workload.Homogeneous(model, 4, 1)
+	if got := c.Runs[0].Mix.Key(); got != want.Key() {
+		t.Errorf("mix key diverged from workload.Homogeneous:\n got %s\nwant %s", got, want.Key())
+	}
+	if got := c.Runs[0].Cfg.Key(); got != cfg.Key() {
+		t.Errorf("cfg key diverged from sim.ScaledConfig:\n got %s\nwant %s", got, cfg.Key())
+	}
+}
+
+func compileErr(t *testing.T, mut func(*Spec)) error {
+	t.Helper()
+	spec, err := Parse([]byte(specYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut(spec)
+	_, err = spec.Compile("")
+	if err == nil {
+		t.Fatal("compile succeeded, want error")
+	}
+	return err
+}
+
+func TestValidationErrors(t *testing.T) {
+	if err := compileErr(t, func(s *Spec) { s.Version = 2 }); !strings.Contains(err.Error(), "version") {
+		t.Errorf("version error: %v", err)
+	}
+	// Unknown presets and policies list the known names, newline-joined.
+	err := compileErr(t, func(s *Spec) { s.Clients[0].Workload.Preset = "nosuchbench" })
+	if !strings.Contains(err.Error(), "known presets:") || !strings.Contains(err.Error(), "620.omnetpp_s-874B") {
+		t.Errorf("unknown preset error does not list names: %v", err)
+	}
+	err = compileErr(t, func(s *Spec) { s.Sweep.Policies[0].Name = "nosuchpolicy" })
+	if !strings.Contains(err.Error(), "known policies:") || !strings.Contains(err.Error(), "mockingjay") {
+		t.Errorf("unknown policy error does not list names: %v", err)
+	}
+	compileErr(t, func(s *Spec) { s.Clients[0].Fraction = 0.5 })                                           // cores+fraction
+	compileErr(t, func(s *Spec) { s.Clients[0].Cores = 0 })                                                // two rest clients
+	compileErr(t, func(s *Spec) { s.Clients[3].Cores = 3 })                                                // cores don't cover machine
+	compileErr(t, func(s *Spec) { s.Clients[0].Workload.Model = &ModelSpec{} })                            // two sources
+	compileErr(t, func(s *Spec) { s.Clients[1].Workload.Model.Streams = nil })                             // no streams
+	compileErr(t, func(s *Spec) { s.Clients[1].Workload.Model.Streams[0].Kind = "zig" })                   // bad kind
+	compileErr(t, func(s *Spec) { s.Clients[0].Arrival.Shape = 0 })                                        // weibull needs shape
+	compileErr(t, func(s *Spec) { s.Clients[0].Arrival.Process = "pareto" })                               // unknown process
+	compileErr(t, func(s *Spec) { s.Clients[3].Arrival = &ArrivalSpec{Process: "gamma", Shape: 1} })       // arrival on trace
+	compileErr(t, func(s *Spec) { s.Clients[2].Workload.Phases.Of = s.Clients[2].Workload.Phases.Of[:1] }) // 1 phase
+	compileErr(t, func(s *Spec) { s.Clients[3].Workload.Trace.File = "x.csv" })                            // file+csv
+	compileErr(t, func(s *Spec) { s.Name = "has spaces" })                                                 // key-unsafe name
+	compileErr(t, func(s *Spec) { s.Machine.Cores = MaxCores + 1 })                                        // too many cores
+}
+
+// TestTraceFileRejectedWithoutBaseDir pins the wire-submission rule: file
+// traces only resolve when the caller anchors them to a directory.
+func TestTraceFileRejectedWithoutBaseDir(t *testing.T) {
+	spec, err := Parse([]byte(specYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Clients[3].Workload.Trace = &TraceSpec{File: "some.csv"}
+	if _, err := spec.Compile(""); err == nil || !strings.Contains(err.Error(), "inline the csv") {
+		t.Errorf("file trace without baseDir: %v", err)
+	}
+}

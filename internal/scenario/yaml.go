@@ -1,0 +1,365 @@
+package scenario
+
+// A minimal YAML-subset parser, sufficient for scenario specs: block
+// mappings and sequences by indentation, inline "- key: value" sequence
+// items, scalars (null/bool/int/uint/float/string, single- and
+// double-quoted), flow lists ([a, b]), "#" comments, and "|" literal
+// blocks (for inline CSV traces). The repo deliberately has no
+// third-party dependencies, and the subset keeps the accepted grammar
+// small enough to pin with tests.
+//
+// Parsed documents are generic (map[string]any / []any / scalars) and are
+// round-tripped through encoding/json into the Spec with unknown-field
+// rejection, so YAML and JSON submissions share one strict schema.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type yamlLine struct {
+	n      int    // 1-based line number
+	indent int    // leading spaces
+	text   string // raw content after indentation (comments intact)
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// parseYAML parses one document into generic Go values.
+func parseYAML(data []byte) (any, error) {
+	raw := strings.Split(strings.ReplaceAll(string(data), "\r\n", "\n"), "\n")
+	p := &yamlParser{}
+	for i, ln := range raw {
+		j := 0
+		for j < len(ln) && ln[j] == ' ' {
+			j++
+		}
+		if j < len(ln) && ln[j] == '\t' {
+			return nil, fmt.Errorf("yaml: line %d: tab in indentation (use spaces)", i+1)
+		}
+		p.lines = append(p.lines, yamlLine{n: i + 1, indent: j, text: ln[j:]})
+	}
+	p.skipBlank()
+	if !p.eof() && strings.TrimSpace(p.cur().text) == "---" {
+		p.pos++
+		p.skipBlank()
+	}
+	if p.eof() {
+		return nil, fmt.Errorf("yaml: empty document")
+	}
+	v, err := p.parseNode(p.cur().indent)
+	if err != nil {
+		return nil, err
+	}
+	p.skipBlank()
+	if !p.eof() {
+		return nil, fmt.Errorf("yaml: line %d: content outside the document structure", p.cur().n)
+	}
+	return v, nil
+}
+
+func (p *yamlParser) eof() bool     { return p.pos >= len(p.lines) }
+func (p *yamlParser) cur() yamlLine { return p.lines[p.pos] }
+
+// skipBlank advances over blank and comment-only lines.
+func (p *yamlParser) skipBlank() {
+	for !p.eof() {
+		t := strings.TrimSpace(p.lines[p.pos].text)
+		if t != "" && !strings.HasPrefix(t, "#") {
+			return
+		}
+		p.pos++
+	}
+}
+
+func isSeqItem(text string) bool {
+	return text == "-" || strings.HasPrefix(text, "- ")
+}
+
+func (p *yamlParser) parseNode(indent int) (any, error) {
+	if isSeqItem(p.cur().text) {
+		return p.parseSeq(indent)
+	}
+	return p.parseMap(indent)
+}
+
+func (p *yamlParser) parseMap(indent int) (map[string]any, error) {
+	out := map[string]any{}
+	for {
+		p.skipBlank()
+		if p.eof() || p.cur().indent < indent {
+			return out, nil
+		}
+		ln := p.cur()
+		if ln.indent > indent {
+			return nil, fmt.Errorf("yaml: line %d: unexpected indentation", ln.n)
+		}
+		if isSeqItem(ln.text) {
+			return nil, fmt.Errorf("yaml: line %d: sequence item where a mapping key was expected", ln.n)
+		}
+		key, rest, err := splitKey(ln)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("yaml: line %d: duplicate key %q", ln.n, key)
+		}
+		p.pos++
+		switch rest {
+		case "":
+			// Nested block (or an explicitly empty value).
+			p.skipBlank()
+			if p.eof() || p.cur().indent <= indent {
+				out[key] = nil
+				continue
+			}
+			v, err := p.parseNode(p.cur().indent)
+			if err != nil {
+				return nil, err
+			}
+			out[key] = v
+		case "|":
+			out[key] = p.literalBlock(indent)
+		default:
+			v, err := parseScalar(rest, ln.n)
+			if err != nil {
+				return nil, err
+			}
+			out[key] = v
+		}
+	}
+}
+
+func (p *yamlParser) parseSeq(indent int) ([]any, error) {
+	out := []any{}
+	for {
+		p.skipBlank()
+		if p.eof() || p.cur().indent < indent {
+			return out, nil
+		}
+		ln := p.cur()
+		if ln.indent > indent || !isSeqItem(ln.text) {
+			return nil, fmt.Errorf("yaml: line %d: expected a \"- \" sequence item", ln.n)
+		}
+		if ln.text == "-" {
+			p.pos++
+			p.skipBlank()
+			if p.eof() || p.cur().indent <= indent {
+				out = append(out, nil)
+				continue
+			}
+			v, err := p.parseNode(p.cur().indent)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+			continue
+		}
+		rest := strings.TrimLeft(ln.text[2:], " ")
+		off := indent + len(ln.text) - len(rest) // column of the item's content
+		if _, _, err := splitKey(yamlLine{n: ln.n, text: rest}); err == nil {
+			// "- key: value": the item is a mapping whose first entry sits
+			// on the dash line; rewrite the line at the content column and
+			// let parseMap consume it together with the following keys.
+			p.lines[p.pos] = yamlLine{n: ln.n, indent: off, text: rest}
+			v, err := p.parseMap(off)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+			continue
+		}
+		p.pos++
+		sc := strings.TrimSpace(stripComment(rest))
+		if sc == "" {
+			out = append(out, nil)
+			continue
+		}
+		v, err := parseScalar(sc, ln.n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+}
+
+// literalBlock collects the indented lines after a "key: |" header,
+// strips their common indentation, and joins them with newlines. Inner
+// blank lines survive; trailing blank lines are dropped (one trailing
+// newline remains, YAML's clip chomping).
+func (p *yamlParser) literalBlock(keyIndent int) string {
+	var block []yamlLine
+	for !p.eof() {
+		ln := p.cur()
+		if strings.TrimSpace(ln.text) == "" {
+			block = append(block, yamlLine{}) // blank marker (n == 0)
+			p.pos++
+			continue
+		}
+		if ln.indent <= keyIndent {
+			break
+		}
+		block = append(block, ln)
+		p.pos++
+	}
+	for len(block) > 0 && block[len(block)-1].n == 0 {
+		block = block[:len(block)-1]
+	}
+	if len(block) == 0 {
+		return ""
+	}
+	min := -1
+	for _, ln := range block {
+		if ln.n != 0 && (min < 0 || ln.indent < min) {
+			min = ln.indent
+		}
+	}
+	var b strings.Builder
+	for _, ln := range block {
+		if ln.n == 0 {
+			b.WriteByte('\n')
+			continue
+		}
+		b.WriteString(strings.Repeat(" ", ln.indent-min))
+		b.WriteString(ln.text)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// splitKey splits a "key: value" line at the first unquoted ": " (or a
+// trailing ":"), stripping any comment from the value side.
+func splitKey(ln yamlLine) (key, rest string, err error) {
+	s := ln.text
+	inS, inD := false, false
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '\'' && !inD:
+			inS = !inS
+		case c == '"' && !inS:
+			inD = !inD
+		case c == '#' && !inS && !inD && i > 0 && s[i-1] == ' ':
+			return "", "", fmt.Errorf("yaml: line %d: expected \"key: value\"", ln.n)
+		case c == ':' && !inS && !inD:
+			if i+1 < len(s) && s[i+1] != ' ' {
+				continue // a colon inside an unquoted scalar ("http://...")
+			}
+			key = strings.TrimSpace(s[:i])
+			if key == "" {
+				return "", "", fmt.Errorf("yaml: line %d: empty mapping key", ln.n)
+			}
+			if strings.HasPrefix(key, "\"") || strings.HasPrefix(key, "'") {
+				kv, err := parseScalar(key, ln.n)
+				if err != nil {
+					return "", "", err
+				}
+				ks, ok := kv.(string)
+				if !ok {
+					return "", "", fmt.Errorf("yaml: line %d: non-string mapping key", ln.n)
+				}
+				key = ks
+			}
+			return key, strings.TrimSpace(stripComment(s[i+1:])), nil
+		}
+	}
+	return "", "", fmt.Errorf("yaml: line %d: expected \"key: value\"", ln.n)
+}
+
+// stripComment drops an unquoted "#" comment (at start, or after a space).
+func stripComment(s string) string {
+	inS, inD := false, false
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '\'' && !inD:
+			inS = !inS
+		case c == '"' && !inS:
+			inD = !inD
+		case c == '#' && !inS && !inD:
+			if i == 0 || s[i-1] == ' ' {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// parseScalar interprets one scalar (or flow list) value.
+func parseScalar(s string, line int) (any, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case strings.HasPrefix(s, "["):
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("yaml: line %d: unterminated flow list", line)
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		out := []any{}
+		if inner == "" {
+			return out, nil
+		}
+		for _, part := range splitFlow(inner) {
+			v, err := parseScalar(part, line)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	case strings.HasPrefix(s, "{"):
+		return nil, fmt.Errorf("yaml: line %d: flow mappings are not supported (use block form)", line)
+	case strings.HasPrefix(s, "\""):
+		v, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, fmt.Errorf("yaml: line %d: bad quoted string %s", line, s)
+		}
+		return v, nil
+	case strings.HasPrefix(s, "'"):
+		if len(s) < 2 || !strings.HasSuffix(s, "'") {
+			return nil, fmt.Errorf("yaml: line %d: unterminated single-quoted string", line)
+		}
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	}
+	switch s {
+	case "null", "~":
+		return nil, nil
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	}
+	if i, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return i, nil
+	}
+	if u, err := strconv.ParseUint(s, 0, 64); err == nil {
+		return u, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}
+
+// splitFlow splits a flow-list body on top-level commas (quote-aware; no
+// nested flow lists).
+func splitFlow(s string) []string {
+	var (
+		out      []string
+		start    int
+		inS, inD bool
+	)
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '\'' && !inD:
+			inS = !inS
+		case c == '"' && !inS:
+			inD = !inD
+		case c == ',' && !inS && !inD:
+			out = append(out, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	return append(out, strings.TrimSpace(s[start:]))
+}

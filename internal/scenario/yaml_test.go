@@ -1,0 +1,158 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func mustYAML(t *testing.T, src string) any {
+	t.Helper()
+	v, err := parseYAML([]byte(src))
+	if err != nil {
+		t.Fatalf("parseYAML: %v\n%s", err, src)
+	}
+	return v
+}
+
+func TestYAMLScalars(t *testing.T) {
+	got := mustYAML(t, `
+int: 42
+hex: 0x10
+neg: -3
+float: 0.45
+exp: 1e3
+bool: true
+off: false
+nil1: null
+nil2: ~
+str: plain words
+url: http://host:8080/x
+dq: "a # not comment"
+sq: 'it''s'
+empty: ""
+flow: [1, two, 3.5]
+emptyflow: []
+`)
+	want := map[string]any{
+		"int": int64(42), "hex": int64(0x10), "neg": int64(-3),
+		"float": 0.45, "exp": 1e3, "bool": true, "off": false,
+		"nil1": nil, "nil2": nil,
+		"str": "plain words", "url": "http://host:8080/x",
+		"dq": "a # not comment", "sq": "it's", "empty": "",
+		"flow": []any{int64(1), "two", 3.5}, "emptyflow": []any{},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got  %#v\nwant %#v", got, want)
+	}
+}
+
+func TestYAMLNesting(t *testing.T) {
+	got := mustYAML(t, `
+# document comment
+top:
+  inner: 1   # trailing comment
+  list:
+    - a
+    - b
+items:
+  - name: x
+    value: 1
+  - name: y
+    nested:
+      deep: true
+  -
+    name: z
+`)
+	want := map[string]any{
+		"top": map[string]any{
+			"inner": int64(1),
+			"list":  []any{"a", "b"},
+		},
+		"items": []any{
+			map[string]any{"name": "x", "value": int64(1)},
+			map[string]any{"name": "y", "nested": map[string]any{"deep": true}},
+			map[string]any{"name": "z"},
+		},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got  %#v\nwant %#v", got, want)
+	}
+}
+
+func TestYAMLLiteralBlock(t *testing.T) {
+	got := mustYAML(t, `
+csv: |
+  pc,addr,write,gap
+  0x1,0x40,0,2
+
+  0x2,0x80,1,3
+
+after: 1
+`)
+	m := got.(map[string]any)
+	want := "pc,addr,write,gap\n0x1,0x40,0,2\n\n0x2,0x80,1,3\n"
+	if m["csv"] != want {
+		t.Errorf("literal block = %q, want %q", m["csv"], want)
+	}
+	if m["after"] != int64(1) {
+		t.Errorf("key after block = %v", m["after"])
+	}
+}
+
+func TestYAMLErrors(t *testing.T) {
+	cases := map[string]string{
+		"tab indent":     "a:\n\tb: 1",
+		"dup key":        "a: 1\na: 2",
+		"bad indent":     "a: 1\n   b: 2",
+		"seq in map":     "a: 1\n- b",
+		"no colon":       "just words\n",
+		"empty doc":      "   \n# only comments\n",
+		"trailing":       "a: 1\nb: 2\n 3",
+		"unclosed flow":  "a: [1, 2",
+		"flow map":       "a: {b: 1}",
+		"unclosed quote": "a: 'oops",
+	}
+	for name, src := range cases {
+		if _, err := parseYAML([]byte(src)); err == nil {
+			t.Errorf("%s: parsed without error:\n%s", name, src)
+		}
+	}
+}
+
+// TestParseJSONAndYAMLAgree pins the normalization contract: the same
+// spec expressed as YAML and JSON decodes to identical Spec values, and
+// unknown fields are rejected in both.
+func TestParseJSONAndYAMLAgree(t *testing.T) {
+	yamlSrc := `
+version: 1
+name: demo
+machine:
+  cores: 4
+clients:
+  - name: only
+    workload:
+      preset: mcf
+`
+	jsonSrc := `{"version":1,"name":"demo","machine":{"cores":4},
+		"clients":[{"name":"only","workload":{"preset":"mcf"}}]}`
+	fromYAML, err := Parse([]byte(yamlSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := Parse([]byte(jsonSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromYAML, fromJSON) {
+		t.Errorf("YAML %+v != JSON %+v", fromYAML, fromJSON)
+	}
+	for _, bad := range []string{
+		"version: 1\nname: x\nbogus: 1\nmachine:\n  cores: 2\nclients:\n  - name: a\n    workload:\n      preset: mcf\n",
+		`{"version":1,"name":"x","bogus":1}`,
+	} {
+		if _, err := Parse([]byte(bad)); err == nil || !strings.Contains(err.Error(), "bogus") {
+			t.Errorf("unknown field accepted or unnamed in error: %v", err)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 
 	"drishti/internal/obs/trace"
 	"drishti/internal/policies"
+	"drishti/internal/scenario"
 	"drishti/internal/sim"
 	"drishti/internal/workload"
 )
@@ -84,6 +85,15 @@ type JobRequest struct {
 	Policies  []PolicyRequest `json:"policies"`
 	Workloads []string        `json:"workloads"`
 
+	// Scenario, when set, replaces Cores/Policies/Workloads with a
+	// declarative scenario spec (internal/scenario): the sweep grid
+	// becomes the spec's configs × policies, resolved by Grid/Cell like
+	// any other request. Mutually exclusive with the fields above.
+	// File-based trace sources are rejected at this boundary — a wire
+	// submission must inline its CSV so every fleet node can rebuild the
+	// cell without a shared filesystem.
+	Scenario *scenario.Spec `json:"scenario,omitempty"`
+
 	// TimeoutSec bounds the job's wall clock (0 = the service default).
 	TimeoutSec int `json:"timeoutSec,omitempty"`
 
@@ -97,6 +107,12 @@ type JobRequest struct {
 // so every later consumer — executor, coordinator, worker — sees the same
 // fully resolved request.
 func (r JobRequest) WithDefaults() JobRequest {
+	if r.Scenario != nil {
+		// The spec carries its own defaults (scenario.WithDefaults,
+		// applied inside Compile); leaving the request untouched keeps
+		// the echoed request byte-identical to what the client sent.
+		return r
+	}
 	if r.Scale == 0 {
 		r.Scale = 8
 	}
@@ -116,6 +132,9 @@ func (r JobRequest) WithDefaults() JobRequest {
 func (r JobRequest) Validate() error {
 	if r.APIVersion != 0 && r.APIVersion != Version {
 		return fmt.Errorf("apiVersion %d not supported (current: %d)", r.APIVersion, Version)
+	}
+	if r.Scenario != nil {
+		return r.validateScenario()
 	}
 	if r.Cores <= 0 || r.Cores > 128 {
 		return fmt.Errorf("cores must be in [1,128], got %d", r.Cores)
@@ -157,6 +176,65 @@ func (r JobRequest) Validate() error {
 	return nil
 }
 
+// validateScenario checks a scenario-bearing request: the spec fields are
+// exclusive with the plain sweep fields, the spec must compile with inline
+// sources only, and the compiled runs must respect the service ceilings.
+func (r JobRequest) validateScenario() error {
+	if r.Cores != 0 || len(r.Policies) != 0 || len(r.Workloads) != 0 {
+		return fmt.Errorf("scenario jobs must not also set cores/policies/workloads")
+	}
+	c, err := r.Scenario.Compile("")
+	if err != nil {
+		return err
+	}
+	for _, run := range c.Runs {
+		if run.Cfg.Instructions > 100_000_000 {
+			return fmt.Errorf("scenario run %s: instructions above the 100M service ceiling", run.Name)
+		}
+	}
+	if r.TimeoutSec < 0 {
+		return fmt.Errorf("timeoutSec must be >= 0")
+	}
+	return nil
+}
+
+// compiled resolves the request's scenario with inline sources only (no
+// filesystem anchor exists on the wire).
+func (r JobRequest) compiled() (*scenario.Compiled, error) {
+	return r.Scenario.Compile("")
+}
+
+// Grid returns the sweep grid dimensions: workload entries × policies for
+// plain requests, runs × policies for scenario requests. Executors loop
+// wi over [0,nw) and pi over [0,np) and resolve each cell via Cell.
+func (r JobRequest) Grid() (nw, np int, err error) {
+	if r.Scenario != nil {
+		c, err := r.compiled()
+		if err != nil {
+			return 0, 0, err
+		}
+		return len(c.Runs), len(c.Policies), nil
+	}
+	return len(r.Workloads), len(r.Policies), nil
+}
+
+// WorkloadName labels workload entry wi for results and fleet status: the
+// request's workload string, or "<scenario>/<run>" for scenario jobs.
+// Out-of-range indices label stably rather than panic (results for such
+// cells cannot exist).
+func (r JobRequest) WorkloadName(wi int) string {
+	if r.Scenario != nil {
+		if c, err := r.compiled(); err == nil && wi >= 0 && wi < len(c.Runs) {
+			return c.Spec.Name + "/" + c.Runs[wi].Name
+		}
+		return fmt.Sprintf("scenario[%d]", wi)
+	}
+	if wi >= 0 && wi < len(r.Workloads) {
+		return r.Workloads[wi]
+	}
+	return fmt.Sprintf("workload[%d]", wi)
+}
+
 // lookupModel resolves a workload name (substring match) against the
 // scaled model population, exactly like drishti-sim -workload.
 func lookupModel(cfg sim.Config, name string, scale int) (workload.Model, error) {
@@ -169,8 +247,15 @@ func lookupModel(cfg sim.Config, name string, scale int) (workload.Model, error)
 }
 
 // Config builds the simulated machine for the request (policy unset; the
-// executor stamps one per cell).
+// executor stamps one per cell). Scenario requests return the first run's
+// machine; per-run machines come from Cell.
 func (r JobRequest) Config() sim.Config {
+	if r.Scenario != nil {
+		if c, err := r.compiled(); err == nil && len(c.Runs) > 0 {
+			return c.Runs[0].Cfg
+		}
+		return sim.Config{}
+	}
 	cfg := sim.ScaledConfig(r.Cores, r.Scale)
 	cfg.Instructions = r.Instructions
 	cfg.Warmup = r.Warmup
@@ -181,6 +266,16 @@ func (r JobRequest) Config() sim.Config {
 // Mix materializes workload wi of the request as a scaled mix. Entries are
 // independent, so materializing one is identical to taking Mixes()[wi].
 func (r JobRequest) Mix(wi int) (workload.Mix, error) {
+	if r.Scenario != nil {
+		c, err := r.compiled()
+		if err != nil {
+			return workload.Mix{}, err
+		}
+		if wi < 0 || wi >= len(c.Runs) {
+			return workload.Mix{}, fmt.Errorf("scenario run index %d out of range [0,%d)", wi, len(c.Runs))
+		}
+		return c.Runs[wi].Mix, nil
+	}
 	if wi < 0 || wi >= len(r.Workloads) {
 		return workload.Mix{}, fmt.Errorf("workload index %d out of range [0,%d)", wi, len(r.Workloads))
 	}
@@ -199,8 +294,12 @@ func (r JobRequest) Mix(wi int) (workload.Mix, error) {
 
 // Mixes materializes every workload entry as a scaled mix.
 func (r JobRequest) Mixes() ([]workload.Mix, error) {
-	out := make([]workload.Mix, 0, len(r.Workloads))
-	for wi := range r.Workloads {
+	nw, _, err := r.Grid()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]workload.Mix, 0, nw)
+	for wi := 0; wi < nw; wi++ {
 		m, err := r.Mix(wi)
 		if err != nil {
 			return nil, err
@@ -213,8 +312,24 @@ func (r JobRequest) Mixes() ([]workload.Mix, error) {
 // Cell resolves sweep cell (wi, pi) — workload wi under policy pi — to the
 // exact machine configuration and mix a worker must simulate. Coordinator
 // and workers both call this, so a cell means the same simulation on every
-// node of a fleet.
+// node of a fleet. Scenario requests resolve wi to the spec's runs and pi
+// to the spec's sweep policies.
 func (r JobRequest) Cell(wi, pi int) (sim.Config, workload.Mix, error) {
+	if r.Scenario != nil {
+		c, err := r.compiled()
+		if err != nil {
+			return sim.Config{}, workload.Mix{}, err
+		}
+		if wi < 0 || wi >= len(c.Runs) {
+			return sim.Config{}, workload.Mix{}, fmt.Errorf("scenario run index %d out of range [0,%d)", wi, len(c.Runs))
+		}
+		if pi < 0 || pi >= len(c.Policies) {
+			return sim.Config{}, workload.Mix{}, fmt.Errorf("policy index %d out of range [0,%d)", pi, len(c.Policies))
+		}
+		cfg := c.Runs[wi].Cfg
+		cfg.Policy = c.Policies[pi]
+		return cfg, c.Runs[wi].Mix, nil
+	}
 	if pi < 0 || pi >= len(r.Policies) {
 		return sim.Config{}, workload.Mix{}, fmt.Errorf("policy index %d out of range [0,%d)", pi, len(r.Policies))
 	}

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"drishti/internal/scenario"
+	"drishti/internal/workload"
+)
+
+// scenarioSweep is the declarative twin of smallSweep: the same machine,
+// workload, and policy grid expressed as a scenario spec.
+func scenarioSweep(t *testing.T) JobRequest {
+	t.Helper()
+	return JobRequest{Scenario: &scenario.Spec{
+		Version: scenario.Version,
+		Name:    "dedup-check",
+		Seed:    1,
+		Machine: scenario.MachineSpec{Cores: 2, Scale: 8, Instructions: 20_000, Warmup: 5_000},
+		Clients: []scenario.ClientSpec{
+			{Name: "all", Workload: scenario.SourceSpec{Preset: workload.AllSPECGAP()[0].Name}},
+		},
+		Sweep: scenario.SweepSpec{
+			Policies: []scenario.PolicySpec{{Name: "lru"}, {Name: "srrip"}},
+		},
+	}}
+}
+
+// TestScenarioJobDedupsAgainstPlainSweep is the end-to-end content-address
+// guarantee: a plain Go-constructed sweep runs first, then the equivalent
+// scenario-spec submission is served entirely from the store — zero new
+// simulations — with byte-identical per-cell results.
+func TestScenarioJobDedupsAgainstPlainSweep(t *testing.T) {
+	_, srv, _ := testService(t, Options{Workers: 2})
+
+	plainID, _ := postJob(t, srv, smallSweep(t))
+	if v := waitTerminal(t, srv, plainID, 30*time.Second); v.Status != StatusDone {
+		t.Fatalf("plain job ended %s: %s", v.Status, v.Error)
+	}
+	plain := fetchResult(t, srv, plainID)
+
+	scnID, _ := postJob(t, srv, scenarioSweep(t))
+	if v := waitTerminal(t, srv, scnID, 30*time.Second); v.Status != StatusDone {
+		t.Fatalf("scenario job ended %s: %s", v.Status, v.Error)
+	}
+	scn := fetchResult(t, srv, scnID)
+
+	if len(scn.Cells) != len(plain.Cells) {
+		t.Fatalf("scenario produced %d cells, plain %d", len(scn.Cells), len(plain.Cells))
+	}
+	if scn.StoreHits != len(scn.Cells) || scn.StoreMisses != 0 {
+		t.Errorf("scenario job hit the store %d/%d times (misses %d), want all hits",
+			scn.StoreHits, len(scn.Cells), scn.StoreMisses)
+	}
+	for i, c := range scn.Cells {
+		if !c.FromStore {
+			t.Errorf("cell %d (%s) was re-simulated", i, c.Policy)
+		}
+		got, err := json.Marshal(c.Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := json.Marshal(plain.Cells[i].Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("cell %d result diverged from the plain sweep's", i)
+		}
+		if c.Policy != plain.Cells[i].Policy {
+			t.Errorf("cell %d policy = %s, plain %s", i, c.Policy, plain.Cells[i].Policy)
+		}
+	}
+	// The label reflects the scenario run, not the plain workload name.
+	if scn.Cells[0].Workload != "dedup-check/base" {
+		t.Errorf("scenario cell workload label = %q", scn.Cells[0].Workload)
+	}
+}
+
+// TestScenarioJobRuns executes a scenario job with no warm store: a
+// multi-config sweep must produce one cell per run x policy.
+func TestScenarioJobRuns(t *testing.T) {
+	_, srv, _ := testService(t, Options{Workers: 2})
+	req := scenarioSweep(t)
+	req.Scenario.Sweep.Configs = []scenario.ConfigSpec{{Name: "n2"}, {Name: "n4", Cores: 4}}
+	id, _ := postJob(t, srv, req)
+	if v := waitTerminal(t, srv, id, 60*time.Second); v.Status != StatusDone {
+		t.Fatalf("job ended %s: %s", v.Status, v.Error)
+	}
+	res := fetchResult(t, srv, id)
+	if len(res.Cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.Result == nil && !c.FromStore {
+			t.Errorf("cell %s/%s has no result", c.Workload, c.Policy)
+		}
+	}
+	if res.Cells[2].Workload != "dedup-check/n4" {
+		t.Errorf("cell 2 label = %q", res.Cells[2].Workload)
+	}
+}

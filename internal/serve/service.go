@@ -21,7 +21,6 @@ import (
 
 	"drishti/internal/obs"
 	"drishti/internal/obs/trace"
-	"drishti/internal/policies"
 	"drishti/internal/serve/api"
 	"drishti/internal/sim"
 	"drishti/internal/store"
@@ -427,21 +426,22 @@ func (s *Service) runJob(ctx context.Context, j *Job) (*JobResult, error) {
 			return nil, err
 		}
 	}
-	mixes, err := req.Mixes()
+	nw, np, err := req.Grid()
 	if err != nil {
 		return nil, err
 	}
-	base := req.Config()
 	out := &JobResult{}
 	tracer := s.opts.Trace.Tracer()
 	parent := trace.FromContext(ctx)
-	for wi, mix := range mixes {
-		for _, pol := range req.Policies {
+	for wi := 0; wi < nw; wi++ {
+		for pi := 0; pi < np; pi++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			cfg := base
-			cfg.Policy = policies.Spec{Name: pol.Name, Drishti: pol.Drishti}
+			cfg, mix, err := req.Cell(wi, pi)
+			if err != nil {
+				return nil, err
+			}
 			sp := tracer.Start(parent, "cell")
 			sp.SetAttr("policy", cfg.Policy.DisplayName())
 			sp.SetAttr("mix", mix.Name)
@@ -460,7 +460,7 @@ func (s *Service) runJob(ctx context.Context, j *Job) (*JobResult, error) {
 			}
 			out.Cells = append(out.Cells, CellResult{
 				Policy:    cfg.Policy.DisplayName(),
-				Workload:  req.Workloads[wi],
+				Workload:  req.WorkloadName(wi),
 				Mix:       mix.Name,
 				FromStore: fromStore,
 				IPCSum:    res.IPCSum(),

@@ -156,7 +156,7 @@ func RunBatchContext(ctx context.Context, base Config, variants []Variant, mix w
 		if !used[c] {
 			continue
 		}
-		g, err := workload.NewGenerator(mix.Models[c], mix.Seeds[c])
+		g, err := workload.NewReader(mix, c)
 		if err != nil {
 			return nil, err
 		}
@@ -385,26 +385,33 @@ func runLockstep(lanes []*batchLane, raws []*workload.Stream, exps []*expStream,
 }
 
 // runBatchForked is the memory-budget fallback: every lane replays the
-// stream itself from a cheap generator fork, serially. Identical results,
+// stream itself from a cheap reader fork, serially. Identical results,
 // no shared window.
 func runBatchForked(ctx context.Context, cfgs []Config, variants []Variant, mix workload.Mix) ([]*Result, error) {
-	protos := make([]*workload.Generator, mix.Cores())
+	protos := make([]trace.Reader, mix.Cores())
 	for c := range protos {
-		g, err := workload.NewGenerator(mix.Models[c], mix.Seeds[c])
+		g, err := workload.NewReader(mix, c)
 		if err != nil {
 			return nil, err
 		}
 		protos[c] = g
 	}
+	fork := func(c int) (trace.Reader, error) { return workload.ForkReader(protos[c]) }
 	out := make([]*Result, len(variants))
 	for i, v := range variants {
 		readers := make([]trace.Reader, cfgs[i].Cores)
+		var err error
 		if v.Alone {
-			readers[v.AloneCore] = protos[v.AloneCore].Fork()
+			readers[v.AloneCore], err = fork(v.AloneCore)
 		} else {
 			for c := range readers {
-				readers[c] = protos[c].Fork()
+				if readers[c], err = fork(c); err != nil {
+					break
+				}
 			}
+		}
+		if err != nil {
+			return nil, err
 		}
 		sys, err := New(cfgs[i], readers)
 		if err != nil {

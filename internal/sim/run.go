@@ -18,11 +18,11 @@ func Readers(mix workload.Mix) ([]trace.Reader, error) {
 	}
 	readers := make([]trace.Reader, mix.Cores())
 	for c := range readers {
-		g, err := workload.NewGenerator(mix.Models[c], mix.Seeds[c])
+		r, err := workload.NewReader(mix, c)
 		if err != nil {
 			return nil, err
 		}
-		readers[c] = g
+		readers[c] = r
 	}
 	return readers, nil
 }
@@ -148,11 +148,11 @@ func RunAloneNContext(ctx context.Context, cfg Config, mix workload.Mix, paralle
 func runAloneCore(ctx context.Context, cfg Config, mix workload.Mix, c int) (float64, error) {
 	cfg.TelemetryEpoch, cfg.TelemetrySink, cfg.TelemetryTag = 0, nil, ""
 	readers := make([]trace.Reader, cfg.Cores)
-	g, err := workload.NewGenerator(mix.Models[c], mix.Seeds[c])
+	r, err := workload.NewReader(mix, c)
 	if err != nil {
 		return 0, err
 	}
-	readers[c] = g
+	readers[c] = r
 	sys, err := New(cfg, readers)
 	if err != nil {
 		return 0, err

@@ -1,0 +1,199 @@
+package stats
+
+import "math"
+
+// IntSampler is a deterministic sampler of non-negative integers drawn
+// from a fixed distribution over a parent Rand stream. Geom predates the
+// interface and keeps its concrete type on the hot default path; the
+// samplers here cover the alternative inter-access gap processes scenario
+// specs can request (workload.Model.GapDist).
+type IntSampler interface {
+	// Next returns the next sample. Implementations with a non-positive
+	// mean return zero without consuming the stream, like Geom.
+	Next() int
+	// CloneWith returns a copy drawing from r, which callers pass as the
+	// clone of the original parent stream (samplers share their parent's
+	// Rand, so cloning the sampler alone would leave it coupled to the
+	// original). Any buffered sampler state is copied, so the clone and
+	// the original produce identical future samples.
+	CloneWith(r *Rand) IntSampler
+}
+
+// Poisson samples a Poisson distribution with fixed mean by Knuth's
+// product-of-uniforms method. Means above 30 are split into chunks whose
+// partial samples sum (Poisson is closed under addition), keeping
+// exp(-mean) well away from underflow while staying fully deterministic.
+type Poisson struct {
+	r         *Rand
+	mean      float64
+	chunks    int
+	expNegCkM float64 // exp(-mean/chunks)
+}
+
+// NewPoisson builds a sampler drawing from r with the given mean
+// (mean >= 0; a non-positive mean always samples zero).
+func NewPoisson(r *Rand, mean float64) *Poisson {
+	p := &Poisson{r: r, mean: mean}
+	if mean <= 0 {
+		return p
+	}
+	p.chunks = 1
+	for mean/float64(p.chunks) > 30 {
+		p.chunks++
+	}
+	p.expNegCkM = math.Exp(-mean / float64(p.chunks))
+	return p
+}
+
+// Next implements IntSampler.
+func (p *Poisson) Next() int {
+	if p.mean <= 0 {
+		return 0
+	}
+	n := 0
+	for c := 0; c < p.chunks; c++ {
+		prod := 1.0
+		for {
+			prod *= p.r.Float64()
+			if prod <= p.expNegCkM {
+				break
+			}
+			n++
+		}
+	}
+	return n
+}
+
+// CloneWith implements IntSampler.
+func (p *Poisson) CloneWith(r *Rand) IntSampler {
+	c := *p
+	c.r = r
+	return &c
+}
+
+// Gamma samples a gamma distribution with fixed mean and shape k via
+// Marsaglia–Tsang, rounding to the nearest integer. Shapes below one use
+// the standard boost (a Gamma(k+1) sample scaled by U^(1/k)). Normal
+// deviates come from Box–Muller with the second deviate buffered, so the
+// uniform stream is consumed two at a time.
+type Gamma struct {
+	r     *Rand
+	mean  float64
+	k     float64 // requested shape
+	d, c  float64 // Marsaglia–Tsang constants for the effective shape
+	scale float64 // mean / k
+	spare float64 // buffered Box–Muller deviate
+	have  bool
+}
+
+// NewGamma builds a sampler drawing from r with the given mean and shape
+// k > 0 (a non-positive mean always samples zero).
+func NewGamma(r *Rand, mean, k float64) *Gamma {
+	g := &Gamma{r: r, mean: mean, k: k}
+	if mean <= 0 || k <= 0 {
+		g.mean = 0
+		return g
+	}
+	kEff := k
+	if kEff < 1 {
+		kEff++
+	}
+	g.d = kEff - 1.0/3.0
+	g.c = 1.0 / math.Sqrt(9.0*g.d)
+	g.scale = mean / k
+	return g
+}
+
+func (g *Gamma) normal() float64 {
+	if g.have {
+		g.have = false
+		return g.spare
+	}
+	u1 := g.r.Float64()
+	for u1 == 0 {
+		u1 = g.r.Float64()
+	}
+	u2 := g.r.Float64()
+	rad := math.Sqrt(-2 * math.Log(u1))
+	theta := 2 * math.Pi * u2
+	g.spare = rad * math.Sin(theta)
+	g.have = true
+	return rad * math.Cos(theta)
+}
+
+// Next implements IntSampler.
+func (g *Gamma) Next() int {
+	if g.mean <= 0 {
+		return 0
+	}
+	boost := 1.0
+	if g.k < 1 {
+		u := g.r.Float64()
+		for u == 0 {
+			u = g.r.Float64()
+		}
+		boost = math.Pow(u, 1.0/g.k)
+	}
+	for {
+		x := g.normal()
+		v := 1 + g.c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := g.r.Float64()
+		for u == 0 {
+			u = g.r.Float64()
+		}
+		if math.Log(u) < 0.5*x*x+g.d-g.d*v+g.d*math.Log(v) {
+			return int(g.d*v*boost*g.scale + 0.5)
+		}
+	}
+}
+
+// CloneWith implements IntSampler.
+func (g *Gamma) CloneWith(r *Rand) IntSampler {
+	c := *g
+	c.r = r
+	return &c
+}
+
+// Weibull samples a Weibull distribution with fixed mean and shape k by
+// inverting the CDF (one uniform per sample), rounding to the nearest
+// integer. Shapes below one are heavy-tailed: long idle gaps separating
+// dense bursts, the bursty-tenant arrival pattern.
+type Weibull struct {
+	r      *Rand
+	mean   float64
+	invK   float64
+	lambda float64 // scale such that the mean comes out to mean
+}
+
+// NewWeibull builds a sampler drawing from r with the given mean and
+// shape k > 0 (a non-positive mean always samples zero).
+func NewWeibull(r *Rand, mean, k float64) *Weibull {
+	w := &Weibull{r: r, mean: mean}
+	if mean <= 0 || k <= 0 {
+		w.mean = 0
+		return w
+	}
+	w.invK = 1.0 / k
+	w.lambda = mean / math.Gamma(1.0+w.invK)
+	return w
+}
+
+// Next implements IntSampler.
+func (w *Weibull) Next() int {
+	if w.mean <= 0 {
+		return 0
+	}
+	u := w.r.Float64() // in [0,1): 1-u never hits zero
+	return int(w.lambda*math.Pow(-math.Log(1.0-u), w.invK) + 0.5)
+}
+
+// CloneWith implements IntSampler.
+func (w *Weibull) CloneWith(r *Rand) IntSampler {
+	c := *w
+	c.r = r
+	return &c
+}

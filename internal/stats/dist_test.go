@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// samplerMean draws n values and returns their mean.
+func samplerMean(s IntSampler, n int) float64 {
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += float64(s.Next())
+	}
+	return sum / float64(n)
+}
+
+// TestSamplerMeans checks each alternative gap process converges near its
+// configured mean — the property the arrival-shaping layer depends on: a
+// scenario that reshapes a model's gaps must not change its access rate.
+func TestSamplerMeans(t *testing.T) {
+	const n = 200_000
+	cases := []struct {
+		name string
+		mk   func(r *Rand) IntSampler
+		mean float64
+		tol  float64
+	}{
+		{"poisson-small", func(r *Rand) IntSampler { return NewPoisson(r, 3.5) }, 3.5, 0.05},
+		{"poisson-large", func(r *Rand) IntSampler { return NewPoisson(r, 500) }, 500, 0.05},
+		{"gamma-k2", func(r *Rand) IntSampler { return NewGamma(r, 8, 2) }, 8, 0.05},
+		{"gamma-bursty", func(r *Rand) IntSampler { return NewGamma(r, 8, 0.4) }, 8, 0.08},
+		{"weibull-k1", func(r *Rand) IntSampler { return NewWeibull(r, 6, 1) }, 6, 0.08},
+		{"weibull-bursty", func(r *Rand) IntSampler { return NewWeibull(r, 6, 0.45) }, 6, 0.08},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := samplerMean(tc.mk(NewRand(42)), n)
+			// Integer rounding shifts the continuous mean by at most 0.5.
+			if math.Abs(got-tc.mean) > tc.mean*tc.tol+0.5 {
+				t.Errorf("mean = %.3f, want %.3f +/- %.0f%%", got, tc.mean, tc.tol*100)
+			}
+		})
+	}
+}
+
+// TestSamplerDeterminism pins that equal seeds give equal streams and that
+// CloneWith reproduces the sampler's distribution parameters on a fresh
+// RNG — the contract generator forking depends on.
+func TestSamplerDeterminism(t *testing.T) {
+	mks := map[string]func(r *Rand) IntSampler{
+		"poisson": func(r *Rand) IntSampler { return NewPoisson(r, 7) },
+		"gamma":   func(r *Rand) IntSampler { return NewGamma(r, 9, 0.6) },
+		"weibull": func(r *Rand) IntSampler { return NewWeibull(r, 5, 0.45) },
+	}
+	for name, mk := range mks {
+		t.Run(name, func(t *testing.T) {
+			a, b := mk(NewRand(9)), mk(NewRand(9))
+			for i := 0; i < 1000; i++ {
+				if x, y := a.Next(), b.Next(); x != y {
+					t.Fatalf("draw %d diverged: %d vs %d", i, x, y)
+				}
+			}
+			// A clone seeded like a fresh sampler must match it draw for draw.
+			c := mk(NewRand(11)).CloneWith(NewRand(23))
+			d := mk(NewRand(23))
+			for i := 0; i < 1000; i++ {
+				if x, y := c.Next(), d.Next(); x != y {
+					t.Fatalf("clone draw %d diverged: %d vs %d", i, x, y)
+				}
+			}
+		})
+	}
+}
+
+// TestSamplerZeroMean pins the degenerate contract: mean <= 0 always
+// returns 0 and consumes no randomness.
+func TestSamplerZeroMean(t *testing.T) {
+	r := NewRand(1)
+	before := r.Uint64()
+	r = NewRand(1)
+	for _, s := range []IntSampler{NewPoisson(r, 0), NewGamma(r, 0, 2), NewWeibull(r, 0, 1)} {
+		if got := s.Next(); got != 0 {
+			t.Errorf("%T zero-mean Next = %d, want 0", s, got)
+		}
+	}
+	if got := r.Uint64(); got != before {
+		t.Error("zero-mean samplers consumed randomness")
+	}
+}

@@ -58,6 +58,13 @@ func (s *SliceReader) Next() (Rec, bool) {
 // Reset implements Reader.
 func (s *SliceReader) Reset() { s.pos = 0 }
 
+// Fork returns an independent reader continuing from the current position.
+// The record slice is shared (it is read-only); only the cursor is copied.
+func (s *SliceReader) Fork() *SliceReader {
+	c := *s
+	return &c
+}
+
 // Len returns the number of records.
 func (s *SliceReader) Len() int { return len(s.recs) }
 

@@ -22,6 +22,9 @@ func (g *Generator) Fork() *Generator {
 	// gapGeom draws from the generator's top-level Rand; rewire it to the
 	// clone so the fork's gap stream decouples from the original.
 	ng.gapGeom = g.gapGeom.CloneWith(ng.rnd)
+	if g.gapAlt != nil {
+		ng.gapAlt = g.gapAlt.CloneWith(ng.rnd)
+	}
 	ng.streams = make([]*streamState, len(g.streams))
 	for i, st := range g.streams {
 		ng.streams[i] = st.fork()

@@ -12,6 +12,12 @@ type Mix struct {
 	Name   string
 	Models []Model  // one per core
 	Seeds  []uint64 // one per core
+	// Sources optionally overrides per-core stream production (phase
+	// schedules, trace replay). Nil — the common case — means every core
+	// runs its Model; when set it must have one entry per core, and a
+	// core with an active source keeps a display-only placeholder in
+	// Models (reports print Models[c].Name).
+	Sources []Source
 }
 
 // Cores returns the number of cores the mix targets.
@@ -25,9 +31,32 @@ func (m Mix) Validate() error {
 	if len(m.Seeds) != len(m.Models) {
 		return fmt.Errorf("workload: mix %s has %d seeds for %d cores", m.Name, len(m.Seeds), len(m.Models))
 	}
-	for _, mod := range m.Models {
+	if len(m.Sources) != 0 && len(m.Sources) != len(m.Models) {
+		return fmt.Errorf("workload: mix %s has %d sources for %d cores", m.Name, len(m.Sources), len(m.Models))
+	}
+	for c, mod := range m.Models {
+		if m.sourceAt(c).active() {
+			continue // Models[c] is a display placeholder
+		}
 		if err := mod.Validate(); err != nil {
 			return fmt.Errorf("workload: mix %s: %w", m.Name, err)
+		}
+	}
+	for c, src := range m.Sources {
+		switch {
+		case src.Phased != nil && src.Trace != nil:
+			return fmt.Errorf("workload: mix %s core %d sets both phased and trace sources", m.Name, c)
+		case src.Phased != nil:
+			if err := src.Phased.Validate(); err != nil {
+				return fmt.Errorf("workload: mix %s core %d: %w", m.Name, c, err)
+			}
+		case src.Trace != nil:
+			if src.Trace.Name == "" {
+				return fmt.Errorf("workload: mix %s core %d has an unnamed trace source", m.Name, c)
+			}
+			if len(src.Trace.Recs) == 0 {
+				return fmt.Errorf("workload: mix %s core %d trace %q has no records", m.Name, c, src.Trace.Name)
+			}
 		}
 	}
 	return nil

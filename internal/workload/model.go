@@ -98,6 +98,16 @@ type Model struct {
 	// targets; 0 uses the default (11, a 2 MB / 16-way slice). Scale sets
 	// it to match shrunken machines.
 	SetIndexBits int
+	// GapDist selects the inter-access gap process: "" or "geometric" is
+	// the default geometric think time; "poisson", "gamma", and "weibull"
+	// draw gaps from the matching distribution with mean MeanGap. Scenario
+	// specs (internal/scenario) use these for arrival/burst shaping —
+	// a weibull shape below one yields the heavy-tailed idle periods and
+	// dense bursts of consolidated multi-tenant arrivals.
+	GapDist string
+	// GapShape is the shape parameter k for gamma/weibull gap processes;
+	// ignored by the other distributions.
+	GapShape float64
 }
 
 // Scale shrinks every stream footprint by divisor (for harness-scale runs
@@ -155,6 +165,15 @@ func (m Model) Validate() error {
 	if len(m.Streams) == 0 {
 		return fmt.Errorf("workload: model %s has no streams", m.Name)
 	}
+	switch m.GapDist {
+	case "", "geometric", "poisson":
+	case "gamma", "weibull":
+		if m.GapShape <= 0 {
+			return fmt.Errorf("workload: model %s %s gap distribution needs GapShape > 0", m.Name, m.GapDist)
+		}
+	default:
+		return fmt.Errorf("workload: model %s has unknown gap distribution %q (geometric|poisson|gamma|weibull)", m.Name, m.GapDist)
+	}
 	for i, s := range m.Streams {
 		if s.Weight <= 0 {
 			return fmt.Errorf("workload: model %s stream %d has non-positive weight", m.Name, i)
@@ -187,7 +206,8 @@ type Generator struct {
 	model   Model
 	seed    uint64
 	rnd     *stats.Rand
-	gapGeom *stats.Geom // geometric gap sampler over rnd, MeanGap precomputed
+	gapGeom *stats.Geom      // geometric gap sampler over rnd, MeanGap precomputed
+	gapAlt  stats.IntSampler // non-nil iff GapDist selects a non-geometric process
 	streams []*streamState
 	cumW    []float64
 	totalW  float64
@@ -215,6 +235,18 @@ func NewGenerator(model Model, seed uint64) (*Generator, error) {
 	}
 	g := &Generator{model: model, seed: seed, rnd: stats.NewRand(seed)}
 	g.gapGeom = stats.NewGeom(g.rnd, model.MeanGap)
+	// Alternative gap processes layer on top of (and fully replace) the
+	// default geometric sampler; the default path's draw sequence is
+	// untouched, so models without GapDist stay bit-identical.
+	switch model.GapDist {
+	case "", "geometric":
+	case "poisson":
+		g.gapAlt = stats.NewPoisson(g.rnd, model.MeanGap)
+	case "gamma":
+		g.gapAlt = stats.NewGamma(g.rnd, model.MeanGap, model.GapShape)
+	case "weibull":
+		g.gapAlt = stats.NewWeibull(g.rnd, model.MeanGap, model.GapShape)
+	}
 	var cum float64
 	setBits := model.SetIndexBits
 	if setBits == 0 {
@@ -301,11 +333,17 @@ func newStreamState(spec StreamSpec, rnd *stats.Rand, seed uint64, idx, setBits 
 func (g *Generator) Next() (trace.Rec, bool) {
 	st := g.pick()
 	addr, pc := st.next()
+	var gap int
+	if g.gapAlt != nil {
+		gap = g.gapAlt.Next()
+	} else {
+		gap = g.gapGeom.Next()
+	}
 	rec := trace.Rec{
 		PC:    pc,
 		Addr:  addr,
 		Write: st.rnd.Float64() < st.spec.WriteFrac,
-		Gap:   uint32(g.gapGeom.Next()),
+		Gap:   uint32(gap),
 	}
 	return rec, true
 }

@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"drishti/internal/trace"
+)
+
+func testTraceData() *TraceData {
+	return &TraceData{Name: "t0", Recs: []trace.Rec{
+		{PC: 0x400100, Addr: 0x1000, Gap: 2},
+		{PC: 0x400108, Addr: 0x2000, Gap: 3, Write: true},
+		{PC: 0x400110, Addr: 0x3000, Gap: 1},
+	}}
+}
+
+// TestGapDistKeyStability pins the key contract for the arrival-shaping
+// fields: absent and explicit-geometric distributions key identically to
+// the pre-existing format (so every committed key stays byte-stable), and
+// only a genuine alternative process extends the key.
+func TestGapDistKeyStability(t *testing.T) {
+	base := Homogeneous(AllSPECGAP()[0], 2, 1)
+	plain := base.Key()
+	if strings.Contains(plain, "gdist=") {
+		t.Fatalf("default mix key mentions gdist: %s", plain)
+	}
+	geo := base
+	geo.Models = append([]Model(nil), base.Models...)
+	for i := range geo.Models {
+		geo.Models[i].GapDist = "geometric"
+	}
+	if got := geo.Key(); got != plain {
+		t.Errorf("explicit geometric changed the key:\n  %s\n  %s", got, plain)
+	}
+	wb := base
+	wb.Models = append([]Model(nil), base.Models...)
+	for i := range wb.Models {
+		wb.Models[i].GapDist = "weibull"
+		wb.Models[i].GapShape = 0.45
+	}
+	if got := wb.Key(); !strings.Contains(got, "gdist=weibull,0.45") {
+		t.Errorf("weibull mix key missing gdist tag: %s", got)
+	}
+}
+
+// TestGapDistGeneratorDeterminism checks an alternative gap process keeps
+// the generator deterministic and forkable: same seed, same stream; a fork
+// taken mid-stream tracks its parent record for record.
+func TestGapDistGeneratorDeterminism(t *testing.T) {
+	m := AllSPECGAP()[0]
+	m.GapDist = "weibull"
+	m.GapShape = 0.45
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewGenerator(m, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewGenerator(m, 7)
+	for i := 0; i < 2000; i++ {
+		ra, _ := a.Next()
+		rb, _ := b.Next()
+		if ra != rb {
+			t.Fatalf("record %d diverged: %+v vs %+v", i, ra, rb)
+		}
+	}
+	fork := a.Fork()
+	for i := 0; i < 2000; i++ {
+		ra, _ := a.Next()
+		rf, _ := fork.Next()
+		if ra != rf {
+			t.Fatalf("forked record %d diverged: %+v vs %+v", i, ra, rf)
+		}
+	}
+}
+
+// TestGapDistValidate pins the accepted distribution names and the shape
+// requirement.
+func TestGapDistValidate(t *testing.T) {
+	m := AllSPECGAP()[0]
+	for _, ok := range []string{"", "geometric", "poisson"} {
+		m.GapDist, m.GapShape = ok, 0
+		if err := m.Validate(); err != nil {
+			t.Errorf("GapDist %q: %v", ok, err)
+		}
+	}
+	m.GapDist, m.GapShape = "gamma", 0
+	if err := m.Validate(); err == nil {
+		t.Error("gamma without shape validated")
+	}
+	m.GapDist, m.GapShape = "lognormal", 1
+	if err := m.Validate(); err == nil {
+		t.Error("unknown distribution validated")
+	}
+}
+
+// TestMixSources covers the Source extension of Mix: validation of the
+// exactly-one rule, source-aware keys, and NewReader/ForkReader dispatch.
+func TestMixSources(t *testing.T) {
+	td := testTraceData()
+	ph := &PhasedModel{Name: "ph", Period: 100, Phases: []Model{AllSPECGAP()[0], AllSPECGAP()[1]}}
+	mix := Mix{
+		Name:   "src-mix",
+		Models: []Model{{Name: "phased-ph"}, {Name: "trace-t0"}, AllSPECGAP()[0]},
+		Seeds:  []uint64{1, 2, 3},
+		Sources: []Source{
+			{Phased: ph},
+			{Trace: td},
+			{},
+		},
+	}
+	if err := mix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	key := mix.Key()
+	for _, want := range []string{"c0=ph{phased=ph|period=100", "c1=tr{trace=t0|n=3|h="} {
+		if !strings.Contains(key, want) {
+			t.Errorf("mix key missing %q: %s", want, key)
+		}
+	}
+
+	r0, err := NewReader(mix, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r0.(*PhasedGenerator); !ok {
+		t.Errorf("core 0 reader = %T, want *PhasedGenerator", r0)
+	}
+	r1, err := NewReader(mix, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, ok := r1.(*trace.SliceReader)
+	if !ok {
+		t.Fatalf("core 1 reader = %T, want *trace.SliceReader", r1)
+	}
+	if rec, _ := sr.Next(); rec != td.Recs[0] {
+		t.Errorf("trace reader first record = %+v", rec)
+	}
+	// ForkReader must checkpoint the cursor, not rewind it.
+	f, err := ForkReader(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec, _ := f.Next(); rec != td.Recs[1] {
+		t.Errorf("forked trace reader resumed at %+v, want record 1", rec)
+	}
+	if r2, err := NewReader(mix, 2); err != nil {
+		t.Fatal(err)
+	} else if _, ok := r2.(*Generator); !ok {
+		t.Errorf("core 2 reader = %T, want *Generator", r2)
+	}
+
+	bad := mix
+	bad.Sources = []Source{{Phased: ph, Trace: td}, {}, {}}
+	if err := bad.Validate(); err == nil {
+		t.Error("both-set source validated")
+	}
+	short := mix
+	short.Sources = mix.Sources[:2]
+	if err := short.Validate(); err == nil {
+		t.Error("sources shorter than models validated")
+	}
+}
+
+// TestTraceDataKey pins that the trace digest reacts to every record field.
+func TestTraceDataKey(t *testing.T) {
+	base := testTraceData().Key()
+	mut := testTraceData()
+	mut.Recs[2].Write = true
+	if mut.Key() == base {
+		t.Error("flipping a Write bit did not change the trace key")
+	}
+	ren := testTraceData()
+	ren.Name = "other"
+	if ren.Key() == base {
+		t.Error("renaming did not change the trace key")
+	}
+}
