@@ -6,12 +6,12 @@ GOFMT ?= gofmt
 # repetitions absorb scheduler noise. BENCH_TOLERANCE is the allowed
 # fractional regression before bench-gate fails; CI relaxes it because
 # shared runners are noisier than a dev box.
-BENCH_QUICK = 'BenchmarkSimulatorThroughput$$|BenchmarkTraceGeneration$$|BenchmarkBatchedSweep'
+BENCH_QUICK = 'BenchmarkSimulatorThroughput$$|BenchmarkTraceGeneration$$|BenchmarkBatchedSweep$$|BenchmarkParallelBatchedSweep'
 BENCH_TIME ?= 10x
 BENCH_COUNT ?= 3
 BENCH_TOLERANCE ?= 0.10
 
-.PHONY: build test race race-serve lint verify bench bench-quick bench-gate trace-sample scenarios pgo serve
+.PHONY: build test race race-serve lint verify bench bench-quick bench-gate bench-lanes trace-sample scenarios pgo serve
 
 # Tier-1 verification (ROADMAP.md): build + tests, then the race detector
 # and static checks. The experiment harness fans simulations out onto a
@@ -29,8 +29,16 @@ build:
 test:
 	$(GO) test ./...
 
+# race: the full suite under the race detector, then a second pass over
+# the lockstep-batch and batched-sweep tests with DRISHTI_LANE_WORKERS=2.
+# The second pass matters on small hosts: lane-worker defaults follow
+# GOMAXPROCS, so on a 1-CPU runner the plain -race run never schedules two
+# lanes concurrently and the parallel merge/telemetry paths go untested.
 race:
 	$(GO) test -race ./...
+	DRISHTI_LANE_WORKERS=2 $(GO) test -race \
+		-run 'TestBatch|TestGoldenBatched|TestSweepBatched' \
+		./internal/sim/ ./internal/experiments/
 
 race-serve:
 	$(GO) test -race -short ./internal/serve/... ./internal/store/ ./internal/dist/ ./internal/obs/trace/
@@ -50,6 +58,13 @@ bench:
 bench-quick:
 	$(GO) test -run '^$$' -bench $(BENCH_QUICK) -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) . \
 		| $(GO) run ./scripts/benchcmp -record -out BENCH_sim.json
+
+# bench-lanes: the lane-worker scaling benchmark on its own, at -benchtime
+# defaults long enough to read a speedup from. Compare the w1/w2/wmax
+# instr/s lines directly: wN/w1 is the intra-batch lane speedup on this
+# host (see EXPERIMENTS.md §1.9 for recorded numbers).
+bench-lanes:
+	$(GO) test -run '^$$' -bench 'BenchmarkParallelBatchedSweep' -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) .
 
 # bench-gate: same benchmarks, compared against the committed baseline;
 # fails on a throughput regression beyond BENCH_TOLERANCE (default 10%).

@@ -18,6 +18,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 	"time"
 
@@ -212,6 +213,63 @@ func BenchmarkBatchedSweep(b *testing.B) {
 		}
 		b.ReportMetric(effective*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
 	})
+}
+
+// BenchmarkParallelBatchedSweep measures the same 10-lane batch group as
+// BenchmarkBatchedSweep/batched with the intra-batch lane pool at one,
+// two, and GOMAXPROCS workers (Config.LaneWorkers). Every sub-benchmark
+// reports the same effective instr/s as BenchmarkBatchedSweep, so
+// wN/w1 is directly the lane-parallel speedup; results are bit-identical
+// at every worker count (internal/sim TestBatchWorkersSweepDeterminism).
+// "wmax" is GOMAXPROCS rather than a fixed count so the committed
+// baseline keeps stable benchmark names across hosts — on a single-CPU
+// runner it degenerates to w1, which is exactly the no-regression case
+// the bench gate pins.
+func BenchmarkParallelBatchedSweep(b *testing.B) {
+	const cores = 4
+	cfg := drishti.ScaledConfig(cores, 8)
+	cfg.Instructions = 200_000
+	cfg.Warmup = 50_000
+	cfg.L1Prefetcher = "none"
+	cfg.L2Prefetcher = "none"
+	model, _ := drishti.ModelByName("605.mcf_s-1554B")
+	mix := drishti.Homogeneous(model.Scale(8, cfg.SetIndexBits()), cores, 1)
+	specs := []drishti.PolicySpec{
+		{Name: "lru"}, {Name: "dip"}, {Name: "srrip"},
+		{Name: "hawkeye"}, {Name: "hawkeye", Drishti: true}, {Name: "mockingjay", Drishti: true},
+	}
+	perRun := cfg.Instructions + cfg.Warmup
+	effective := float64(uint64(cores)*perRun + uint64(cores)*uint64(len(specs)+1)*perRun)
+
+	variants := make([]drishti.BatchVariant, 0, cores+len(specs))
+	for c := 0; c < cores; c++ {
+		variants = append(variants, drishti.BatchVariant{
+			Policy: drishti.PolicySpec{Name: "lru"}, Alone: true, AloneCore: c,
+		})
+	}
+	for _, s := range specs {
+		variants = append(variants, drishti.BatchVariant{Policy: s})
+	}
+
+	for _, w := range []struct {
+		name    string
+		workers int
+	}{
+		{"w1", 1},
+		{"w2", 2},
+		{"wmax", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(w.name, func(b *testing.B) {
+			c := cfg
+			c.LaneWorkers = w.workers
+			for i := 0; i < b.N; i++ {
+				if _, err := drishti.RunBatch(c, variants, mix); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(effective*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+		})
+	}
 }
 
 // phaseCount is a minimal sim phase observer (the hook distributed

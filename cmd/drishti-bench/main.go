@@ -50,6 +50,7 @@ func run() int {
 		mixes      = flag.Int("mixes", 0, "mixes per category")
 		seed       = flag.Uint64("seed", 0, "workload seed")
 		parallel   = flag.Int("parallel", 0, "sweep worker-pool size (default GOMAXPROCS or $DRISHTI_PARALLEL; 1 = serial)")
+		laneWkrs   = flag.Int("lane-workers", 0, "concurrent lanes per batched mix; composes with -parallel as mixes × lanes ≤ budget (default derived, or $DRISHTI_LANE_WORKERS; bit-identical at every setting)")
 		batch      = flag.Bool("batch", true, "batch sweep cells sharing a mix into one lockstep simulation (bit-identical; -batch=false or DRISHTI_BATCH=0 forces per-cell runs)")
 		quiet      = flag.Bool("quiet", false, "suppress progress and info-level run logs")
 		telemetry  = flag.String("telemetry", "", "write per-epoch telemetry to `file`")
@@ -92,6 +93,9 @@ func run() int {
 	}
 	if *parallel > 0 {
 		p.Parallelism = *parallel
+	}
+	if *laneWkrs > 0 {
+		p.LaneWorkers = *laneWkrs
 	}
 	// The env default (DRISHTI_BATCH) is resolved by DefaultParams; an
 	// explicit -batch flag wins over it either way.

@@ -68,6 +68,7 @@ func main() {
 		mshrs    = flag.Bool("mshrs", false, "enforce strict Table 4 MSHR limits (8/16/64)")
 		inclus   = flag.Bool("inclusive", false, "inclusive LLC (back-invalidating; baseline is non-inclusive)")
 		batch    = flag.Bool("batch", true, "with -metrics, run the mix and the per-core alone passes as one lockstep batch (bit-identical; -batch=false forces separate runs)")
+		laneWkrs = flag.Int("lane-workers", 0, "concurrent lanes inside a batched run; 0 = DRISHTI_LANE_WORKERS, then GOMAXPROCS (bit-identical at every setting)")
 		quiet    = flag.Bool("quiet", false, "suppress info-level run logs")
 
 		telemetry  = flag.String("telemetry", "", "write per-epoch telemetry to `file`")
@@ -127,6 +128,7 @@ func main() {
 	cfg.L2Prefetcher = *l2pf
 	cfg.ModelMSHRs = *mshrs
 	cfg.InclusiveLLC = *inclus
+	cfg.LaneWorkers = *laneWkrs
 	if *channels > 0 {
 		d := dram.DefaultConfig(*cores)
 		d.Channels = *channels

@@ -41,6 +41,7 @@ func run() int {
 		dir         = flag.String("store", "drishti.store", "content-addressed result store directory")
 		name        = flag.String("name", host, "worker name shown in fleet state")
 		concurrency = flag.Int("concurrency", runtime.GOMAXPROCS(0), "cells simulated concurrently")
+		laneWkrs    = flag.Int("lane-workers", 0, "concurrent lanes per batched lease group; 0 = the capacity slots the group holds (never oversubscribes -concurrency; bit-identical at every setting; DRISHTI_LANE_WORKERS applies only to unbatched sim defaults)")
 		poll        = flag.Duration("poll", 0, "idle poll interval (0 = coordinator-suggested)")
 		quiet       = flag.Bool("quiet", false, "log warnings and errors only")
 		version     = flag.Bool("version", false, "print build information and exit")
@@ -56,6 +57,7 @@ func run() int {
 		Coordinator: *coord,
 		Name:        *name,
 		Capacity:    *concurrency,
+		LaneWorkers: *laneWkrs,
 		StoreDir:    *dir,
 		Poll:        *poll,
 		Logger:      log,

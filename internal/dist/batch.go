@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"sync"
 	"time"
 
 	"drishti/internal/obs/trace"
@@ -58,10 +59,14 @@ func planCell(spec api.CellSpec) (cellPlan, error) {
 
 // phaseTimes accumulates the simulator's phase-timing callbacks for one
 // batch (sim.PhaseObserver). Lane -1 phases are shared across the batch;
-// non-negative lanes index the batch's variants.
+// non-negative lanes index the batch's variants. The mutex satisfies the
+// PhaseObserver concurrency contract: with sim.Config.LaneWorkers > 1,
+// "lane-run" timings arrive from concurrent lane goroutines.
 type phaseTimes struct {
+	mu     sync.Mutex
 	shared map[string]time.Duration
 	lane   map[int]time.Duration // accumulated "lane-run" per lane
+	grows  int                   // deadlock-breaker window growths ("window-grow")
 }
 
 func newPhaseTimes() *phaseTimes {
@@ -69,20 +74,40 @@ func newPhaseTimes() *phaseTimes {
 }
 
 func (p *phaseTimes) ObservePhase(phase string, lane int, d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if lane < 0 {
+		if phase == "window-grow" {
+			p.grows++
+			return
+		}
 		p.shared[phase] += d
 		return
 	}
 	p.lane[lane] += d
 }
 
+// laneDur returns the accumulated "lane-run" time for one lane.
+func (p *phaseTimes) laneDur(lane int) (time.Duration, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	d, ok := p.lane[lane]
+	return d, ok
+}
+
 // stampShared copies the batch's shared phase timings (workload gen,
-// private-hierarchy replay, lockstep barriers) onto a span as attributes.
+// private-hierarchy replay, lockstep barriers, window growths) onto a
+// span as attributes.
 func (p *phaseTimes) stampShared(sp *trace.ActiveSpan) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for _, ph := range []string{"workload-gen", "private-replay", "barrier"} {
 		if d, ok := p.shared[ph]; ok {
 			sp.SetAttr("phase."+ph, d.Round(time.Microsecond).String())
 		}
+	}
+	if p.grows > 0 {
+		sp.SetAttr("phase.window-grows", fmt.Sprint(p.grows))
 	}
 }
 
@@ -108,7 +133,13 @@ func parentAt(parents []trace.SpanContext, i int) trace.SpanContext {
 // gets a "batch-group" span carrying the shared phase timings, each lane a
 // "lane" span under its own cell's parent, and store traffic "store-hit" /
 // "store-write" spans.
-func executeCellGroup(ctx context.Context, st *store.Store, log *slog.Logger, specs []api.CellSpec, parents []trace.SpanContext, tr *trace.Tracer) ([]*sim.Result, []bool, error) {
+//
+// laneWorkers caps the batch's concurrent lane execution
+// (sim.Config.LaneWorkers); callers pass the capacity slots the group
+// already holds so batching never oversubscribes the node. 0 selects the
+// sim default (DRISHTI_LANE_WORKERS, then GOMAXPROCS). Purely a wall-clock
+// knob: lane results are bit-identical at every value.
+func executeCellGroup(ctx context.Context, st *store.Store, log *slog.Logger, specs []api.CellSpec, parents []trace.SpanContext, tr *trace.Tracer, laneWorkers int) ([]*sim.Result, []bool, error) {
 	results := make([]*sim.Result, len(specs))
 	fromStore := make([]bool, len(specs))
 
@@ -161,11 +192,13 @@ func executeCellGroup(ctx context.Context, st *store.Store, log *slog.Logger, sp
 		return results, fromStore, nil
 	}
 
+	base.cfg.LaneWorkers = laneWorkers // observational only; excluded from Config.Key
 	var pt *phaseTimes
 	gspan := tr.Start(parentAt(parents, lanes[0]), "batch-group")
 	if gspan != nil {
 		gspan.SetAttr("lanes", fmt.Sprint(len(lanes)))
 		gspan.SetAttr("cells", fmt.Sprint(len(specs)))
+		gspan.SetAttr("lane-workers", fmt.Sprint(laneWorkers))
 		pt = newPhaseTimes()
 		base.cfg.Phases = pt // observational only; excluded from Config.Key
 	}
@@ -195,7 +228,7 @@ func executeCellGroup(ctx context.Context, st *store.Store, log *slog.Logger, sp
 		results[i] = batch[k]
 		ls := lspans[k]
 		if pt != nil {
-			if d, ok := pt.lane[k]; ok {
+			if d, ok := pt.laneDur(k); ok {
 				ls.SetAttr("phase.lane-run", d.Round(time.Microsecond).String())
 			}
 		}

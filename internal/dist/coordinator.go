@@ -591,7 +591,10 @@ func (c *Coordinator) runLocal(ctx context.Context, job *fleetJob) {
 				parents[i] = job.trace
 			}
 		}
-		results, fromStore, err := executeCellGroup(ctx, c.st, c.log, specs, parents, c.opts.Trace.Tracer())
+		// The fallback runs groups one at a time, so a group may spend one
+		// lane worker per adopted cell, like a worker whose whole capacity
+		// the group occupies.
+		results, fromStore, err := executeCellGroup(ctx, c.st, c.log, specs, parents, c.opts.Trace.Tracer(), len(specs))
 		if err != nil {
 			if ctx.Err() != nil {
 				return // job context cancelled; RunJob's select settles it

@@ -33,6 +33,14 @@ type WorkerOptions struct {
 	// (default 1). The coordinator enforces it on the lease side too.
 	Capacity int
 
+	// LaneWorkers overrides how many lanes of a batched lease group run
+	// concurrently (sim.Config.LaneWorkers). 0, the default, gives each
+	// group the capacity slots its leases already hold — a group of K
+	// cells occupies K slots, so K lane workers keep node load at
+	// Capacity without oversubscribing. Results are bit-identical at
+	// every setting.
+	LaneWorkers int
+
 	// StoreDir roots the worker's content-addressed store. Every leased
 	// cell is checked here before simulating; point the fleet at one
 	// shared directory to dedup across all nodes.
@@ -209,7 +217,13 @@ func (w *Worker) runLeaseGroup(ctx context.Context, ls []api.Lease) {
 	for i, l := range ls {
 		specs[i] = l.Cell
 	}
-	results, fromStore, err := executeCellGroup(ctx, w.st, w.log, specs, parents, tr)
+	// The group holds len(ls) of this worker's capacity slots, so it may
+	// spend that many lane workers without oversubscribing the node.
+	lw := w.opts.LaneWorkers
+	if lw == 0 {
+		lw = len(ls)
+	}
+	results, fromStore, err := executeCellGroup(ctx, w.st, w.log, specs, parents, tr, lw)
 	if err != nil {
 		if ctx.Err() != nil {
 			return // killed mid-batch; the leases expire and are reassigned

@@ -82,6 +82,61 @@ func TestSweepBatchedMatchesUnbatched(t *testing.T) {
 	}
 }
 
+// TestSweepBatchedLaneWorkersMatchesSerial turns BOTH concurrency knobs
+// on at once — sweep-level Parallelism and intra-batch LaneWorkers — and
+// requires the result to be bit-identical to the fully serial sweep.
+// Under -race this is the composition check: batch groups running on the
+// sweep pool while each group's lanes run on its own lane pool, all
+// through the shared memo caches.
+func TestSweepBatchedLaneWorkersMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep determinism test is not -short")
+	}
+	cfg, mixes, specs := sweepFixture()
+
+	ResetCache()
+	serial, err := runSweep(cfg, mixes, specs, Params{Parallelism: 1, LaneWorkers: 1, Batch: BatchAuto})
+	if err != nil {
+		t.Fatalf("serial batched sweep: %v", err)
+	}
+	ResetCache()
+	par, err := runSweep(cfg, mixes, specs, Params{Parallelism: 2, LaneWorkers: 2, Batch: BatchAuto})
+	if err != nil {
+		t.Fatalf("parallel batched sweep: %v", err)
+	}
+	ResetCache()
+
+	for si := range specs {
+		for mi := range mixes {
+			if s, p := serial.normWS[si][mi], par.normWS[si][mi]; s != p {
+				t.Errorf("normWS[%d][%d]: serial %v != parallel+lanes %v", si, mi, s, p)
+			}
+			sres, pres := serial.outcomes[si][mi].res, par.outcomes[si][mi].res
+			if sres.MPKI != pres.MPKI {
+				t.Errorf("MPKI[%d][%d]: serial %v != parallel+lanes %v", si, mi, sres.MPKI, pres.MPKI)
+			}
+			if sres.Energy.Total != pres.Energy.Total {
+				t.Errorf("energy[%d][%d]: serial %v != parallel+lanes %v", si, mi,
+					sres.Energy.Total, pres.Energy.Total)
+			}
+		}
+		if serial.geoNormWS(si) != par.geoNormWS(si) {
+			t.Errorf("geoNormWS(%d) differs with both concurrency knobs on", si)
+		}
+	}
+	for mi := range mixes {
+		sev, pev := serial.evals[mi], par.evals[mi]
+		if sev.baseWS != pev.baseWS {
+			t.Errorf("baseWS[%d]: serial %v != parallel+lanes %v", mi, sev.baseWS, pev.baseWS)
+		}
+		for c := range sev.alone {
+			if sev.alone[c] != pev.alone[c] {
+				t.Errorf("alone[%d][%d]: serial %v != parallel+lanes %v", mi, c, sev.alone[c], pev.alone[c])
+			}
+		}
+	}
+}
+
 // TestSweepBatchedDedupsBaseline: when LRU is one of the swept specs its
 // lane doubles as the eval baseline — the baseline result in the eval and
 // the LRU cell's result must be the same simulation (and exactly equal).

@@ -28,7 +28,8 @@ import (
 
 // Params control experiment scale. Environment variables override the
 // defaults for full-fidelity runs: DRISHTI_SCALE, DRISHTI_INSTR,
-// DRISHTI_WARMUP, DRISHTI_MIXES, DRISHTI_SEED, DRISHTI_PARALLEL.
+// DRISHTI_WARMUP, DRISHTI_MIXES, DRISHTI_SEED, DRISHTI_PARALLEL,
+// DRISHTI_LANE_WORKERS, DRISHTI_BATCH.
 type Params struct {
 	Scale        int    // machine + workload shrink factor
 	Instructions uint64 // measured instructions per core
@@ -46,6 +47,18 @@ type Params struct {
 	// simulations run concurrently. 0 means GOMAXPROCS. Results are
 	// bit-identical at every setting; 1 forces the serial path.
 	Parallelism int
+
+	// LaneWorkers bounds concurrent lane execution inside each batched
+	// mix (sim.Config.LaneWorkers). The two parallelism levels compose
+	// multiplicatively — concurrent mixes × lane workers goroutines run
+	// simulations at once — so batched sweeps keep their product within
+	// the Parallelism budget: 0 (the default) derives lane workers as
+	// Parallelism / concurrent-mixes (surplus budget flows to lanes once
+	// the mix pool is saturated), while an explicit value claims its share
+	// and shrinks the mix pool to Parallelism / LaneWorkers instead.
+	// Results are bit-identical at every setting; DRISHTI_LANE_WORKERS
+	// overrides the default.
+	LaneWorkers int
 
 	// Logger receives the structured run log (one line per sweep cell with
 	// a stable run ID). Nil discards.
@@ -130,6 +143,9 @@ func DefaultParams() Params {
 	}
 	if v, ok := envInt("DRISHTI_PARALLEL"); ok {
 		p.Parallelism = v
+	}
+	if v, ok := envInt("DRISHTI_LANE_WORKERS"); ok {
+		p.LaneWorkers = v
 	}
 	if v, ok := envInt("DRISHTI_BATCH"); ok && v == 0 {
 		p.Batch = BatchOff

@@ -314,6 +314,23 @@ func runSweepBatched(sr *sweepResult, cfg sim.Config, mixes []workload.Mix, spec
 	if par > len(mixes) {
 		par = len(mixes)
 	}
+	// Compose the two parallelism levels so concurrent mixes × lane
+	// workers stays within the Parallel() budget: by default the surplus
+	// budget left after the mix pool flows to each batch's lanes; an
+	// explicit Params.LaneWorkers claims its share and the mix pool
+	// shrinks instead. Purely a scheduling split — results are
+	// bit-identical at every combination.
+	lw := p.LaneWorkers
+	if lw <= 0 {
+		if lw = p.Parallel() / par; lw < 1 {
+			lw = 1
+		}
+	} else if room := p.Parallel() / lw; par > room {
+		if par = room; par < 1 {
+			par = 1
+		}
+	}
+	cfg.LaneWorkers = lw // excluded from Key(): no cache identity drift
 	runOne := func(mi int) error {
 		ev, outs, err := runBatchedMix(ctx, cfg, mixes[mi], specs)
 		if err != nil {

@@ -3,6 +3,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"drishti/internal/cache"
@@ -37,24 +38,79 @@ import (
 //     LLC slices, policy/predictor stack, NoCs, and DRAM.
 //
 // Each lane is a complete System driven by its own resumable runner in
-// round-robin quanta. A lane's step sequence is exactly what its solo run
+// rotation quanta. A lane's step sequence is exactly what its solo run
 // would execute, just time-sliced, so batched results are bit-identical
 // to unbatched runs (asserted per lane by the golden tests). Per-core
 // window limits bound how far lanes may drift apart so the shared window
 // stays small; chunks behind the slowest lane are recycled.
+//
+// Between barriers the lanes are independent: all lane-varying state
+// (cores, MSHRs, LLC slices, policy/predictor stack, NoCs, DRAM) is
+// private per lane, and the shared stream window is made strictly
+// read-only for the rotation by materializing it up to the window limits
+// at the barrier (Stream.Ensure / expStream.ensure). runLockstep
+// therefore fans the rotation's lane quanta onto a bounded worker pool
+// (Config.LaneWorkers, default min(K, GOMAXPROCS)) and merges outcomes —
+// progress, completion, errors, buffered telemetry — in deterministic
+// lane order at the barrier, so results and telemetry bytes are identical
+// at every worker count (the workers-sweep determinism test pins this).
 
 // batchQuantum is how many steps a lane runs per rotation.
 const batchQuantum = 8192
 
 // batchWindow is the per-core record skew allowed between the fastest and
 // slowest lane before the fast lane pauses (grown on demand if a rotation
-// ever makes no progress; see runLockstep).
-const batchWindow = 8192
+// ever makes no progress; see runLockstep). A variable so tests can
+// shrink it to exercise the deadlock-breaker growth path.
+var batchWindow uint64 = 8192
 
 // batchMemBudget bounds the estimated resident shared-window bytes; above
 // it RunBatchContext falls back to per-lane generator forks (no shared
 // window, same results). A variable so tests can force the fork path.
 var batchMemBudget = 256 << 20
+
+// epochBuffer queues one lane's telemetry epochs so concurrent lanes
+// never write the (possibly shared) real sink directly; the batch driver
+// drains buffers in lane order at each rotation barrier, which reproduces
+// the serial rotation's emission order byte for byte at every worker
+// count. Buffering epoch pointers is safe: the telemetry snapshotter
+// allocates a fresh Epoch per flush and never writes it again.
+//
+// WriteEpoch is called from the lane's goroutine and drain from the
+// driver, phases that the rotation barrier already separates; the mutex
+// keeps the type independently safe anyway (epochs are rare — one per
+// TelemetryEpoch LLC accesses — so the lock is off the hot path).
+type epochBuffer struct {
+	mu   sync.Mutex
+	next obs.EpochSink
+	q    []*obs.Epoch
+	err  error // sticky first drain error
+}
+
+// WriteEpoch implements obs.EpochSink. A past drain failure is returned
+// so it surfaces through the lane's own telemetry error path, exactly
+// where a direct sink write would have reported it.
+func (b *epochBuffer) WriteEpoch(e *obs.Epoch) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.q = append(b.q, e)
+	return b.err
+}
+
+// drain forwards queued epochs to the real sink in order. Like a direct
+// sink write, a failure does not stop the simulation; the sticky error
+// is returned and resurfaces from later writes and finishRun.
+func (b *epochBuffer) drain() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, e := range b.q {
+		if err := b.next.WriteEpoch(e); err != nil && b.err == nil {
+			b.err = err
+		}
+	}
+	b.q = b.q[:0]
+	return b.err
+}
 
 // Variant is one lane of a batched run: a replacement-policy point, run
 // either on the full mix or as a single-core alone run. The zero value is
@@ -132,9 +188,22 @@ func RunBatchContext(ctx context.Context, base Config, variants []Variant, mix w
 		return nil, err
 	}
 
+	// Per-lane telemetry buffers decouple concurrently-running lanes from
+	// the (possibly shared) sink; the driver drains them in lane order at
+	// each barrier, so the sink sees the serial emission byte stream at
+	// every worker count. Alone lanes have telemetry off (bufs[i] nil).
+	workers := base.laneWorkers(len(variants))
+	bufs := make([]*epochBuffer, len(variants))
+	for i := range cfgs {
+		if cfgs[i].TelemetryEpoch > 0 && cfgs[i].TelemetrySink != nil {
+			bufs[i] = &epochBuffer{next: cfgs[i].TelemetrySink}
+			cfgs[i].TelemetrySink = bufs[i]
+		}
+	}
+
 	tier2 := tier2Eligible(base)
 	if batchResidentBytes(used, tier2) > batchMemBudget {
-		return runBatchForked(ctx, cfgs, variants, mix)
+		return runBatchForked(ctx, cfgs, variants, mix, workers, bufs)
 	}
 
 	// Shared per-core streams, built only for cores some lane activates.
@@ -181,7 +250,7 @@ func RunBatchContext(ctx context.Context, base Config, variants []Variant, mix w
 		}
 		lanes[i] = ln
 	}
-	if err := runLockstep(lanes, raws, exps, po); err != nil {
+	if err := runLockstep(lanes, raws, exps, po, workers, bufs); err != nil {
 		return nil, err
 	}
 	out := make([]*Result, len(lanes))
@@ -189,6 +258,13 @@ func RunBatchContext(ctx context.Context, base Config, variants []Variant, mix w
 		res, err := ln.sys.finishRun()
 		if err != nil {
 			return nil, fmt.Errorf("sim: batch lane %d (%s): %w", i, variants[i].Policy.DisplayName(), err)
+		}
+		if bufs[i] != nil {
+			// finishRun's final flush landed in the buffer; forward it (and
+			// surface any sink error) now, still in lane order.
+			if err := bufs[i].drain(); err != nil {
+				return nil, fmt.Errorf("sim: batch lane %d (%s): telemetry sink: %w", i, variants[i].Policy.DisplayName(), err)
+			}
 		}
 		out[i] = res
 	}
@@ -215,7 +291,7 @@ func batchResidentBytes(used []bool, tier2 bool) int {
 		}
 	}
 	// Window plus the chunks in flight on either side of it.
-	return cores * (batchWindow + 2*streamChunkLen) * perRec
+	return cores * (int(batchWindow) + 2*streamChunkLen) * perRec
 }
 
 // streamChunkLen mirrors workload's default chunk size for the estimate.
@@ -272,14 +348,55 @@ func newBatchLane(ctx context.Context, cfg Config, v Variant, raws []*workload.S
 	return &batchLane{sys: sys, run: run, cores: cores}, nil
 }
 
-// runLockstep drives every lane in round-robin quanta until all finish.
+// laneOutcome is one lane's rotation result. Outcomes are produced by
+// whichever goroutine ran the quantum and merged by the driver in lane
+// order, which is what keeps the rotation deterministic.
+type laneOutcome struct {
+	stepped bool
+	done    bool
+	err     error
+}
+
+// quantum runs one rotation quantum of lane i. With po non-nil the wall
+// time is reported as "lane-run" from the calling goroutine — a pool
+// worker when lanes run concurrently (see the PhaseObserver contract).
+func (ln *batchLane) quantum(i int, po PhaseObserver) laneOutcome {
+	var t0 time.Time
+	if po != nil {
+		t0 = time.Now()
+	}
+	before := ln.run.guard
+	done, _, err := ln.run.run(batchQuantum)
+	if po != nil {
+		po.ObservePhase("lane-run", i, time.Since(t0))
+	}
+	if err != nil {
+		return laneOutcome{err: fmt.Errorf("sim: batch lane %d: %w", i, err)}
+	}
+	return laneOutcome{stepped: ln.run.guard != before, done: done}
+}
+
+// runLockstep drives every lane in rotation quanta until all finish.
 // Per-core limits bound lane skew; the floor (lowest-position) lane of a
 // core is never gated, and if cross-core window shapes ever block every
 // lane in one rotation, the limits grow by a window so progress resumes.
-// When po is non-nil, per-lane run time and window-barrier time are
-// accumulated and reported once at the end ("lane-run" per lane,
-// "barrier" shared); timing wraps existing work and never alters it.
-func runLockstep(lanes []*batchLane, raws []*workload.Stream, exps []*expStream, po PhaseObserver) error {
+//
+// With workers > 1 each rotation's quanta run concurrently on a bounded
+// pool. That is race-free because the barrier materializes the shared
+// streams up to the window limits before lanes run (so the lane phase
+// only reads them — a runner never steps past limits[c], and telemetry
+// goes to per-lane buffers), and it is deterministic because every
+// unfinished lane runs exactly one quantum per rotation regardless of
+// worker count and the outcomes — progress OR, completion, the
+// lowest-lane error, buffered epochs — merge in lane order at the
+// barrier. The rotation sequence, and with it the deadlock-breaker
+// growth path, is therefore identical at every worker setting.
+//
+// When po is non-nil, per-lane quantum time is reported per rotation
+// ("lane-run", from the executing goroutine), barrier time once at the
+// end ("barrier"), and each deadlock-breaker growth as a zero-duration
+// "window-grow"; timing wraps existing work and never alters it.
+func runLockstep(lanes []*batchLane, raws []*workload.Stream, exps []*expStream, po PhaseObserver, workers int, bufs []*epochBuffer) error {
 	cores := 0
 	if raws != nil {
 		cores = len(raws)
@@ -294,40 +411,100 @@ func runLockstep(lanes []*batchLane, raws []*workload.Stream, exps []*expStream,
 		ln.run.limits = limits // shared: window advances reach every lane
 		ln.run.consumed = make([]uint64, cores)
 	}
-	var (
-		laneDur    []time.Duration
-		barrierDur time.Duration
-	)
-	if po != nil {
-		laneDur = make([]time.Duration, len(lanes))
+
+	// ensure materializes every shared stream up to its window limit so
+	// the following lane phase never mutates shared state — the invariant
+	// that makes concurrent lanes legal. Driver-only, like Release.
+	ensure := func() {
+		for c := 0; c < cores; c++ {
+			if raws != nil && raws[c] != nil {
+				raws[c].Ensure(limits[c])
+			}
+			if exps != nil && exps[c] != nil {
+				exps[c].ensure(limits[c])
+			}
+		}
 	}
+
+	// drainTo forwards buffered lane telemetry to the real sinks, in lane
+	// order, up to and including lane last — the serial rotation's
+	// emission order. Sink errors stay sticky in the buffer and surface
+	// through the lane's own telemetry error path.
+	drainTo := func(last int) {
+		for i := 0; i <= last && i < len(bufs); i++ {
+			if bufs[i] != nil {
+				bufs[i].drain()
+			}
+		}
+	}
+
+	outs := make([]laneOutcome, len(lanes))
+	var (
+		tasks chan int
+		wg    sync.WaitGroup
+	)
+	if workers > 1 {
+		tasks = make(chan int, len(lanes))
+		defer close(tasks)
+		for w := 0; w < workers; w++ {
+			go func() {
+				for i := range tasks {
+					outs[i] = lanes[i].quantum(i, po)
+					wg.Done()
+				}
+			}()
+		}
+	}
+
+	var barrierDur time.Duration
 	live := len(lanes)
+	ensure()
 	for live > 0 {
+		// Lane phase: every unfinished lane runs one quantum against the
+		// frozen window.
+		if workers > 1 {
+			for i, ln := range lanes {
+				if ln.done {
+					continue
+				}
+				wg.Add(1)
+				tasks <- i
+			}
+			wg.Wait()
+		} else {
+			for i, ln := range lanes {
+				if ln.done {
+					continue
+				}
+				if outs[i] = ln.quantum(i, po); outs[i].err != nil {
+					break // serial semantics: later lanes don't run this rotation
+				}
+			}
+		}
+
+		// Barrier: merge outcomes in lane order, then advance the window.
 		stepped := false
 		for i, ln := range lanes {
 			if ln.done {
 				continue
 			}
-			var t0 time.Time
-			if po != nil {
-				t0 = time.Now()
+			o := outs[i]
+			if o.err != nil {
+				// Lanes ≤ i emitted exactly the epochs the serial rotation
+				// would have before aborting; later lanes' buffers are
+				// dropped with the batch.
+				drainTo(i)
+				return o.err
 			}
-			before := ln.run.guard
-			done, _, err := ln.run.run(batchQuantum)
-			if po != nil {
-				laneDur[i] += time.Since(t0)
-			}
-			if err != nil {
-				return fmt.Errorf("sim: batch lane %d: %w", i, err)
-			}
-			if ln.run.guard != before {
+			if o.stepped {
 				stepped = true
 			}
-			if done {
+			if o.done {
 				ln.done = true
 				live--
 			}
 		}
+		drainTo(len(bufs) - 1)
 		if live == 0 {
 			break
 		}
@@ -368,26 +545,31 @@ func runLockstep(lanes []*batchLane, raws []*workload.Stream, exps []*expStream,
 				// different cores can stall a rotation; widen until a lane
 				// moves. Results are unaffected — limits only pause lanes.
 				limit = limits[c] + batchWindow
+				if po != nil {
+					po.ObservePhase("window-grow", -1, 0)
+				}
 			}
 			limits[c] = limit
 		}
+		ensure()
 		if po != nil {
 			barrierDur += time.Since(b0)
 		}
 	}
 	if po != nil {
-		for i, d := range laneDur {
-			po.ObservePhase("lane-run", i, d)
-		}
 		po.ObservePhase("barrier", -1, barrierDur)
 	}
 	return nil
 }
 
 // runBatchForked is the memory-budget fallback: every lane replays the
-// stream itself from a cheap reader fork, serially. Identical results,
-// no shared window.
-func runBatchForked(ctx context.Context, cfgs []Config, variants []Variant, mix workload.Mix) ([]*Result, error) {
+// stream itself from a cheap reader fork — there is no shared window at
+// all, so lanes are fully independent and run on the same bounded worker
+// pool the lockstep path uses. Identical results: lane telemetry is
+// buffered and drained in lane order at the end, and on failure the
+// lowest-indexed failing lane's error is returned with only lanes at or
+// below it having emitted epochs, exactly like the serial path.
+func runBatchForked(ctx context.Context, cfgs []Config, variants []Variant, mix workload.Mix, workers int, bufs []*epochBuffer) ([]*Result, error) {
 	protos := make([]trace.Reader, mix.Cores())
 	for c := range protos {
 		g, err := workload.NewReader(mix, c)
@@ -396,16 +578,17 @@ func runBatchForked(ctx context.Context, cfgs []Config, variants []Variant, mix 
 		}
 		protos[c] = g
 	}
-	fork := func(c int) (trace.Reader, error) { return workload.ForkReader(protos[c]) }
-	out := make([]*Result, len(variants))
+	// Forks mutate the proto readers, so every lane's readers are built
+	// serially up front; only the runs themselves are concurrent.
+	readers := make([][]trace.Reader, len(variants))
 	for i, v := range variants {
-		readers := make([]trace.Reader, cfgs[i].Cores)
+		readers[i] = make([]trace.Reader, cfgs[i].Cores)
 		var err error
 		if v.Alone {
-			readers[v.AloneCore], err = fork(v.AloneCore)
+			readers[i][v.AloneCore], err = workload.ForkReader(protos[v.AloneCore])
 		} else {
-			for c := range readers {
-				if readers[c], err = fork(c); err != nil {
+			for c := range readers[i] {
+				if readers[i][c], err = workload.ForkReader(protos[c]); err != nil {
 					break
 				}
 			}
@@ -413,15 +596,69 @@ func runBatchForked(ctx context.Context, cfgs []Config, variants []Variant, mix 
 		if err != nil {
 			return nil, err
 		}
-		sys, err := New(cfgs[i], readers)
+	}
+	out := make([]*Result, len(variants))
+	runLane := func(i int) error {
+		sys, err := New(cfgs[i], readers[i])
 		if err != nil {
-			return nil, fmt.Errorf("sim: batch lane %d (%s): %w", i, v.Policy.DisplayName(), err)
+			return err
 		}
 		res, err := sys.RunContext(ctx)
 		if err != nil {
-			return nil, fmt.Errorf("sim: batch lane %d (%s): %w", i, v.Policy.DisplayName(), err)
+			return err
 		}
 		out[i] = res
+		return nil
+	}
+	wrap := func(i int, err error) error {
+		return fmt.Errorf("sim: batch lane %d (%s): %w", i, variants[i].Policy.DisplayName(), err)
+	}
+	errLane, firstErr := len(variants), error(nil)
+	if workers <= 1 {
+		for i := range variants {
+			if err := runLane(i); err != nil {
+				errLane, firstErr = i, wrap(i, err)
+				break
+			}
+		}
+	} else {
+		var (
+			mu  sync.Mutex
+			wg  sync.WaitGroup
+			sem = make(chan struct{}, workers)
+		)
+		for i := range variants {
+			mu.Lock()
+			failed := firstErr != nil
+			mu.Unlock()
+			if failed {
+				break // already-dispatched lanes below the error still finish
+			}
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if err := runLane(i); err != nil {
+					mu.Lock()
+					if i < errLane {
+						errLane, firstErr = i, wrap(i, err)
+					}
+					mu.Unlock()
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+	for i := 0; i < len(bufs) && i <= errLane; i++ {
+		if bufs[i] != nil {
+			if err := bufs[i].drain(); err != nil && firstErr == nil {
+				errLane, firstErr = i, fmt.Errorf("sim: batch lane %d (%s): telemetry sink: %w", i, variants[i].Policy.DisplayName(), err)
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return out, nil
 }
@@ -612,6 +849,16 @@ func (e *expStream) expand(ck *expChunk, rec trace.Rec) {
 	ck.wb2 = append(ck.wb2, wb2)
 }
 
+// ensure expands records until every position below pos is replayable (or
+// the source is degenerate). Driver-only, like workload.Stream.Ensure:
+// after ensure(pos), lane reads strictly below pos never mutate the
+// stream, so they are safe from concurrent goroutines until the next
+// ensure/release.
+func (e *expStream) ensure(pos uint64) {
+	for e.next < pos && e.fill() {
+	}
+}
+
 // release recycles chunks wholly below min.
 func (e *expStream) release(min uint64) {
 	drop := 0
@@ -657,6 +904,9 @@ func (r *runner) stepExpandedN(coreID int, budget uint64) uint64 {
 	s := r.s
 	cur := s.expCursors[coreID]
 	e := cur.stream
+	// The barrier pre-expands the window (ensure), so under lockstep this
+	// loop only runs for a degenerate empty source, where fill is a pure
+	// read of e.done — concurrent lanes stay race-free either way.
 	for cur.pos >= e.next {
 		if !e.fill() {
 			return 0 // degenerate empty source; mirrors step's bail-out

@@ -6,6 +6,9 @@ package sim
 
 import (
 	"fmt"
+	"os"
+	"runtime"
+	"strconv"
 	"time"
 
 	"drishti/internal/cpu"
@@ -95,14 +98,33 @@ type Config struct {
 	// never change simulation results. Nil costs one check per batch phase
 	// (never per access).
 	Phases PhaseObserver
+
+	// LaneWorkers bounds how many lanes of a batched run (RunBatch) execute
+	// concurrently between lockstep barriers. 0 selects the default —
+	// DRISHTI_LANE_WORKERS if set, else GOMAXPROCS, clamped to the lane
+	// count; 1 forces the serial rotation. Results, and telemetry bytes on
+	// a shared sink, are bit-identical at every setting (lanes share only
+	// read-only window state between barriers and merge in lane order), so
+	// this is purely a wall-clock knob and is excluded from Key(). It
+	// composes multiplicatively with sweep-level parallelism: keep
+	// cells × lanes within the host's core budget (see README Performance).
+	LaneWorkers int
 }
 
 // PhaseObserver receives wall-clock phase timings from a batched run.
-// Phase names are "workload-gen", "private-replay", "lane-run", and
-// "barrier"; lane is the variant index the timing belongs to, or -1 for
-// work shared by all lanes. A phase may be reported multiple times
-// (implementations accumulate). Calls arrive from the single goroutine
-// driving the batch.
+// Phase names are "workload-gen", "private-replay", "lane-run", "barrier",
+// and "window-grow"; lane is the variant index the timing belongs to, or
+// -1 for work shared by all lanes. A phase may be reported multiple times
+// (implementations accumulate); "window-grow" is reported with a zero
+// duration once per deadlock-breaker window growth, so its count — which
+// is identical at every LaneWorkers setting — is observable.
+//
+// Concurrency contract: shared phases ("workload-gen", "private-replay",
+// "barrier", "window-grow") are always reported from the goroutine
+// driving the batch, but "lane-run" timings arrive from the lane's own
+// worker goroutine when LaneWorkers > 1. Implementations must therefore
+// be safe for concurrent use (the built-in span-attribute collector in
+// internal/dist synchronizes internally).
 type PhaseObserver interface {
 	ObservePhase(phase string, lane int, d time.Duration)
 }
@@ -227,4 +249,27 @@ func (c Config) cpuConfig() cpu.Config {
 		return cpu.DefaultConfig()
 	}
 	return c.CPU
+}
+
+// laneWorkers resolves the effective lane-worker pool size for a batch of
+// k lanes: an explicit positive LaneWorkers wins (callers may deliberately
+// oversubscribe), 0 falls back to DRISHTI_LANE_WORKERS and then
+// GOMAXPROCS, and the result is clamped to [1, k] — more workers than
+// lanes would only idle.
+func (c Config) laneWorkers(k int) int {
+	w := c.LaneWorkers
+	if w == 0 {
+		if v, err := strconv.Atoi(os.Getenv("DRISHTI_LANE_WORKERS")); err == nil && v > 0 {
+			w = v
+		} else {
+			w = runtime.GOMAXPROCS(0)
+		}
+	}
+	if w > k {
+		w = k
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }

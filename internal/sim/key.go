@@ -37,7 +37,10 @@ func (c Config) Key() string {
 	// The sink and tag are deliberately excluded — they don't affect what
 	// is simulated, only where the epochs go. Phases is excluded for the
 	// same reason: a phase observer measures wall time around existing
-	// work and never changes the simulation.
+	// work and never changes the simulation. LaneWorkers is excluded too:
+	// batched lanes merge at deterministic barriers, so every worker count
+	// produces byte-identical results (pinned by the workers-sweep
+	// determinism test) and a cached result is valid for all of them.
 	fmt.Fprintf(&b, "|telem=%d", c.TelemetryEpoch)
 	return b.String()
 }

@@ -22,8 +22,12 @@ const streamChunkLen = 2048
 // read again; reading below the released low-water mark panics (it is a
 // scheduling bug, not a recoverable condition).
 //
-// Stream is not safe for concurrent use: batched lanes step in lockstep
-// on one goroutine.
+// Stream is not safe for unsynchronized concurrent mutation. Concurrent
+// batched lanes may read already-materialized records through their
+// cursors from several goroutines, provided the driver has called Ensure
+// up to every position the lanes may reach and calls Ensure/Release only
+// at barriers when no cursor is reading (the lockstep discipline in
+// sim.runLockstep).
 type Stream struct {
 	src      trace.Reader
 	chunkLen uint64
@@ -87,6 +91,15 @@ func (s *Stream) fill() bool {
 	s.chunks = append(s.chunks, c)
 	s.next += uint64(len(c))
 	return true
+}
+
+// Ensure materializes records until every position below pos is readable
+// (or the source is degenerate). After Ensure(pos), cursor reads strictly
+// below pos never mutate the stream, so they are safe from concurrent
+// goroutines until the next Ensure/Release.
+func (s *Stream) Ensure(pos uint64) {
+	for s.next < pos && s.fill() {
+	}
 }
 
 // Release recycles every chunk wholly below min — the minimum position any
