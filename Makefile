@@ -11,7 +11,7 @@ BENCH_TIME ?= 10x
 BENCH_COUNT ?= 3
 BENCH_TOLERANCE ?= 0.10
 
-.PHONY: build test race race-serve lint verify bench bench-quick bench-gate bench-lanes trace-sample scenarios pgo serve
+.PHONY: build test race race-serve lint verify bench bench-quick bench-gate bench-lanes trace-sample scenarios loadgen-smoke pgo serve
 
 # Tier-1 verification (ROADMAP.md): build + tests, then the race detector
 # and static checks. The experiment harness fans simulations out onto a
@@ -21,7 +21,7 @@ BENCH_TOLERANCE ?= 0.10
 # (worker pool, queue, leases, atomic same-key writers) is their whole
 # point. bench-gate fails
 # verify when the quick benchmarks regress >10% against BENCH_sim.json.
-verify: build test race race-serve lint scenarios bench-gate
+verify: build test race race-serve lint scenarios loadgen-smoke bench-gate
 
 build:
 	$(GO) build ./...
@@ -87,6 +87,16 @@ scenarios:
 		$(GO) run ./cmd/drishti-sim -scenario $$f -check -json >> SCENARIOS_compiled.json; \
 	done
 	$(GO) run ./cmd/drishti-sim -scenario examples/scenarios/trace-replay.yaml -quiet > /dev/null
+
+# loadgen-smoke: a short open-loop run against an in-process fleet of two
+# peered coordinators over a two-shard store (README "Scaling out"),
+# asserting zero lost or duplicated result cells (-strict exits non-zero
+# otherwise). The latency/throughput summary lands in LOADGEN_summary.json,
+# which CI uploads as an artifact next to BENCH_sim.json; recorded
+# baselines live in EXPERIMENTS.md §1.10.
+loadgen-smoke:
+	$(GO) run ./cmd/drishti-loadgen -coordinators 2 -shards 2 -jobs 12 -rate 8 \
+		-instr 20000 -warmup 5000 -strict -quiet -out LOADGEN_summary.json
 
 # trace-sample: run one traced job through an in-process service and write
 # its span journal (render with drishti-sim -trace-timeline).

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"drishti/internal/buildinfo"
+	"drishti/internal/cliconf"
 	"drishti/internal/experiments"
 	"drishti/internal/obs"
 	"drishti/internal/scenario"
@@ -41,21 +42,20 @@ func main() { os.Exit(run()) }
 // run carries the real main so profile defers fire before the process
 // exits (os.Exit skips deferred calls).
 func run() int {
+	cc := cliconf.New(flag.CommandLine)
 	var (
 		version    = flag.Bool("version", false, "print version and exit")
 		list       = flag.Bool("list", false, "list experiments and exit")
-		scale      = flag.Int("scale", 0, "machine/workload shrink factor (default 8 or $DRISHTI_SCALE)")
-		instr      = flag.Uint64("instr", 0, "instructions per core (default 200000 or $DRISHTI_INSTR)")
-		warmup     = flag.Uint64("warmup", 0, "warmup instructions per core")
-		mixes      = flag.Int("mixes", 0, "mixes per category")
-		seed       = flag.Uint64("seed", 0, "workload seed")
-		parallel   = flag.Int("parallel", 0, "sweep worker-pool size (default GOMAXPROCS or $DRISHTI_PARALLEL; 1 = serial)")
-		laneWkrs   = flag.Int("lane-workers", 0, "concurrent lanes per batched mix; composes with -parallel as mixes × lanes ≤ budget (default derived, or $DRISHTI_LANE_WORKERS; bit-identical at every setting)")
-		batch      = flag.Bool("batch", true, "batch sweep cells sharing a mix into one lockstep simulation (bit-identical; -batch=false or DRISHTI_BATCH=0 forces per-cell runs)")
+		scale      = cc.Int("scale", "DRISHTI_SCALE", 8, "machine/workload shrink factor")
+		instr      = cc.Uint64("instr", "DRISHTI_INSTR", 200_000, "instructions per core")
+		warmup     = cc.Uint64("warmup", "DRISHTI_WARMUP", 50_000, "warmup instructions per core")
+		mixes      = cc.Int("mixes", "DRISHTI_MIXES", 4, "mixes per category")
+		seed       = cc.Uint64("seed", "DRISHTI_SEED", 1, "workload seed")
+		parallel   = cc.Int("parallel", "DRISHTI_PARALLEL", 0, "sweep worker-pool size (0 = GOMAXPROCS; 1 = serial)")
+		laneWkrs   = cc.Int("lane-workers", "DRISHTI_LANE_WORKERS", 0, "concurrent lanes per batched mix; composes with -parallel as mixes × lanes ≤ budget (0 = derived; bit-identical at every setting)")
+		batch      = cc.Bool("batch", "DRISHTI_BATCH", true, "batch sweep cells sharing a mix into one lockstep simulation (bit-identical; false forces per-cell runs)")
 		quiet      = flag.Bool("quiet", false, "suppress progress and info-level run logs")
-		telemetry  = flag.String("telemetry", "", "write per-epoch telemetry to `file`")
-		telemEpoch = flag.Uint64("telemetry-epoch", 50_000, "LLC demand loads per telemetry epoch")
-		telemFmt   = flag.String("telemetry-format", "ndjson", "telemetry format: ndjson or csv")
+		telem      = cc.Telemetry()
 		httpAddr   = flag.String("http", "", "serve /metrics and /debug/pprof on `addr` (e.g. :8080)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to `file`")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to `file` at exit")
@@ -63,6 +63,10 @@ func run() int {
 	)
 	flag.Parse()
 	log := obs.NewLogger(os.Stderr, "drishti-bench", *quiet)
+	if err := cc.Resolve(); err != nil {
+		log.Error("flag/env resolution", "err", err)
+		return 2
+	}
 
 	if *version {
 		fmt.Println("drishti-bench", buildinfo.Read())
@@ -75,40 +79,20 @@ func run() int {
 		return 0
 	}
 
-	p := experiments.DefaultParams()
-	if *scale > 0 {
-		p.Scale = *scale
+	// Every scale knob resolves through cliconf (flag > DRISHTI_* env >
+	// default), so the Params can be assembled unconditionally.
+	p := experiments.Params{
+		Scale:        *scale,
+		Instructions: *instr,
+		Warmup:       *warmup,
+		Mixes:        *mixes,
+		Seed:         *seed,
+		Parallelism:  *parallel,
+		LaneWorkers:  *laneWkrs,
 	}
-	if *instr > 0 {
-		p.Instructions = *instr
+	if !*batch {
+		p.Batch = experiments.BatchOff
 	}
-	if *warmup > 0 {
-		p.Warmup = *warmup
-	}
-	if *mixes > 0 {
-		p.Mixes = *mixes
-	}
-	if *seed > 0 {
-		p.Seed = *seed
-	}
-	if *parallel > 0 {
-		p.Parallelism = *parallel
-	}
-	if *laneWkrs > 0 {
-		p.LaneWorkers = *laneWkrs
-	}
-	// The env default (DRISHTI_BATCH) is resolved by DefaultParams; an
-	// explicit -batch flag wins over it either way.
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name != "batch" {
-			return
-		}
-		if *batch {
-			p.Batch = experiments.BatchAuto
-		} else {
-			p.Batch = experiments.BatchOff
-		}
-	})
 	p.Logger = log
 
 	args := flag.Args()
@@ -129,23 +113,17 @@ func run() int {
 	p.Progress = obs.NewProgress(progressOut, "sweep").Attach(reg, "sweep_cells")
 	defer p.Progress.Finish()
 
-	if *telemetry != "" {
-		f, err := os.Create(*telemetry)
-		if err != nil {
-			log.Error("telemetry file", "err", err)
-			return 1
-		}
-		defer f.Close()
-		switch *telemFmt {
-		case "ndjson":
-			p.TelemetrySink = obs.NewNDJSONWriter(f)
-		case "csv":
-			p.TelemetrySink = obs.NewCSVWriter(f)
-		default:
-			log.Error("unknown -telemetry-format", "format", *telemFmt)
-			return 2
-		}
-		p.TelemetryEpoch = *telemEpoch
+	sink, closer, err := telem.Open()
+	if err != nil {
+		log.Error("telemetry", "err", err)
+		return 2
+	}
+	if closer != nil {
+		defer closer.Close()
+	}
+	if sink != nil {
+		p.TelemetrySink = sink
+		p.TelemetryEpoch = *telem.Epoch
 	}
 
 	if *httpAddr != "" {

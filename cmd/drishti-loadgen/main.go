@@ -1,0 +1,435 @@
+// Command drishti-loadgen is an open-loop synthetic load generator for
+// the drishti job service: it submits sweep jobs on a fixed schedule
+// (never waiting for completions — queueing delay is part of what it
+// measures), streams every job's per-cell results over the v3 NDJSON
+// endpoint, and reports sustained cells/sec plus p50/p95/p99
+// submit→result latency. Every streamed cell is accounted: a missing or
+// duplicated cell index is a correctness failure, not noise.
+//
+// Point it at a running service:
+//
+//	drishti-loadgen -addr http://localhost:8411 -jobs 50 -rate 10
+//
+// or let it build a self-contained in-process fleet — N stateless
+// coordinators peered over one M-shard store, each with its own
+// simulation worker — and load that (this is what `make loadgen-smoke`
+// and the EXPERIMENTS.md §1.10 scaling baseline use):
+//
+//	drishti-loadgen -coordinators 2 -shards 2 -jobs 24 -rate 12 -strict
+//
+// -strict exits non-zero on any lost/duplicated cell or failed job;
+// -out writes the machine-readable summary next to the human one.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"drishti/internal/buildinfo"
+	"drishti/internal/cliconf"
+	"drishti/internal/dist"
+	"drishti/internal/obs"
+	"drishti/internal/serve"
+	"drishti/internal/serve/api"
+	"drishti/internal/store"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	cc := cliconf.New(flag.CommandLine)
+	var (
+		addr     = cc.String("addr", "DRISHTI_ADDR", "", "load an existing service at this base URL instead of an in-process fleet")
+		coords   = cc.Int("coordinators", "", 2, "in-process fleet: number of peered coordinators")
+		shards   = cc.Int("shards", "", 2, "in-process fleet: store shard directories")
+		cache    = cc.Int("cache", "DRISHTI_CACHE", 0, "in-process fleet: memory-tier entries in front of the store (0 = off)")
+		workers  = cc.Int("workers", "", 2, "in-process fleet: simulation worker-pool size per node")
+		jobs     = cc.Int("jobs", "", 24, "jobs to submit")
+		rate     = flag.Float64("rate", 12, "open-loop submission rate, jobs/sec")
+		cores    = cc.Int("cores", "", 2, "cores per job")
+		scale    = cc.Int("scale", "DRISHTI_SCALE", 8, "machine/workload shrink factor")
+		instr    = cc.Uint64("instr", "DRISHTI_INSTR", 20_000, "instructions per core")
+		warmup   = cc.Uint64("warmup", "DRISHTI_WARMUP", 5_000, "warmup instructions per core")
+		policies = flag.String("policies", "lru,srrip", "comma-separated policies per job")
+		wls      = flag.String("workloads", "hetero", "comma-separated workloads per job")
+		seed     = cc.Uint64("seed", "DRISHTI_SEED", 1, "base seed; job i uses seed+i so cells are distinct work")
+		wait     = flag.Duration("wait", 5*time.Minute, "bound on waiting for all submitted jobs to finish")
+		out      = flag.String("out", "", "write the JSON summary to `file`")
+		strict   = flag.Bool("strict", false, "exit non-zero on lost/duplicated cells or failed jobs")
+		quiet    = flag.Bool("quiet", false, "log warnings and errors only")
+		version  = flag.Bool("version", false, "print build information and exit")
+	)
+	flag.Parse()
+	if err := cc.Resolve(); err != nil {
+		fmt.Fprintln(os.Stderr, "drishti-loadgen:", err)
+		return 2
+	}
+	if *version {
+		fmt.Println("drishti-loadgen", buildinfo.Read())
+		return 0
+	}
+	log := obs.NewLogger(os.Stderr, "drishti-loadgen", *quiet)
+
+	targets := []string{*addr}
+	topology := fmt.Sprintf("external %s", *addr)
+	if *addr == "" {
+		fl, err := startFleet(*coords, *shards, *cache, *workers, log)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "drishti-loadgen:", err)
+			return 1
+		}
+		defer fl.stop()
+		targets = fl.urls
+		topology = fmt.Sprintf("in-process %d coordinator(s) x %d shard(s), cache=%d", *coords, *shards, *cache)
+	}
+
+	req := api.JobRequest{
+		Cores:        *cores,
+		Scale:        *scale,
+		Instructions: *instr,
+		Warmup:       *warmup,
+		Workloads:    splitList(*wls),
+	}
+	for _, p := range splitList(*policies) {
+		req.Policies = append(req.Policies, api.PolicyRequest{Name: p})
+	}
+	cellsPerJob := len(req.Policies) * len(req.Workloads)
+	log.Info("load starting", "topology", topology, "jobs", *jobs, "rate", *rate,
+		"cellsPerJob", cellsPerJob)
+
+	s := runLoad(targets, req, *jobs, *rate, *seed, *wait, log)
+	s.Topology = topology
+	s.report(os.Stdout)
+
+	if *out != "" {
+		b, err := json.MarshalIndent(s, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*out, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "drishti-loadgen: summary:", err)
+			return 1
+		}
+		log.Info("summary written", "path", *out)
+	}
+	if *strict && (s.LostCells > 0 || s.DupCells > 0 || s.FailedJobs > 0 || s.DoneJobs != s.Jobs) {
+		fmt.Fprintln(os.Stderr, "drishti-loadgen: strict check failed (lost/duplicated cells or failed jobs)")
+		return 1
+	}
+	return 0
+}
+
+// summary is the machine-readable run report (-out).
+type summary struct {
+	Topology      string  `json:"topology"`
+	Jobs          int     `json:"jobs"`
+	DoneJobs      int     `json:"doneJobs"`
+	FailedJobs    int     `json:"failedJobs"`
+	ExpectedCells int     `json:"expectedCells"`
+	StreamedCells int     `json:"streamedCells"`
+	LostCells     int     `json:"lostCells"`
+	DupCells      int     `json:"dupCells"`
+	ElapsedSec    float64 `json:"elapsedSec"`
+	CellsPerSec   float64 `json:"cellsPerSec"`
+	P50MS         int64   `json:"p50Ms"`
+	P95MS         int64   `json:"p95Ms"`
+	P99MS         int64   `json:"p99Ms"`
+}
+
+func (s summary) report(w *os.File) {
+	fmt.Fprintf(w, "topology:   %s\n", s.Topology)
+	fmt.Fprintf(w, "jobs:       %d submitted, %d done, %d failed\n", s.Jobs, s.DoneJobs, s.FailedJobs)
+	fmt.Fprintf(w, "cells:      %d expected, %d streamed, %d lost, %d duplicated\n",
+		s.ExpectedCells, s.StreamedCells, s.LostCells, s.DupCells)
+	fmt.Fprintf(w, "throughput: %.1f cells/sec over %.2fs\n", s.CellsPerSec, s.ElapsedSec)
+	fmt.Fprintf(w, "latency:    p50=%dms p95=%dms p99=%dms (submit -> done)\n", s.P50MS, s.P95MS, s.P99MS)
+}
+
+// jobOutcome is one submitted job's accounting.
+type jobOutcome struct {
+	latency time.Duration
+	cells   int // unique cell events streamed
+	dups    int // cell events beyond the first per index
+	done    bool
+	failed  bool
+}
+
+// runLoad drives the open loop: job i is submitted at t0 + i/rate against
+// targets[i % len(targets)] (round-robin exercises peer forwarding from
+// every door), and a goroutine per job follows its NDJSON result stream
+// to completion.
+func runLoad(targets []string, base api.JobRequest, jobs int, rate float64, seed uint64, wait time.Duration, log interface {
+	Warn(string, ...any)
+}) summary {
+	interval := time.Duration(float64(time.Second) / rate)
+	outcomes := make([]jobOutcome, jobs)
+	var wg sync.WaitGroup
+	client := &http.Client{Timeout: wait}
+
+	t0 := time.Now()
+	for i := 0; i < jobs; i++ {
+		if d := time.Until(t0.Add(time.Duration(i) * interval)); d > 0 {
+			time.Sleep(d) // open loop: schedule is absolute, not completion-gated
+		}
+		req := base
+		req.Seed = seed + uint64(i)
+		target := targets[i%len(targets)]
+		wg.Add(1)
+		go func(i int, target string, req api.JobRequest) {
+			defer wg.Done()
+			o, err := driveJob(client, target, req)
+			if err != nil {
+				log.Warn("job failed", "job", i, "err", err)
+				o.failed = true
+			}
+			outcomes[i] = o
+		}(i, target, req)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	cellsPerJob := len(base.Policies) * len(base.Workloads)
+	s := summary{Jobs: jobs, ExpectedCells: jobs * cellsPerJob, ElapsedSec: elapsed.Seconds()}
+	var lats []time.Duration
+	for _, o := range outcomes {
+		s.StreamedCells += o.cells + o.dups
+		s.DupCells += o.dups
+		if o.cells < cellsPerJob {
+			s.LostCells += cellsPerJob - o.cells
+		}
+		if o.failed {
+			s.FailedJobs++
+		}
+		if o.done {
+			s.DoneJobs++
+			lats = append(lats, o.latency)
+		}
+	}
+	if s.ElapsedSec > 0 {
+		s.CellsPerSec = float64(s.StreamedCells-s.DupCells) / s.ElapsedSec
+	}
+	s.P50MS = percentile(lats, 0.50).Milliseconds()
+	s.P95MS = percentile(lats, 0.95).Milliseconds()
+	s.P99MS = percentile(lats, 0.99).Milliseconds()
+	return s
+}
+
+// driveJob submits one job and follows its result stream until the done
+// event, counting unique and duplicated cell indices.
+func driveJob(client *http.Client, target string, req api.JobRequest) (jobOutcome, error) {
+	var o jobOutcome
+	body, err := json.Marshal(req)
+	if err != nil {
+		return o, err
+	}
+	start := time.Now()
+	resp, err := client.Post(target+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return o, err
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if err != nil {
+		return o, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return o, fmt.Errorf("submit: HTTP %d", resp.StatusCode)
+	}
+
+	sr, err := client.Get(target + "/v1/jobs/" + sub.ID + "/results")
+	if err != nil {
+		return o, err
+	}
+	defer sr.Body.Close()
+	seen := map[int]bool{}
+	sc := bufio.NewScanner(sr.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev api.ResultEvent
+		if err := api.DecodeStrict(strings.NewReader(sc.Text()), &ev); err != nil {
+			return o, fmt.Errorf("stream line: %w", err)
+		}
+		switch ev.Event {
+		case api.EventCell:
+			if seen[ev.Index] {
+				o.dups++
+			} else {
+				seen[ev.Index] = true
+				o.cells++
+			}
+		case api.EventDone:
+			o.done = true
+			o.latency = time.Since(start)
+			if ev.Status != api.StatusDone {
+				return o, fmt.Errorf("terminal status %q: %s", ev.Status, ev.Error)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return o, err
+	}
+	if !o.done {
+		return o, fmt.Errorf("stream ended without a done event")
+	}
+	return o, nil
+}
+
+func percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	idx := int(float64(len(ds))*p+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(ds) {
+		idx = len(ds) - 1
+	}
+	return ds[idx]
+}
+
+// --- in-process fleet ---------------------------------------------------------
+
+// fleet is a self-contained multi-coordinator deployment in one process:
+// real HTTP over loopback listeners, one sharded store on disk, one
+// simulation worker per coordinator. It exists so the generator (and CI)
+// can measure scaling topologies without orchestrating processes.
+type fleet struct {
+	urls    []string
+	servers []*http.Server
+	svcs    []*serve.Service
+	cancel  context.CancelFunc
+	root    string
+}
+
+func startFleet(coords, shards, cache, workers int, log interface {
+	Info(string, ...any)
+}) (*fleet, error) {
+	if coords < 1 || shards < 1 {
+		return nil, fmt.Errorf("need at least 1 coordinator and 1 shard")
+	}
+	root, err := os.MkdirTemp("", "drishti-loadgen-*")
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, shards)
+	for i := range dirs {
+		dirs[i] = filepath.Join(root, fmt.Sprintf("shard%d", i))
+	}
+
+	// Listeners first: every coordinator needs the full peer URL set
+	// before construction.
+	lns := make([]net.Listener, coords)
+	urls := make([]string, coords)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	fl := &fleet{urls: urls, cancel: cancel, root: root}
+	for i := 0; i < coords; i++ {
+		st, err := store.OpenSharded(dirs, cache)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		var peers []string
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		coord, err := dist.NewCoordinator(dist.CoordinatorOptions{
+			Store:        st,
+			Self:         urls[i],
+			Peers:        peers,
+			LeaseTTL:     10 * time.Second,
+			WorkerTTL:    10 * time.Second,
+			PollInterval: 10 * time.Millisecond,
+			Registry:     obs.NewRegistry(),
+		})
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		svc, err := serve.New(serve.Options{
+			Store:       st,
+			StoreDir:    filepath.Join(root, fmt.Sprintf("node%d", i)),
+			Workers:     workers,
+			QueueCap:    4096,
+			Registry:    obs.NewRegistry(),
+			Distributor: coord,
+		})
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		srv := &http.Server{Handler: coord.Handler(svc.Handler())}
+		go srv.Serve(lns[i])
+		fl.servers = append(fl.servers, srv)
+		fl.svcs = append(fl.svcs, svc)
+
+		w, err := dist.NewWorker(dist.WorkerOptions{
+			Coordinator: urls[i],
+			Name:        fmt.Sprintf("lg-w%d", i),
+			Capacity:    workers,
+			StoreDir:    dirs[0],
+			Poll:        10 * time.Millisecond,
+			Heartbeat:   250 * time.Millisecond,
+			Registry:    obs.NewRegistry(),
+		})
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		go w.Run(ctx)
+	}
+	log.Info("fleet up", "coordinators", coords, "shards", shards, "root", root)
+	return fl, nil
+}
+
+func (f *fleet) stop() {
+	f.cancel()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, srv := range f.servers {
+		srv.Shutdown(ctx)
+	}
+	for _, svc := range f.svcs {
+		svc.Shutdown(ctx)
+	}
+	os.RemoveAll(f.root)
+}
+
+// splitList splits a comma-separated value, trimming whitespace and
+// dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

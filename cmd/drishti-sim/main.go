@@ -38,6 +38,7 @@ import (
 	"strings"
 
 	"drishti/internal/buildinfo"
+	"drishti/internal/cliconf"
 	"drishti/internal/dram"
 	"drishti/internal/metrics"
 	"drishti/internal/obs"
@@ -49,6 +50,7 @@ import (
 )
 
 func main() {
+	cc := cliconf.New(flag.CommandLine)
 	var (
 		version  = flag.Bool("version", false, "print version and exit")
 		cores    = flag.Int("cores", 4, "number of cores (= LLC slices)")
@@ -56,10 +58,10 @@ func main() {
 		drishti  = flag.Bool("drishti", false, "apply Drishti's enhancements (D-<policy>)")
 		wl       = flag.String("workload", "605.mcf_s-1554B", "model name (substring) for a homogeneous mix, or use -mix hetero")
 		mixKind  = flag.String("mix", "homo", "homo | hetero")
-		instr    = flag.Uint64("instr", 200_000, "instructions per core")
-		warmup   = flag.Uint64("warmup", 50_000, "warmup instructions per core")
-		scale    = flag.Int("scale", 8, "machine/workload shrink factor (1 = full-size 2MB slices)")
-		seed     = flag.Uint64("seed", 1, "workload seed")
+		instr    = cc.Uint64("instr", "DRISHTI_INSTR", 200_000, "instructions per core")
+		warmup   = cc.Uint64("warmup", "DRISHTI_WARMUP", 50_000, "warmup instructions per core")
+		scale    = cc.Int("scale", "DRISHTI_SCALE", 8, "machine/workload shrink factor (1 = full-size 2MB slices)")
+		seed     = cc.Uint64("seed", "DRISHTI_SEED", 1, "workload seed")
 		l1pf     = flag.String("l1-prefetcher", "next-line", "L1D prefetcher")
 		l2pf     = flag.String("l2-prefetcher", "ip-stride", "L2 prefetcher")
 		channels = flag.Int("dram-channels", 0, "DRAM channels (0 = cores/4)")
@@ -67,13 +69,11 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit the full result as JSON instead of the report")
 		mshrs    = flag.Bool("mshrs", false, "enforce strict Table 4 MSHR limits (8/16/64)")
 		inclus   = flag.Bool("inclusive", false, "inclusive LLC (back-invalidating; baseline is non-inclusive)")
-		batch    = flag.Bool("batch", true, "with -metrics, run the mix and the per-core alone passes as one lockstep batch (bit-identical; -batch=false forces separate runs)")
-		laneWkrs = flag.Int("lane-workers", 0, "concurrent lanes inside a batched run; 0 = DRISHTI_LANE_WORKERS, then GOMAXPROCS (bit-identical at every setting)")
+		batch    = cc.Bool("batch", "DRISHTI_BATCH", true, "with -metrics, run the mix and the per-core alone passes as one lockstep batch (bit-identical; false forces separate runs)")
+		laneWkrs = cc.Int("lane-workers", "DRISHTI_LANE_WORKERS", 0, "concurrent lanes inside a batched run; 0 = GOMAXPROCS (bit-identical at every setting)")
 		quiet    = flag.Bool("quiet", false, "suppress info-level run logs")
 
-		telemetry  = flag.String("telemetry", "", "write per-epoch telemetry to `file`")
-		telemEpoch = flag.Uint64("telemetry-epoch", 50_000, "LLC demand loads per telemetry epoch")
-		telemFmt   = flag.String("telemetry-format", "ndjson", "telemetry format: ndjson or csv")
+		telem = cc.Telemetry()
 
 		traceTimeline = flag.String("trace-timeline", "", "render the span journal `file` as per-node timelines and exit")
 
@@ -82,6 +82,9 @@ func main() {
 	)
 	flag.Parse()
 	log = obs.NewLogger(os.Stderr, "drishti-sim", *quiet)
+	if err := cc.Resolve(); err != nil {
+		fatal(err)
+	}
 
 	if *version {
 		fmt.Println("drishti-sim", buildinfo.Read())
@@ -135,21 +138,16 @@ func main() {
 		cfg.DRAM = d
 	}
 
-	if *telemetry != "" {
-		f, err := os.Create(*telemetry)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		switch *telemFmt {
-		case "ndjson":
-			cfg.TelemetrySink = obs.NewNDJSONWriter(f)
-		case "csv":
-			cfg.TelemetrySink = obs.NewCSVWriter(f)
-		default:
-			fatal(fmt.Errorf("unknown -telemetry-format %q (ndjson|csv)", *telemFmt))
-		}
-		cfg.TelemetryEpoch = *telemEpoch
+	sink, closer, err := telem.Open()
+	if err != nil {
+		fatal(err)
+	}
+	if closer != nil {
+		defer closer.Close()
+	}
+	if sink != nil {
+		cfg.TelemetrySink = sink
+		cfg.TelemetryEpoch = *telem.Epoch
 	}
 
 	mix, err := buildMix(cfg, *mixKind, *wl, *cores, *scale, *seed)

@@ -16,6 +16,7 @@ import (
 
 	"drishti/internal/analysis"
 	"drishti/internal/buildinfo"
+	"drishti/internal/cliconf"
 	"drishti/internal/mem"
 	"drishti/internal/obs"
 	"drishti/internal/trace"
@@ -23,6 +24,7 @@ import (
 )
 
 func main() {
+	cc := cliconf.New(flag.CommandLine)
 	var (
 		version = flag.Bool("version", false, "print version and exit")
 		gen     = flag.Bool("gen", false, "generate a trace")
@@ -31,15 +33,18 @@ func main() {
 		wl      = flag.String("workload", "605.mcf_s-1554B", "model name for -gen")
 		n       = flag.Int("n", 100_000, "memory records to generate")
 		out     = flag.String("o", "trace.drt", "output path for -gen")
-		seed    = flag.Uint64("seed", 1, "generator seed")
+		seed    = cc.Uint64("seed", "DRISHTI_SEED", 1, "generator seed")
 		csv     = flag.Bool("csv", false, "write/read CSV instead of the binary format")
 		analyze = flag.Bool("analyze", false, "with -info: add a stack-distance (reuse) profile and miss-rate curve")
-		scale   = flag.Int("scale", 1, "footprint shrink factor")
+		scale   = cc.Int("scale", "DRISHTI_SCALE", 1, "footprint shrink factor")
 		setBits = flag.Int("setbits", 0, "slice set-index bits for hot-set steering (0 = full-size default)")
 		quiet   = flag.Bool("quiet", false, "suppress info-level diagnostics")
 	)
 	flag.Parse()
 	log = obs.NewLogger(os.Stderr, "drishti-trace", *quiet)
+	if err := cc.Resolve(); err != nil {
+		fatalf("%v", err)
+	}
 
 	switch {
 	case *version:

@@ -25,6 +25,7 @@ import (
 	"syscall"
 
 	"drishti/internal/buildinfo"
+	"drishti/internal/cliconf"
 	"drishti/internal/dist"
 	"drishti/internal/obs"
 )
@@ -36,17 +37,22 @@ func run() int {
 	if host == "" {
 		host = "worker"
 	}
+	cc := cliconf.New(flag.CommandLine)
 	var (
-		coord       = flag.String("coordinator", "http://localhost:8411", "coordinator base URL")
-		dir         = flag.String("store", "drishti.store", "content-addressed result store directory")
+		coord       = cc.String("coordinator", "DRISHTI_COORDINATOR", "http://localhost:8411", "coordinator base URL")
+		dir         = cc.String("store", "DRISHTI_STORE", "drishti.store", "content-addressed result store directory")
 		name        = flag.String("name", host, "worker name shown in fleet state")
-		concurrency = flag.Int("concurrency", runtime.GOMAXPROCS(0), "cells simulated concurrently")
-		laneWkrs    = flag.Int("lane-workers", 0, "concurrent lanes per batched lease group; 0 = the capacity slots the group holds (never oversubscribes -concurrency; bit-identical at every setting; DRISHTI_LANE_WORKERS applies only to unbatched sim defaults)")
-		poll        = flag.Duration("poll", 0, "idle poll interval (0 = coordinator-suggested)")
+		concurrency = cc.Int("concurrency", "DRISHTI_CONCURRENCY", runtime.GOMAXPROCS(0), "cells simulated concurrently")
+		laneWkrs    = cc.Int("lane-workers", "DRISHTI_WORKER_LANES", 0, "concurrent lanes per batched lease group; 0 = the capacity slots the group holds (never oversubscribes -concurrency; bit-identical at every setting; DRISHTI_LANE_WORKERS applies only to unbatched sim defaults)")
+		poll        = cc.Duration("poll", "DRISHTI_POLL", 0, "idle poll interval (0 = coordinator-suggested)")
 		quiet       = flag.Bool("quiet", false, "log warnings and errors only")
 		version     = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if err := cc.Resolve(); err != nil {
+		fmt.Fprintln(os.Stderr, "drishti-worker:", err)
+		return 2
+	}
 	if *version {
 		fmt.Println("drishti-worker", buildinfo.Read())
 		return 0

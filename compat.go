@@ -1,0 +1,43 @@
+package drishti
+
+import (
+	"context"
+	"io"
+)
+
+// This file holds every context-free entrypoint of the public API. The
+// *Context forms in drishti.go are canonical — they carry the
+// documentation and the behavior — and each wrapper here is exactly
+// that form with context.Background(), kept for existing callers and
+// quick scripts. A context that is never cancelled produces
+// bit-identical results, so the wrappers add nothing but convenience.
+
+// RunMix is RunMixContext with context.Background().
+func RunMix(cfg Config, mix Mix) (*Result, error) {
+	return RunMixContext(context.Background(), cfg, mix)
+}
+
+// RunAlone is RunAloneContext with context.Background().
+func RunAlone(cfg Config, mix Mix) ([]float64, error) {
+	return RunAloneContext(context.Background(), cfg, mix)
+}
+
+// RunAloneN is RunAloneNContext with context.Background().
+func RunAloneN(cfg Config, mix Mix, parallelism int) ([]float64, error) {
+	return RunAloneNContext(context.Background(), cfg, mix, parallelism)
+}
+
+// RunBatch is RunBatchContext with context.Background().
+func RunBatch(base Config, variants []BatchVariant, mix Mix) ([]*Result, error) {
+	return RunBatchContext(context.Background(), base, variants, mix)
+}
+
+// RunWithMetrics is RunWithMetricsContext with context.Background().
+func RunWithMetrics(cfg Config, mix Mix, aloneIPC []float64) (*MixOutcome, error) {
+	return RunWithMetricsContext(context.Background(), cfg, mix, aloneIPC)
+}
+
+// RunExperiment is RunExperimentContext with context.Background().
+func RunExperiment(id string, p ExperimentParams, w io.Writer) error {
+	return RunExperimentContext(context.Background(), id, p, w)
+}

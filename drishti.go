@@ -109,19 +109,13 @@ func New(cfg Config, readers []TraceReader) (*System, error) { return sim.New(cf
 // The *Context entrypoints below are the canonical run functions: they
 // accept a context for cooperative cancellation, and a context that is
 // never cancelled produces results bit-identical to the non-context form.
-// The context-free variants are one-line wrappers kept for existing
-// callers and quick scripts; new code should call the *Context forms.
+// The context-free variants are one-line wrappers collected in compat.go;
+// new code should call the *Context forms.
 
 // RunMixContext builds and runs a system over a workload mix. The
 // simulation aborts with a wrapped ctx.Err() once ctx is done.
 func RunMixContext(ctx context.Context, cfg Config, mix Mix) (*Result, error) {
 	return sim.RunMixContext(ctx, cfg, mix)
-}
-
-// RunMix is RunMixContext with context.Background. New callers should
-// prefer RunMixContext.
-func RunMix(cfg Config, mix Mix) (*Result, error) {
-	return RunMixContext(context.Background(), cfg, mix)
 }
 
 // RunAloneContext measures each core's alone IPC for the weighted-speedup
@@ -131,22 +125,10 @@ func RunAloneContext(ctx context.Context, cfg Config, mix Mix) ([]float64, error
 	return sim.RunAloneContext(ctx, cfg, mix)
 }
 
-// RunAlone is RunAloneContext with context.Background. New callers should
-// prefer RunAloneContext.
-func RunAlone(cfg Config, mix Mix) ([]float64, error) {
-	return RunAloneContext(context.Background(), cfg, mix)
-}
-
 // RunAloneNContext is RunAloneContext with an explicit worker-pool bound
 // (parallelism <= 1 runs serially).
 func RunAloneNContext(ctx context.Context, cfg Config, mix Mix, parallelism int) ([]float64, error) {
 	return sim.RunAloneNContext(ctx, cfg, mix, parallelism)
-}
-
-// RunAloneN is RunAloneNContext with context.Background. New callers
-// should prefer RunAloneNContext.
-func RunAloneN(cfg Config, mix Mix, parallelism int) ([]float64, error) {
-	return RunAloneNContext(context.Background(), cfg, mix, parallelism)
 }
 
 // RunBatchContext runs several policy/alone variants of one base
@@ -161,22 +143,10 @@ func RunBatchContext(ctx context.Context, base Config, variants []BatchVariant, 
 	return sim.RunBatchContext(ctx, base, variants, mix)
 }
 
-// RunBatch is RunBatchContext with context.Background. New callers should
-// prefer RunBatchContext.
-func RunBatch(base Config, variants []BatchVariant, mix Mix) ([]*Result, error) {
-	return RunBatchContext(context.Background(), base, variants, mix)
-}
-
 // RunWithMetricsContext runs a mix and computes WS/HS/MIS/unfairness
 // against the supplied alone-IPC vector.
 func RunWithMetricsContext(ctx context.Context, cfg Config, mix Mix, aloneIPC []float64) (*MixOutcome, error) {
 	return sim.RunWithMetricsContext(ctx, cfg, mix, aloneIPC)
-}
-
-// RunWithMetrics is RunWithMetricsContext with context.Background. New
-// callers should prefer RunWithMetricsContext.
-func RunWithMetrics(cfg Config, mix Mix, aloneIPC []float64) (*MixOutcome, error) {
-	return RunWithMetricsContext(context.Background(), cfg, mix, aloneIPC)
 }
 
 // ComputeMetrics derives WS/HS/MIS/unfairness from together and alone IPCs.
@@ -243,13 +213,14 @@ func ExperimentByID(id string) (Experiment, bool) { return experiments.ByID(id) 
 // DRISHTI_SEED environment overrides.
 func DefaultExperimentParams() ExperimentParams { return experiments.DefaultParams() }
 
-// RunExperiment runs one experiment, writing its table to w.
-func RunExperiment(id string, p ExperimentParams, w io.Writer) error {
+// RunExperimentContext runs one experiment under ctx, writing its table
+// to w.
+func RunExperimentContext(ctx context.Context, id string, p ExperimentParams, w io.Writer) error {
 	e, ok := experiments.ByID(id)
 	if !ok {
 		return &UnknownExperimentError{ID: id}
 	}
-	return e.Run(p, w)
+	return e.RunContext(ctx, p, w)
 }
 
 // UnknownExperimentError reports a bad experiment ID.

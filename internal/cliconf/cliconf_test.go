@@ -1,0 +1,197 @@
+package cliconf
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// env returns a lookup over a literal map, so tests never mutate the
+// process environment.
+func env(m map[string]string) func(string) (string, bool) {
+	return func(k string) (string, bool) {
+		v, ok := m[k]
+		return v, ok
+	}
+}
+
+func newSet(t *testing.T, environ map[string]string) (*Set, *flag.FlagSet) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	s := New(fs)
+	s.SetEnv(env(environ))
+	return s, fs
+}
+
+// TestPrecedence pins the one rule everything else builds on: explicit
+// flag > environment variable > default, for every knob type.
+func TestPrecedence(t *testing.T) {
+	environ := map[string]string{
+		"E_INT": "7", "E_U64": "9", "E_BOOL": "0", "E_STR": "env", "E_DUR": "90s",
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string // rendered resolved values
+	}{
+		{"default", nil, "1 2 true def 1s"},
+		{"env", nil, "7 9 false env 1m30s"},
+		{"flag", []string{"-i", "100", "-u", "200", "-b=true", "-s", "flag", "-d", "5s"}, "100 200 true flag 5s"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := environ
+			if tc.name == "default" {
+				e = nil
+			}
+			s, fs := newSet(t, e)
+			i := s.Int("i", "E_INT", 1, "")
+			u := s.Uint64("u", "E_U64", 2, "")
+			b := s.Bool("b", "E_BOOL", true, "")
+			str := s.String("s", "E_STR", "def", "")
+			d := s.Duration("d", "E_DUR", time.Second, "")
+			if err := fs.Parse(tc.args); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Resolve(); err != nil {
+				t.Fatal(err)
+			}
+			got := strings.Join([]string{
+				itoa(*i), utoa(*u), btoa(*b), *str, d.String(),
+			}, " ")
+			if got != tc.want {
+				t.Fatalf("resolved %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestFlagBeatsEnvAtDefaultValue: a flag explicitly set to its default
+// value still wins over the environment — "explicit" means "present on
+// the command line", not "different from the default".
+func TestFlagBeatsEnvAtDefaultValue(t *testing.T) {
+	s, fs := newSet(t, map[string]string{"E": "99"})
+	p := s.Int("n", "E", 4, "")
+	if err := fs.Parse([]string{"-n", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	if *p != 4 {
+		t.Fatalf("explicit -n 4 resolved to %d; env must not override an explicit flag", *p)
+	}
+}
+
+// TestMalformedEnvIsAnError: a garbage env value fails Resolve loudly
+// instead of silently running with the default.
+func TestMalformedEnvIsAnError(t *testing.T) {
+	for _, tc := range []struct {
+		kind, val string
+	}{
+		{"int", "four"}, {"uint64", "-1"}, {"bool", "maybe"}, {"duration", "90"},
+	} {
+		s, fs := newSet(t, map[string]string{"E": tc.val})
+		switch tc.kind {
+		case "int":
+			s.Int("n", "E", 0, "")
+		case "uint64":
+			s.Uint64("n", "E", 0, "")
+		case "bool":
+			s.Bool("n", "E", false, "")
+		case "duration":
+			s.Duration("n", "E", 0, "")
+		}
+		if err := fs.Parse(nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Resolve(); err == nil {
+			t.Fatalf("%s knob accepted E=%q", tc.kind, tc.val)
+		}
+	}
+}
+
+// TestEmptyEnvIgnored: an exported-but-empty variable behaves like an
+// unset one.
+func TestEmptyEnvIgnored(t *testing.T) {
+	s, fs := newSet(t, map[string]string{"E": ""})
+	p := s.Int("n", "E", 3, "")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	if *p != 3 {
+		t.Fatalf("empty env resolved to %d, want default 3", *p)
+	}
+}
+
+// TestUsageMentionsEnv: -h output documents the env layer per knob.
+func TestUsageMentionsEnv(t *testing.T) {
+	s, fs := newSet(t, nil)
+	s.Int("parallel", "DRISHTI_PARALLEL", 0, "sweep worker-pool size")
+	f := fs.Lookup("parallel")
+	if f == nil || !strings.Contains(f.Usage, "DRISHTI_PARALLEL") {
+		t.Fatalf("usage %q does not mention the env var", f.Usage)
+	}
+}
+
+func TestTelemetryOpen(t *testing.T) {
+	dir := t.TempDir()
+
+	// Disabled: nil sink, nil closer.
+	s, fs := newSet(t, nil)
+	tl := s.Telemetry()
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	if sink, closer, err := tl.Open(); err != nil || sink != nil || closer != nil {
+		t.Fatalf("disabled telemetry: sink=%v closer=%v err=%v", sink, closer, err)
+	}
+
+	// Env-configured NDJSON sink writes the file.
+	path := filepath.Join(dir, "epochs.ndjson")
+	s, fs = newSet(t, map[string]string{"DRISHTI_TELEMETRY": path})
+	tl = s.Telemetry()
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	sink, closer, err := tl.Open()
+	if err != nil || sink == nil {
+		t.Fatalf("env telemetry: sink=%v err=%v", sink, err)
+	}
+	closer.Close()
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("telemetry file not created: %v", err)
+	}
+
+	// Unknown format is rejected.
+	s, fs = newSet(t, nil)
+	tl = s.Telemetry()
+	if err := fs.Parse([]string{"-telemetry", filepath.Join(dir, "x"), "-telemetry-format", "xml"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tl.Open(); err == nil {
+		t.Fatal("telemetry-format xml accepted")
+	}
+}
+
+func itoa(n int) string    { return strconv.Itoa(n) }
+func utoa(n uint64) string { return strconv.FormatUint(n, 10) }
+func btoa(b bool) string   { return strconv.FormatBool(b) }

@@ -1,0 +1,49 @@
+package cliconf
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"drishti/internal/obs"
+)
+
+// Telemetry bundles the per-epoch telemetry knobs that drishti-sim and
+// drishti-bench used to register (and validate, and open) separately.
+type Telemetry struct {
+	Path   *string
+	Epoch  *uint64
+	Format *string
+}
+
+// Telemetry registers -telemetry, -telemetry-epoch, and
+// -telemetry-format with their DRISHTI_* env layers.
+func (s *Set) Telemetry() *Telemetry {
+	return &Telemetry{
+		Path:   s.String("telemetry", "DRISHTI_TELEMETRY", "", "write per-epoch telemetry to `file`"),
+		Epoch:  s.Uint64("telemetry-epoch", "DRISHTI_TELEMETRY_EPOCH", 50_000, "LLC demand loads per telemetry epoch"),
+		Format: s.String("telemetry-format", "DRISHTI_TELEMETRY_FORMAT", "ndjson", "telemetry format: ndjson or csv"),
+	}
+}
+
+// Open creates the telemetry sink, or returns a nil sink when the knob
+// is unset. The caller owns the returned closer (nil when disabled) and
+// closes it after the run so the file is flushed.
+func (t *Telemetry) Open() (obs.EpochSink, io.Closer, error) {
+	if *t.Path == "" {
+		return nil, nil, nil
+	}
+	f, err := os.Create(*t.Path)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch *t.Format {
+	case "ndjson":
+		return obs.NewNDJSONWriter(f), f, nil
+	case "csv":
+		return obs.NewCSVWriter(f), f, nil
+	default:
+		f.Close()
+		return nil, nil, fmt.Errorf("cliconf: unknown telemetry format %q (ndjson|csv)", *t.Format)
+	}
+}

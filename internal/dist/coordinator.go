@@ -19,6 +19,7 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"sort"
 	"strconv"
 	"sync"
@@ -26,6 +27,7 @@ import (
 
 	"drishti/internal/obs"
 	"drishti/internal/obs/trace"
+	"drishti/internal/ring"
 	"drishti/internal/serve/api"
 	"drishti/internal/sim"
 	"drishti/internal/store"
@@ -39,6 +41,11 @@ type CoordinatorOptions struct {
 	// directory (shared filesystem) extends the dedup fleet-wide, but is
 	// not required — completed cells are also written back here.
 	StoreDir string
+
+	// Store, when non-nil, overrides the store opened from StoreDir —
+	// scaled-out fleets hand every coordinator the same sharded store
+	// handle (store.OpenSharded) instead of a private directory.
+	Store *store.Store
 
 	// LeaseTTL bounds how long a worker may hold a cell before it is
 	// reassigned (default 30s).
@@ -77,6 +84,27 @@ type CoordinatorOptions struct {
 	// Share the recorder with the owning serve.Service so coordinator and
 	// worker spans join the job's tree.
 	Trace *trace.Recorder
+
+	// Self is this coordinator's advertised base URL (scheme://host:port)
+	// in a multi-coordinator fleet; peers call back to it with forwarded
+	// cell completions. Required when Peers is non-empty.
+	Self string
+
+	// Peers are the other coordinators' base URLs. Self and Peers together
+	// form a consistent-hash ring over api.CellKey: each sweep cell has
+	// exactly one owning coordinator, agreed on by every member without
+	// coordination. Empty means single-coordinator mode (no forwarding).
+	Peers []string
+
+	// ForwardTTL bounds how long a forwarded cell may stay unresolved at
+	// its owner before the origin re-owns it and runs it itself (default
+	// 2 x LeaseTTL). The content-addressed store makes the duplicate
+	// execution idempotent; the first completion per cell wins.
+	ForwardTTL time.Duration
+
+	// Client performs peer-to-peer HTTP calls (default: a client with a
+	// 30s timeout).
+	Client *http.Client
 }
 
 func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
@@ -104,6 +132,12 @@ func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
 	if o.RetryBackoff <= 0 {
 		o.RetryBackoff = 100 * time.Millisecond
 	}
+	if o.ForwardTTL <= 0 {
+		o.ForwardTTL = 2 * o.LeaseTTL
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 30 * time.Second}
+	}
 	if o.Logger == nil {
 		o.Logger = obs.Discard()
 	}
@@ -124,6 +158,8 @@ type workerState struct {
 }
 
 // cellState is one sweep cell in flight. Guarded by the coordinator mutex.
+// A cell is in exactly one place at a time: the pending queue, an active
+// lease, forwarded to a peer (forwardDeadline set), or resolved.
 type cellState struct {
 	job      *fleetJob
 	spec     api.CellSpec
@@ -143,6 +179,10 @@ type cellState struct {
 	grantedAt time.Time         // lease-grant instant, for the latency histogram
 	span      *trace.ActiveSpan // lease span, ended at release; nil when tracing is off
 
+	// forwardDeadline, when non-zero, marks the cell as handed to a peer
+	// coordinator; past it, the origin re-owns the cell (sweepLocked).
+	forwardDeadline time.Time
+
 	resolved bool
 }
 
@@ -158,6 +198,24 @@ type fleetJob struct {
 	done      chan struct{}
 	abandoned bool
 	trace     trace.SpanContext // job span context; lease spans parent here
+
+	// sink streams each resolved cell to the owning service (nil when the
+	// caller does not stream). Called under the coordinator mutex — safe
+	// because the service never calls back into the coordinator while
+	// holding its own mutex (lock order: coordinator.mu → serve.mu). For
+	// remote jobs the sink spawns the completion callback goroutine
+	// instead, so no HTTP happens under the lock.
+	sink func(index int, cell api.CellResult)
+
+	// Multi-coordinator fields. On the origin side, forwarded maps cell
+	// index → cellState for cells currently at a peer. On the owner side,
+	// remote marks a batch adopted on behalf of origin; a remote cell that
+	// exhausts its retries fails alone via onCellFailed (an error callback
+	// to the origin) instead of failing the whole batch.
+	forwarded    map[int]*cellState
+	remote       bool
+	origin       string
+	onCellFailed func(index int, why string)
 }
 
 func (j *fleetJob) finished() bool {
@@ -176,17 +234,20 @@ type Coordinator struct {
 	opts CoordinatorOptions
 	st   *store.Store
 	log  *slog.Logger
+	ring *ring.Ring // nil in single-coordinator mode
 
 	mu      sync.Mutex
 	workers map[string]*workerState
 	pending []*cellState
 	leases  map[string]*cellState
+	jobs    map[string]*fleetJob // origin-side jobs, for forwarded-cell callbacks
 	wseq    int
 	lseq    int
 
 	gWorkers, gLeases, gPending            *obs.Gauge
 	cExpired, cCompleted, cRetried, cLocal *obs.Counter
 	cResolved, cFromStore                  *obs.Counter
+	cForwarded, cRemote, cReowned          *obs.Counter
 	hLeaseLatency                          *obs.Histogram
 	gBatchLanes                            *obs.Gauge
 }
@@ -197,18 +258,31 @@ type Coordinator struct {
 // to shut down.
 func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 	opts = opts.withDefaults()
-	st, err := store.Open(opts.StoreDir)
-	if err != nil {
-		return nil, err
+	st := opts.Store
+	if st == nil {
+		var err error
+		st, err = store.Open(opts.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+		st.Attach(opts.Registry, "fleet_store")
 	}
-	st.Attach(opts.Registry, "fleet_store")
+	var rg *ring.Ring
+	if len(opts.Peers) > 0 {
+		if opts.Self == "" {
+			return nil, fmt.Errorf("dist: Peers configured without Self; this coordinator needs an advertised URL")
+		}
+		rg = ring.New(append([]string{opts.Self}, opts.Peers...), 0)
+	}
 	reg := opts.Registry
 	return &Coordinator{
 		opts:    opts,
 		st:      st,
 		log:     opts.Logger,
+		ring:    rg,
 		workers: make(map[string]*workerState),
 		leases:  make(map[string]*cellState),
+		jobs:    make(map[string]*fleetJob),
 
 		gWorkers:   reg.Gauge("fleet_workers_alive"),
 		gLeases:    reg.Gauge("fleet_leases_active"),
@@ -219,6 +293,9 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 		cLocal:     reg.Counter("fleet_cells_local"),
 		cResolved:  reg.Counter("fleet_cells_resolved"),
 		cFromStore: reg.Counter("fleet_cells_from_store"),
+		cForwarded: reg.Counter("fleet_cells_forwarded"),
+		cRemote:    reg.Counter("fleet_cells_remote"),
+		cReowned:   reg.Counter("fleet_forwards_reowned"),
 		// Grant→complete wall time; sweep cells run tens of ms to tens of
 		// seconds, so 100ms buckets over 64 slots cover the useful range.
 		hLeaseLatency: reg.Histogram("fleet_lease_latency_ms", 0, 100, 64),
@@ -234,12 +311,14 @@ func (c *Coordinator) Store() *store.Store { return c.st }
 // the job locally. If every worker dies mid-job, the coordinator itself
 // adopts the remaining cells (local fallback) rather than stranding the
 // job until a worker returns.
-func (c *Coordinator) RunJob(ctx context.Context, jobID string, req api.JobRequest) (*api.JobResult, error) {
+func (c *Coordinator) RunJob(ctx context.Context, jobID string, req api.JobRequest, sink func(index int, cell api.CellResult)) (*api.JobResult, error) {
 	c.mu.Lock()
 	c.sweepLocked(time.Now())
 	alive := len(c.workers)
 	c.mu.Unlock()
-	if alive == 0 {
+	// With peers, a locally-empty fleet can still distribute: peer-owned
+	// cells forward, and self-owned cells fall to the local-adoption path.
+	if alive == 0 && c.ring == nil {
 		return nil, api.ErrNoWorkers
 	}
 
@@ -247,7 +326,7 @@ func (c *Coordinator) RunJob(ctx context.Context, jobID string, req api.JobReque
 	// context arrives from the service via ctx and parents every lease.
 	parent := trace.FromContext(ctx)
 	dspan := c.opts.Trace.Tracer().Start(parent, "decompose")
-	job, cells, err := c.decompose(jobID, req)
+	job, cells, err := c.decompose(jobID, req, sink)
 	if err != nil {
 		dspan.SetAttr("error", err.Error())
 		dspan.End()
@@ -261,12 +340,28 @@ func (c *Coordinator) RunJob(ctx context.Context, jobID string, req api.JobReque
 		return c.assemble(job), nil
 	}
 
+	// Register the job for peer callbacks before any cell can leave this
+	// process, then hand peer-owned cells to their ring owners.
+	c.mu.Lock()
+	c.jobs[jobID] = job
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.jobs, jobID)
+		c.mu.Unlock()
+	}()
+	forwarded := 0
+	if c.ring != nil {
+		cells = c.distribute(job, cells, parent)
+		forwarded = len(job.results) - job.hits - len(cells)
+	}
+
 	c.mu.Lock()
 	c.pending = append(c.pending, cells...)
 	c.gPending.Set(float64(len(c.pending)))
 	c.mu.Unlock()
-	c.log.Info("job distributed", "job", jobID,
-		"cells", len(job.results), "pending", len(cells), "storeHits", job.hits)
+	c.log.Info("job distributed", "job", jobID, "cells", len(job.results),
+		"pending", len(cells), "forwarded", forwarded, "storeHits", job.hits)
 
 	tick := time.NewTicker(c.opts.SweepEvery)
 	defer tick.Stop()
@@ -299,7 +394,7 @@ func (c *Coordinator) RunJob(ctx context.Context, jobID string, req api.JobReque
 // executor's order, front-loading every cell with a store lookup. Cells
 // the store already holds are resolved immediately; the rest come back as
 // pending cellStates.
-func (c *Coordinator) decompose(jobID string, req api.JobRequest) (*fleetJob, []*cellState, error) {
+func (c *Coordinator) decompose(jobID string, req api.JobRequest, sink func(int, api.CellResult)) (*fleetJob, []*cellState, error) {
 	nw, np, err := req.Grid()
 	if err != nil {
 		return nil, nil, err
@@ -308,6 +403,7 @@ func (c *Coordinator) decompose(jobID string, req api.JobRequest) (*fleetJob, []
 		id:      jobID,
 		results: make([]api.CellResult, nw*np),
 		done:    make(chan struct{}),
+		sink:    sink,
 	}
 	var cells []*cellState
 	idx := 0
@@ -342,6 +438,9 @@ func (c *Coordinator) decompose(jobID string, req api.JobRequest) (*fleetJob, []
 				job.hits++
 				c.cResolved.Inc()
 				c.cFromStore.Inc()
+				if sink != nil {
+					sink(idx, job.results[idx])
+				}
 			} else {
 				job.remaining++
 				cells = append(cells, cell)
@@ -423,6 +522,23 @@ func (c *Coordinator) sweepLocked(now time.Time) {
 			c.requeueLocked(cl, now, "lease expired")
 		}
 	}
+	// Re-own forwarded cells whose owner went silent past ForwardTTL: the
+	// cell returns to the local pending queue (retry budget applies). A
+	// late completion callback from the owner is refused once the cell
+	// resolves here; if the callback wins instead, the re-owned pending
+	// copy is dropped as settled. Either way the store dedups the work.
+	for _, job := range c.jobs {
+		for idx, cl := range job.forwarded {
+			if !now.After(cl.forwardDeadline) {
+				continue
+			}
+			delete(job.forwarded, idx)
+			cl.forwardDeadline = time.Time{}
+			c.cReowned.Inc()
+			c.log.Warn("re-owning forwarded cell: owner silent", "job", job.id, "cell", idx)
+			c.requeueLocked(cl, now, "forward owner silent")
+		}
+	}
 	c.gWorkers.Set(float64(len(c.workers)))
 	c.gLeases.Set(float64(len(c.leases)))
 }
@@ -437,9 +553,16 @@ func (c *Coordinator) requeueLocked(cl *cellState, now time.Time, why string) {
 		return
 	}
 	if cl.attempts > c.opts.MaxCellRetries { // first attempt + MaxCellRetries redispatches
-		err := fmt.Errorf("dist: cell %d (%s on %s) failed after %d attempts: %s",
+		why = fmt.Sprintf("dist: cell %d (%s on %s) failed after %d attempts: %s",
 			cl.spec.Index, cl.policy, cl.mixName, cl.attempts, why)
-		c.failJobLocked(cl.job, err)
+		if cl.job.remote {
+			// An adopted cell fails alone: the origin gets a per-cell
+			// error callback and decides (retry locally, fail its job) —
+			// one bad cell must not sink the rest of the remote batch.
+			c.failRemoteCellLocked(cl, why)
+			return
+		}
+		c.failJobLocked(cl.job, fmt.Errorf("%s", why))
 		return
 	}
 	c.cRetried.Inc()
@@ -471,6 +594,23 @@ func (c *Coordinator) releaseLocked(cl *cellState) {
 	c.gLeases.Set(float64(len(c.leases)))
 }
 
+// failRemoteCellLocked settles one adopted cell as failed and reports it
+// to the origin via the batch's error callback.
+func (c *Coordinator) failRemoteCellLocked(cl *cellState, why string) {
+	job := cl.job
+	if cl.resolved || job.finished() {
+		return
+	}
+	cl.resolved = true
+	job.remaining--
+	if job.onCellFailed != nil {
+		job.onCellFailed(cl.spec.Index, why)
+	}
+	if job.remaining == 0 {
+		close(job.done)
+	}
+}
+
 // failJobLocked settles a job as failed and drops its remaining cells.
 func (c *Coordinator) failJobLocked(job *fleetJob, err error) {
 	if job.abandoned || job.finished() {
@@ -498,6 +638,9 @@ func (c *Coordinator) resolveCellLocked(cl *cellState, res *sim.Result, fromStor
 	cl.resolved = true
 	job := cl.job
 	job.results[cl.spec.Index] = cl.toResult(res, fromStore)
+	if job.sink != nil {
+		job.sink(cl.spec.Index, job.results[cl.spec.Index])
+	}
 	if fromStore {
 		job.hits++
 	} else {
@@ -806,6 +949,13 @@ func (c *Coordinator) status() api.FleetStatus {
 		CellsLocal:     c.cLocal.Value(),
 		CellsResolved:  c.cResolved.Value(),
 		CellsFromStore: c.cFromStore.Value(),
+
+		CellsForwarded:  c.cForwarded.Value(),
+		CellsRemote:     c.cRemote.Value(),
+		ForwardsReowned: c.cReowned.Value(),
+	}
+	if c.ring != nil {
+		st.Coordinators = c.ring.Members()
 	}
 	if st.CellsResolved > 0 {
 		st.StoreHitRatio = float64(st.CellsFromStore) / float64(st.CellsResolved)

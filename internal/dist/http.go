@@ -18,6 +18,8 @@ import (
 //	POST /v1/fleet/heartbeat  worker liveness (204; 410 once declared dead)
 //	POST /v1/fleet/lease      request up to N cells (429 over capacity)
 //	POST /v1/fleet/complete   upload one cell's outcome (409 if superseded)
+//	POST /v1/fleet/cells      adopt a peer's forwarded cells (v3)
+//	POST /v1/fleet/cells/complete  forwarded-cell outcome callback (v3)
 //
 // Everything else falls through to next.
 func (c *Coordinator) Handler(next http.Handler) http.Handler {
@@ -27,6 +29,8 @@ func (c *Coordinator) Handler(next http.Handler) http.Handler {
 	mux.HandleFunc("POST /v1/fleet/heartbeat", c.handleHeartbeat)
 	mux.HandleFunc("POST /v1/fleet/lease", c.handleLease)
 	mux.HandleFunc("POST /v1/fleet/complete", c.handleComplete)
+	mux.HandleFunc("POST /v1/fleet/cells", c.handleForwardCells)
+	mux.HandleFunc("POST /v1/fleet/cells/complete", c.handleForwardComplete)
 	if next != nil {
 		mux.Handle("/", next)
 	}

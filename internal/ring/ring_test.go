@@ -1,0 +1,114 @@
+package ring
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// sampleKeys builds n keys shaped like fleet cell keys (long structured
+// strings) from a fixed seed, so the property tests are deterministic.
+func sampleKeys(n int) []string {
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("cfg.c%d.s%d.i%d|mix-%08x", rng.Intn(64)+1, rng.Intn(16)+1, rng.Intn(1_000_000), rng.Uint32())
+	}
+	return keys
+}
+
+// TestOwnerStableAcrossConstruction asserts routing is a pure function of
+// (key, member set): a ring rebuilt from a shuffled member list — as a
+// restarted process or a different fleet node would build it — routes
+// every key identically.
+func TestOwnerStableAcrossConstruction(t *testing.T) {
+	members := []string{"http://c3:1", "http://c1:1", "http://c0:1", "http://c2:1"}
+	a := New(members, 0)
+	shuffled := []string{"http://c0:1", "http://c2:1", "http://c3:1", "http://c1:1"}
+	b := New(shuffled, 0)
+	c := New(append(append([]string{}, members...), "http://c1:1", ""), 0) // dupes and blanks ignored
+	for _, k := range sampleKeys(10_000) {
+		if a.Owner(k) != b.Owner(k) || a.Owner(k) != c.Owner(k) {
+			t.Fatalf("owner of %q depends on construction order: %q vs %q vs %q",
+				k, a.Owner(k), b.Owner(k), c.Owner(k))
+		}
+	}
+}
+
+// TestMinimalRemapOnMembershipChange is the consistent-hashing property:
+// removing (or adding) one member of n remaps only the keys that member
+// owned (~K/n of them); every other key keeps its owner.
+func TestMinimalRemapOnMembershipChange(t *testing.T) {
+	keys := sampleKeys(10_000)
+	for _, n := range []int{2, 4, 8} {
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("shard-%d", i)
+		}
+		full := New(members, 0)
+		smaller := New(members[:n-1], 0)
+		larger := New(append(append([]string{}, members...), fmt.Sprintf("shard-%d", n)), 0)
+
+		removed, moved, added := 0, 0, 0
+		for _, k := range keys {
+			was := full.Owner(k)
+			if now := smaller.Owner(k); now != was {
+				if was != members[n-1] {
+					// A key not owned by the removed member changed
+					// owner — consistent hashing forbids that entirely.
+					moved++
+				}
+				removed++
+			}
+			if larger.Owner(k) != was {
+				added++
+			}
+		}
+		if moved != 0 {
+			t.Errorf("n=%d: %d keys not owned by the removed member were remapped", n, moved)
+		}
+		// The removed member owned ~K/n keys; allow 2x slack for hash
+		// variance at 64 replicas before calling the split broken.
+		bound := 2 * len(keys) / n
+		if removed > bound {
+			t.Errorf("n=%d: removing one member remapped %d/%d keys (bound %d)", n, removed, len(keys), bound)
+		}
+		boundAdd := 2 * len(keys) / (n + 1)
+		if added > boundAdd {
+			t.Errorf("n=%d: adding one member remapped %d/%d keys (bound %d)", n, added, len(keys), boundAdd)
+		}
+		if removed == 0 || added == 0 {
+			t.Errorf("n=%d: membership change remapped nothing (removed=%d added=%d) — ring is not splitting load", n, removed, added)
+		}
+	}
+}
+
+// TestLoadSplit asserts no member is starved or doubly loaded beyond the
+// variance 64 virtual nodes should leave.
+func TestLoadSplit(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	r := New(members, 0)
+	counts := map[string]int{}
+	keys := sampleKeys(10_000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	want := len(keys) / len(members)
+	for _, m := range members {
+		if counts[m] < want/2 || counts[m] > want*2 {
+			t.Errorf("member %s owns %d keys, want within [%d,%d]", m, counts[m], want/2, want*2)
+		}
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	if got := New(nil, 0).Owner("k"); got != "" {
+		t.Fatalf("empty ring owner = %q, want empty", got)
+	}
+	one := New([]string{"only"}, 0)
+	for _, k := range sampleKeys(100) {
+		if one.Owner(k) != "only" {
+			t.Fatalf("single-member ring must own every key")
+		}
+	}
+}

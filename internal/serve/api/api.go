@@ -15,6 +15,33 @@
 // request echoed back by the service carries exactly the version the client
 // sent, keeping /v1 responses byte-compatible with the unversioned wire
 // format (pinned by the golden-file test in this package).
+//
+// # Migrating from v2 to v3
+//
+// v3 is a strict superset of v2 for job submission: every valid v2
+// JobRequest (apiVersion 2 or 0) is still accepted, decodes to the same
+// sweep, and echoes back byte-identically — the new fields are omitted
+// when unset. Fleet messages (register/lease/complete and the new forward
+// endpoints) require an exact version match as before, so workers must be
+// rebuilt when the coordinator is upgraded. What v3 adds:
+//
+//   - Streamed per-cell results: GET /v1/jobs/{id}/results serves chunked
+//     NDJSON (Content-Type application/x-ndjson), one ResultEvent per
+//     line — "cell" events as each sweep cell resolves, in completion
+//     order, then exactly one "done" event with the job's summary. The
+//     buffered GET /v1/jobs/{id}/result endpoint is unchanged; clients
+//     that want whole-sweep bytes keep using it.
+//   - Multi-tenant queueing: JobRequest.Tenant names the submitting
+//     tenant for per-tenant quota enforcement (429 + Retry-After once the
+//     tenant's active-job quota is reached), and JobRequest.Priority
+//     ("interactive" | "normal" | "batch", default "normal") selects the
+//     queue class — higher classes are always dispatched first, FIFO
+//     within a class.
+//   - Stateless multi-coordinator fleets: coordinators forward sweep
+//     cells they do not own (consistent hashing over CellKey) to the
+//     owning peer via ForwardCellsRequest and get results back via
+//     ForwardCompleteRequest; FleetStatus reports the coordinator ring
+//     and forwarding counters.
 package api
 
 import (
@@ -39,7 +66,41 @@ import (
 // v2 added distributed tracing: JobView.TraceID, trace context on Lease,
 // completed spans on CompleteRequest, and lease-latency/batch-lane
 // telemetry on FleetStatus.
-const Version = 2
+//
+// v3 added streamed per-cell results (ResultEvent NDJSON on
+// GET /v1/jobs/{id}/results), per-tenant quota and priority classes on
+// JobRequest, and the multi-coordinator forwarding messages
+// (ForwardCellsRequest/ForwardCompleteRequest). Job submission remains
+// backward compatible: requests carrying apiVersion 2 (or 0) are still
+// accepted.
+const Version = 3
+
+// CompatVersions lists the request schema generations Validate accepts
+// for job submission. Fleet traffic still requires an exact match.
+var CompatVersions = []int{2, Version}
+
+// Priority classes for JobRequest.Priority. Higher classes are always
+// dispatched before lower ones; jobs within a class run FIFO. An empty
+// Priority means PriorityNormal.
+const (
+	PriorityInteractive = "interactive"
+	PriorityNormal      = "normal"
+	PriorityBatch       = "batch"
+)
+
+// PriorityRank orders priority classes for the queue: 0 is dispatched
+// first. Unknown strings rank as normal (Validate rejects them at the
+// boundary; internal callers get a sane default).
+func PriorityRank(p string) int {
+	switch p {
+	case PriorityInteractive:
+		return 0
+	case PriorityBatch:
+		return 2
+	default:
+		return 1
+	}
+}
 
 // Status is a job's lifecycle state.
 type Status string
@@ -100,6 +161,16 @@ type JobRequest struct {
 	// MaxRetries overrides the service's bounded retry budget for
 	// transient failures (-1 = no retries, 0 = service default).
 	MaxRetries int `json:"maxRetries,omitempty"`
+
+	// Tenant names the submitting tenant (v3). The service enforces its
+	// per-tenant active-job quota against this label; empty means the
+	// anonymous tenant, which shares one bucket.
+	Tenant string `json:"tenant,omitempty"`
+
+	// Priority selects the queue class (v3): "interactive", "normal"
+	// (default), or "batch". Higher classes are always dispatched first;
+	// within a class, jobs run FIFO.
+	Priority string `json:"priority,omitempty"`
 }
 
 // WithDefaults resolves zero values to harness-scale defaults. It is the
@@ -130,8 +201,15 @@ func (r JobRequest) WithDefaults() JobRequest {
 
 // Validate rejects malformed requests before they reach the queue.
 func (r JobRequest) Validate() error {
-	if r.APIVersion != 0 && r.APIVersion != Version {
-		return fmt.Errorf("apiVersion %d not supported (current: %d)", r.APIVersion, Version)
+	ok := r.APIVersion == 0
+	for _, v := range CompatVersions {
+		ok = ok || r.APIVersion == v
+	}
+	if !ok {
+		return fmt.Errorf("apiVersion %d not supported (current: %d, accepted: %v)", r.APIVersion, Version, CompatVersions)
+	}
+	if err := r.validateTenancy(); err != nil {
+		return err
 	}
 	if r.Scenario != nil {
 		return r.validateScenario()
@@ -174,6 +252,25 @@ func (r JobRequest) Validate() error {
 		return fmt.Errorf("instructions above the 100M service ceiling")
 	}
 	return nil
+}
+
+// validateTenancy checks the v3 multi-tenant fields; both are optional.
+func (r JobRequest) validateTenancy() error {
+	if len(r.Tenant) > 64 {
+		return fmt.Errorf("tenant longer than 64 bytes")
+	}
+	for _, c := range r.Tenant {
+		if c <= ' ' || c == 0x7f {
+			return fmt.Errorf("tenant contains whitespace or control characters")
+		}
+	}
+	switch r.Priority {
+	case "", PriorityInteractive, PriorityNormal, PriorityBatch:
+		return nil
+	default:
+		return fmt.Errorf("priority %q unknown (accepted: %s, %s, %s)",
+			r.Priority, PriorityInteractive, PriorityNormal, PriorityBatch)
+	}
 }
 
 // validateScenario checks a scenario-bearing request: the spec fields are
@@ -370,6 +467,40 @@ type JobResult struct {
 	StoreMisses int          `json:"storeMisses"`
 	ElapsedMS   int64        `json:"elapsedMs"`
 }
+
+// ResultEvent is one NDJSON line of the v3 streaming results endpoint,
+// GET /v1/jobs/{id}/results (Content-Type: application/x-ndjson). The
+// stream carries one "cell" event per sweep cell as it resolves — in
+// completion order, each index exactly once, even across job retries —
+// followed by exactly one "done" event summarizing the job. Clients that
+// want the whole sweep in deterministic cell order keep using the
+// buffered GET /v1/jobs/{id}/result.
+type ResultEvent struct {
+	// Event is "cell" (one resolved sweep cell) or "done" (terminal
+	// summary; always the last line).
+	Event string `json:"event"`
+
+	// Cell events: Index is the cell's position in the job's
+	// deterministic cell order (omitted when zero — Cell non-nil marks a
+	// cell event), Cell the resolved result.
+	Index int         `json:"index,omitempty"`
+	Cell  *CellResult `json:"cell,omitempty"`
+
+	// Done events: the job's terminal status, its error when failed, and
+	// the JobResult summary when one exists.
+	Status      Status `json:"status,omitempty"`
+	Error       string `json:"error,omitempty"`
+	Cells       int    `json:"cells,omitempty"`
+	StoreHits   int    `json:"storeHits,omitempty"`
+	StoreMisses int    `json:"storeMisses,omitempty"`
+	ElapsedMS   int64  `json:"elapsedMs,omitempty"`
+}
+
+// EventCell and EventDone are the ResultEvent.Event values.
+const (
+	EventCell = "cell"
+	EventDone = "done"
+)
 
 // JobView is the wire form of a job's status (result elided).
 type JobView struct {

@@ -39,15 +39,52 @@ func TestWithDefaults(t *testing.T) {
 
 func TestValidateAPIVersion(t *testing.T) {
 	r := sweepRequest()
-	for _, v := range []int{0, Version} {
+	// 0 = current, plus every compat generation (v2 requests are a strict
+	// subset of v3 and stay accepted through the door check).
+	for _, v := range append([]int{0}, CompatVersions...) {
 		r.APIVersion = v
 		if err := r.Validate(); err != nil {
 			t.Errorf("Validate() with apiVersion %d: %v", v, err)
 		}
 	}
-	r.APIVersion = Version + 1
-	if err := r.Validate(); err == nil || !strings.Contains(err.Error(), "apiVersion") {
-		t.Errorf("Validate() with apiVersion %d: err = %v, want apiVersion rejection", r.APIVersion, err)
+	for _, v := range []int{1, Version + 1} {
+		r.APIVersion = v
+		if err := r.Validate(); err == nil || !strings.Contains(err.Error(), "apiVersion") {
+			t.Errorf("Validate() with apiVersion %d: err = %v, want apiVersion rejection", r.APIVersion, err)
+		}
+	}
+}
+
+func TestValidateTenancy(t *testing.T) {
+	r := sweepRequest()
+	r.Tenant = "team-a"
+	for _, p := range []string{"", PriorityInteractive, PriorityNormal, PriorityBatch} {
+		r.Priority = p
+		if err := r.Validate(); err != nil {
+			t.Errorf("Validate() with priority %q: %v", p, err)
+		}
+	}
+	r.Priority = "urgent"
+	if err := r.Validate(); err == nil || !strings.Contains(err.Error(), "priority") {
+		t.Errorf("Validate() with unknown priority: err = %v, want priority rejection", err)
+	}
+	r.Priority = ""
+	r.Tenant = "has space"
+	if err := r.Validate(); err == nil || !strings.Contains(err.Error(), "tenant") {
+		t.Errorf("Validate() with whitespace tenant: err = %v, want tenant rejection", err)
+	}
+	r.Tenant = strings.Repeat("x", 65)
+	if err := r.Validate(); err == nil || !strings.Contains(err.Error(), "tenant") {
+		t.Errorf("Validate() with oversized tenant: err = %v, want tenant rejection", err)
+	}
+}
+
+func TestPriorityRank(t *testing.T) {
+	if !(PriorityRank(PriorityInteractive) < PriorityRank("") &&
+		PriorityRank("") == PriorityRank(PriorityNormal) &&
+		PriorityRank(PriorityNormal) < PriorityRank(PriorityBatch)) {
+		t.Fatalf("priority ranks out of order: interactive=%d empty=%d normal=%d batch=%d",
+			PriorityRank(PriorityInteractive), PriorityRank(""), PriorityRank(PriorityNormal), PriorityRank(PriorityBatch))
 	}
 }
 

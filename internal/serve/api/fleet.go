@@ -101,6 +101,56 @@ type CompleteResponse struct {
 	Accepted bool `json:"accepted"`
 }
 
+// ForwardCellsRequest is POST /v1/fleet/cells (v3): a coordinator handing
+// sweep cells it does not own to the owning peer in a multi-coordinator
+// fleet. Ownership is consistent hashing of each cell's CellKey over the
+// coordinator ring, so both sides independently agree who owns what.
+// APIVersion is mandatory and exact, like worker registration: peers
+// running different schema generations must not exchange cells.
+type ForwardCellsRequest struct {
+	APIVersion int `json:"apiVersion"`
+	// Origin is the forwarding coordinator's advertised base URL — the
+	// callback target for ForwardCompleteRequest.
+	Origin string `json:"origin"`
+	// JobID is the origin's job the cells belong to.
+	JobID string `json:"jobId"`
+	// TraceID/SpanID carry the origin job's trace context so owner-side
+	// lease spans join the same tree. Empty when tracing is off.
+	TraceID string     `json:"traceId,omitempty"`
+	SpanID  string     `json:"spanId,omitempty"`
+	Cells   []CellSpec `json:"cells"`
+}
+
+// ForwardCellsResponse acknowledges a forward. Accepted=false (with a
+// reason) means the owner cannot take the cells — typically it has no
+// live workers — and the origin must run them itself.
+type ForwardCellsResponse struct {
+	Accepted bool   `json:"accepted"`
+	Reason   string `json:"reason,omitempty"`
+	Queued   int    `json:"queued,omitempty"`
+}
+
+// ForwardCompleteRequest is POST /v1/fleet/cells/complete (v3): the owner
+// coordinator reporting one forwarded cell's outcome back to its origin.
+// Exactly one of Result or Error is set. Idempotent on the origin: a
+// duplicate (JobID, Index) completion is acknowledged and dropped.
+type ForwardCompleteRequest struct {
+	APIVersion int         `json:"apiVersion"`
+	Owner      string      `json:"owner"` // reporting coordinator's base URL, for logs
+	JobID      string      `json:"jobId"`
+	Index      int         `json:"index"`
+	FromStore  bool        `json:"fromStore"`
+	Result     *sim.Result `json:"result,omitempty"`
+	Error      string      `json:"error,omitempty"`
+}
+
+// ForwardCompleteResponse acknowledges a forwarded completion.
+// Accepted=false means the origin no longer wants it (job settled or
+// cell re-owned and resolved); the owner drops its copy.
+type ForwardCompleteResponse struct {
+	Accepted bool `json:"accepted"`
+}
+
 // WorkerStatus is one worker's row in GET /v1/fleet.
 type WorkerStatus struct {
 	ID             string `json:"id"`
@@ -131,6 +181,16 @@ type FleetStatus struct {
 	// BatchLaneCount is the worker_batch_lane_count gauge: the largest
 	// same-group cell pack in the most recent lease grant.
 	BatchLaneCount int `json:"batchLaneCount"`
+
+	// Multi-coordinator fleets (v3). Coordinators is the consistent-hash
+	// ring membership (empty on a single-coordinator fleet); the counters
+	// track cells handed to peers, cells executed here on behalf of
+	// peers, and forwarded cells this coordinator reclaimed after the
+	// owner went silent.
+	Coordinators    []string `json:"coordinators,omitempty"`
+	CellsForwarded  uint64   `json:"cellsForwarded"`
+	CellsRemote     uint64   `json:"cellsRemote"`
+	ForwardsReowned uint64   `json:"forwardsReowned"`
 }
 
 // LatencyStats is a histogram summary in milliseconds.

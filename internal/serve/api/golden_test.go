@@ -139,6 +139,9 @@ func TestGoldenWireFormat(t *testing.T) {
 		StoreHitRatio:  2.0 / 9.0,
 		LeaseLatency:   LatencyStats{Count: 7, Mean: 812.5, P50: 750, P99: 1900},
 		BatchLaneCount: 4,
+		Coordinators:   []string{"http://coord-a:8411", "http://coord-b:8411"},
+		CellsForwarded: 5,
+		CellsRemote:    4,
 	}
 	checkGolden(t, "fleet_status.golden.json", encodeWire(t, fleet))
 
@@ -166,4 +169,85 @@ func TestGoldenWireFormat(t *testing.T) {
 		},
 	}
 	checkGolden(t, "trace_view.golden.json", encodeWire(t, tv))
+}
+
+// TestGoldenWireFormatV3 pins the bodies the v3 schema added: the
+// multi-tenant request fields, the streaming result events (compact
+// NDJSON, one event per line, exactly as the /results endpoint frames
+// them), and the coordinator forwarding messages.
+func TestGoldenWireFormatV3(t *testing.T) {
+	req := JobRequest{
+		APIVersion: Version,
+		Cores:      2,
+		Policies:   []PolicyRequest{{Name: "lru"}},
+		Workloads:  []string{"mcf"},
+		Tenant:     "team-a",
+		Priority:   PriorityInteractive,
+	}
+	checkGolden(t, "job_request_v3.golden.json", encodeWire(t, req))
+
+	// A request without the v3 fields must render byte-identically to a
+	// v2 request — omitempty keeps old clients' wire format untouched.
+	v2 := req
+	v2.APIVersion = 2
+	v2.Tenant, v2.Priority = "", ""
+	for _, field := range []string{"tenant", "priority"} {
+		if bytes.Contains(encodeWire(t, v2), []byte(field)) {
+			t.Errorf("empty %s leaked into the v2 wire format", field)
+		}
+	}
+
+	// The streaming endpoint emits compact one-line events, not the
+	// indented framing of the buffered endpoints.
+	events := []ResultEvent{
+		{Event: EventCell, Index: 1, Cell: &CellResult{
+			Policy: "lru", Workload: "mcf", Mix: "hom-mcf", FromStore: true, IPCSum: 1.25, MPKI: 12.5, WPKI: 3.125, APKI: 20.0625,
+		}},
+		{Event: EventDone, Status: StatusDone, Cells: 2, StoreHits: 1, StoreMisses: 1, ElapsedMS: 1000},
+	}
+	var stream bytes.Buffer
+	for _, ev := range events {
+		line, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Write(line)
+		stream.WriteByte('\n')
+	}
+	checkGolden(t, "result_events.golden.ndjson", stream.Bytes())
+
+	// Every pinned stream line must survive a strict round trip — the
+	// same DecodeStrict gate loadgen and tests apply at the boundary.
+	for _, line := range bytes.Split(bytes.TrimSpace(stream.Bytes()), []byte("\n")) {
+		var ev ResultEvent
+		if err := DecodeStrict(bytes.NewReader(line), &ev); err != nil {
+			t.Errorf("pinned stream line fails DecodeStrict: %v\n%s", err, line)
+		}
+	}
+
+	fwd := ForwardCellsRequest{
+		APIVersion: Version,
+		Origin:     "http://coord-a:8411",
+		JobID:      "j000001-deadbeef",
+		TraceID:    "0123456789abcdef0123456789abcdef",
+		SpanID:     "00000000000000aa",
+		Cells: []CellSpec{{
+			Index:         1,
+			Key:           "cfg|mix",
+			Request:       JobRequest{Cores: 2, Policies: []PolicyRequest{{Name: "lru"}}, Workloads: []string{"mcf"}},
+			WorkloadIndex: 0,
+			PolicyIndex:   0,
+		}},
+	}
+	checkGolden(t, "forward_cells.golden.json", encodeWire(t, fwd))
+
+	done := ForwardCompleteRequest{
+		APIVersion: Version,
+		Owner:      "http://coord-b:8411",
+		JobID:      "j000001-deadbeef",
+		Index:      1,
+		FromStore:  false,
+		Result:     &sim.Result{PolicyName: "lru", Cores: 2, Budget: map[string]int{"lru": 0}},
+	}
+	checkGolden(t, "forward_complete.golden.json", encodeWire(t, done))
 }

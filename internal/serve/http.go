@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 
 	"drishti/internal/buildinfo"
 	"drishti/internal/serve/api"
@@ -12,10 +13,11 @@ import (
 
 // Handler builds the service's HTTP API on a Go 1.22 pattern mux:
 //
-//	POST   /v1/jobs            submit (202; 400 invalid, 429 full, 503 draining)
+//	POST   /v1/jobs            submit (202; 400 invalid, 429 full/over-quota, 503 draining)
 //	GET    /v1/jobs            list job statuses
 //	GET    /v1/jobs/{id}        one job's status
 //	GET    /v1/jobs/{id}/result a done job's result (409 until terminal)
+//	GET    /v1/jobs/{id}/results stream per-cell results as NDJSON (v3)
 //	GET    /v1/jobs/{id}/trace  the job's span tree (404 when tracing is off)
 //	DELETE /v1/jobs/{id}        cancel (queued or running)
 //	GET    /v1/store/stats      durable-store counters + disk usage
@@ -31,6 +33,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResultStream)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/store/stats", s.handleStoreStats)
@@ -69,8 +72,10 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	v, err := s.Submit(req)
 	switch {
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "5")
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrQuotaExceeded):
+		// Retry-After is derived from the queue's observed drain rate, not
+		// a constant: depth × mean job duration ÷ workers, clamped.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSec()))
 		s.writeJSON(w, http.StatusTooManyRequests, api.Error{Error: err.Error()})
 		return
 	case errors.Is(err, ErrDraining):
@@ -114,6 +119,66 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, res)
+}
+
+// handleResultStream is GET /v1/jobs/{id}/results (v3): chunked NDJSON,
+// one compact api.ResultEvent per line — a "cell" event for every resolved
+// cell in arrival order, then exactly one "done" event once the job is
+// terminal. Watchers can connect at any point in the job's life: already-
+// resolved cells replay immediately, then the stream follows live
+// resolution. The buffered GET /result endpoint remains the authoritative
+// merged view.
+func (s *Service) handleResultStream(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound, api.Error{Error: "no such job"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w) // compact: one event per line
+	sent := 0
+	for {
+		s.mu.Lock()
+		var events []api.ResultEvent
+		for ; sent < len(j.cellSeq); sent++ {
+			idx := j.cellSeq[sent]
+			cell := j.cells[idx]
+			events = append(events, api.ResultEvent{Event: api.EventCell, Index: idx, Cell: &cell})
+		}
+		terminal := j.Status.Terminal()
+		if terminal {
+			done := api.ResultEvent{Event: api.EventDone, Status: j.Status, Error: j.Error}
+			if j.Result != nil {
+				done.Cells = len(j.Result.Cells)
+				done.StoreHits = j.Result.StoreHits
+				done.StoreMisses = j.Result.StoreMisses
+				done.ElapsedMS = j.Result.ElapsedMS
+			}
+			events = append(events, done)
+		}
+		wake := j.wake
+		s.mu.Unlock()
+		for _, ev := range events {
+			if err := enc.Encode(ev); err != nil {
+				return // client went away
+			}
+		}
+		if len(events) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {

@@ -55,6 +55,16 @@ type Job struct {
 	TraceID string `json:"traceId,omitempty"`
 
 	cancel func() // non-nil while running; invoked by DELETE
+
+	// Streaming state (v3): cells resolved so far, keyed by their position
+	// in the job's deterministic cell order. First result per index wins —
+	// a retried attempt re-resolving a cell is dropped, so stream watchers
+	// never see the same index twice. cellSeq records arrival order; wake
+	// is closed and replaced on every stream event (new cell or terminal
+	// transition) to broadcast to blocked watchers.
+	cells   map[int]CellResult
+	cellSeq []int
+	wake    chan struct{}
 }
 
 // snapshot renders the job for the API. Caller holds the service mutex.

@@ -9,17 +9,21 @@ import (
 	"sync"
 	"time"
 
+	"drishti/internal/serve/api"
 	"drishti/internal/store"
 )
 
-// fifo is the bounded job queue. Bounding happens at submission time (the
-// HTTP layer rejects with 429 once depth reaches capacity); the structure
-// itself is elastic so a restored queue larger than the current capacity
-// still loads completely.
+// fifo is the bounded job queue: one FIFO lane per priority class
+// (interactive, normal, batch), drained strictly in class order — an
+// interactive job always dispatches before a queued batch job, and jobs of
+// the same class keep submission order. Bounding happens at submission
+// time (the HTTP layer rejects with 429 once total depth reaches
+// capacity); the structure itself is elastic so a restored queue larger
+// than the current capacity still loads completely.
 type fifo struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	jobs   []*Job
+	lanes  [3][]*Job // indexed by api.PriorityRank
 	closed bool
 }
 
@@ -29,40 +33,56 @@ func newFifo() *fifo {
 	return q
 }
 
-// push appends a job. Returns false once the queue is closed.
+// push appends a job to its class lane. Returns false once the queue is
+// closed.
 func (q *fifo) push(j *Job) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		return false
 	}
-	q.jobs = append(q.jobs, j)
+	r := api.PriorityRank(j.Request.Priority)
+	q.lanes[r] = append(q.lanes[r], j)
 	q.cond.Signal()
 	return true
 }
 
-// pop blocks until a job is available or the queue closes. On close it
-// returns immediately even if jobs remain — shutdown wants them persisted,
-// not executed.
+// pop blocks until a job is available or the queue closes, returning the
+// oldest job of the most urgent non-empty class. On close it returns
+// immediately even if jobs remain — shutdown wants them persisted, not
+// executed.
 func (q *fifo) pop() (*Job, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.jobs) == 0 && !q.closed {
+	for q.lenLocked() == 0 && !q.closed {
 		q.cond.Wait()
 	}
 	if q.closed {
 		return nil, false
 	}
-	j := q.jobs[0]
-	q.jobs = q.jobs[1:]
-	return j, true
+	for r := range q.lanes {
+		if len(q.lanes[r]) > 0 {
+			j := q.lanes[r][0]
+			q.lanes[r] = q.lanes[r][1:]
+			return j, true
+		}
+	}
+	return nil, false // unreachable: lenLocked() > 0
 }
 
-// depth returns the number of queued jobs.
+func (q *fifo) lenLocked() int {
+	n := 0
+	for r := range q.lanes {
+		n += len(q.lanes[r])
+	}
+	return n
+}
+
+// depth returns the number of queued jobs across every class.
 func (q *fifo) depth() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.jobs)
+	return q.lenLocked()
 }
 
 // close wakes every waiter; subsequent pushes fail and pops drain nothing.
@@ -73,12 +93,16 @@ func (q *fifo) close() {
 	q.mu.Unlock()
 }
 
-// drain returns and removes every queued job (used after close to persist).
+// drain returns and removes every queued job (used after close to
+// persist), most urgent class first, submission order within a class.
 func (q *fifo) drain() []*Job {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	out := q.jobs
-	q.jobs = nil
+	var out []*Job
+	for r := range q.lanes {
+		out = append(out, q.lanes[r]...)
+		q.lanes[r] = nil
+	}
 	return out
 }
 

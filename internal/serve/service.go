@@ -32,14 +32,32 @@ import (
 // an error wrapping api.ErrNoWorkers tells the service to fall back to
 // local in-process execution, so a coordinator with no registered workers
 // behaves exactly like a single node.
+//
+// sink, when non-nil, receives each cell result as it resolves (index is
+// the cell's position in the job's deterministic order) so the service can
+// stream partial results to watchers before the job settles. The final
+// *api.JobResult remains authoritative; sink delivery is best-effort and
+// may be invoked from any goroutine, but never after RunJob returns.
 type Distributor interface {
-	RunJob(ctx context.Context, jobID string, req api.JobRequest) (*api.JobResult, error)
+	RunJob(ctx context.Context, jobID string, req api.JobRequest, sink func(index int, cell api.CellResult)) (*api.JobResult, error)
 }
 
 // Options configure a Service. Zero values take the documented defaults.
 type Options struct {
 	// StoreDir roots the durable result store and the persisted queue.
 	StoreDir string
+
+	// Store, when non-nil, overrides the store opened from StoreDir —
+	// scaled-out deployments hand every coordinator the same sharded
+	// (optionally cached) store built with store.OpenSharded. StoreDir
+	// still roots the persisted queue file.
+	Store *store.Store
+
+	// TenantQuota bounds the number of non-terminal (queued or running)
+	// jobs any one tenant may hold; submissions beyond it get HTTP 429
+	// with a Retry-After derived from the current drain rate. 0 disables
+	// quotas. The empty tenant counts as its own tenant.
+	TenantQuota int
 
 	// Workers is the scheduler pool size (default GOMAXPROCS). A negative
 	// value starts no workers at all: jobs queue but never execute, which
@@ -120,6 +138,11 @@ type Service struct {
 	seq      int
 	draining bool
 
+	// Drain-rate estimate for the derived Retry-After: total wall time and
+	// count of finished jobs. Guarded by mu.
+	durTotal time.Duration
+	durCount int
+
 	wg       sync.WaitGroup
 	inflight atomic.Int64
 
@@ -135,11 +158,15 @@ type Service struct {
 // persisted by a previous process, and starts the worker pool.
 func New(opts Options) (*Service, error) {
 	opts = opts.withDefaults()
-	st, err := store.Open(opts.StoreDir)
-	if err != nil {
-		return nil, err
+	st := opts.Store
+	if st == nil {
+		var err error
+		st, err = store.Open(opts.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+		st.Attach(opts.Registry, "store")
 	}
-	st.Attach(opts.Registry, "store")
 	s := &Service{
 		opts:  opts,
 		st:    st,
@@ -182,7 +209,8 @@ func (s *Service) restoreQueue() error {
 		return err
 	}
 	for _, pj := range pjobs {
-		j := &Job{ID: pj.ID, Request: pj.Request, Status: StatusQueued, EnqueuedAt: pj.EnqueuedAt}
+		j := &Job{ID: pj.ID, Request: pj.Request, Status: StatusQueued, EnqueuedAt: pj.EnqueuedAt,
+			wake: make(chan struct{})}
 		s.jobs[j.ID] = j
 		s.order = append(s.order, j.ID)
 		s.q.push(j)
@@ -198,6 +226,11 @@ func (s *Service) restoreQueue() error {
 // ErrQueueFull is returned by Submit when the FIFO is at capacity; the
 // HTTP layer maps it to 429 + Retry-After.
 var ErrQueueFull = errors.New("serve: queue full")
+
+// ErrQuotaExceeded is returned by Submit when the request's tenant already
+// holds TenantQuota non-terminal jobs; the HTTP layer maps it to 429 +
+// Retry-After, same as a full queue.
+var ErrQuotaExceeded = errors.New("serve: tenant quota exceeded")
 
 // ErrDraining is returned during shutdown; the HTTP layer maps it to 503.
 var ErrDraining = errors.New("serve: shutting down")
@@ -220,10 +253,25 @@ func (s *Service) Submit(req JobRequest) (view, error) {
 		s.cRejected.Inc()
 		return view{}, ErrQueueFull
 	}
+	if q := s.opts.TenantQuota; q > 0 {
+		held := 0
+		for _, id := range s.order {
+			if t := s.jobs[id]; t.Request.Tenant == req.Tenant && !t.Status.Terminal() {
+				held++
+			}
+		}
+		if held >= q {
+			s.mu.Unlock()
+			s.cRejected.Inc()
+			return view{}, fmt.Errorf("%w: tenant %q holds %d of %d jobs",
+				ErrQuotaExceeded, req.Tenant, held, q)
+		}
+	}
 	s.seq++
 	id := fmt.Sprintf("j%06d-%s", s.seq, obs.RunID(
 		strconv.Itoa(s.seq), strconv.FormatInt(time.Now().UnixNano(), 10)))
-	j := &Job{ID: id, Request: req, Status: StatusQueued, EnqueuedAt: time.Now()}
+	j := &Job{ID: id, Request: req, Status: StatusQueued, EnqueuedAt: time.Now(),
+		wake: make(chan struct{})}
 	if s.opts.Trace != nil {
 		j.TraceID = trace.NewTraceID()
 	}
@@ -295,6 +343,58 @@ func (s *Service) Cancel(id string) (Status, bool) {
 		s.log.Info("job cancel requested", "job", id)
 	}
 	return j.Status, true
+}
+
+// recordCell stores one resolved cell for stream watchers and wakes them.
+// First result per index wins: a retry attempt re-resolving a cell is
+// dropped so the stream never repeats an index (the buffered JobResult of
+// the final successful attempt remains authoritative).
+func (s *Service) recordCell(j *Job, index int, cell api.CellResult) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := j.cells[index]; dup {
+		return
+	}
+	if j.cells == nil {
+		j.cells = make(map[int]CellResult)
+	}
+	j.cells[index] = cell
+	j.cellSeq = append(j.cellSeq, index)
+	s.notifyLocked(j)
+}
+
+// notifyLocked broadcasts a stream event to every watcher blocked on the
+// job's wake channel. Caller holds the service mutex.
+func (s *Service) notifyLocked(j *Job) {
+	if j.wake != nil {
+		close(j.wake)
+		j.wake = make(chan struct{})
+	}
+}
+
+// retryAfterSec derives the Retry-After hint for 429 responses from the
+// queue's current drain rate: depth+1 jobs ahead, each taking the observed
+// mean wall time, spread over the worker pool. Clamped to [1s, 60s]; with
+// no finished jobs yet (no rate estimate) it falls back to 5s.
+func (s *Service) retryAfterSec() int {
+	s.mu.Lock()
+	var mean time.Duration
+	if s.durCount > 0 {
+		mean = s.durTotal / time.Duration(s.durCount)
+	}
+	s.mu.Unlock()
+	if mean <= 0 || s.opts.Workers <= 0 {
+		return 5
+	}
+	wait := time.Duration(s.q.depth()+1) * mean / time.Duration(s.opts.Workers)
+	sec := int((wait + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
 }
 
 // worker pulls jobs until the queue closes.
@@ -398,6 +498,9 @@ func (s *Service) execute(j *Job) {
 		s.cFailed.Inc()
 	}
 	status := j.Status
+	s.durTotal += elapsed
+	s.durCount++
+	s.notifyLocked(j) // wake stream watchers: the job is terminal
 	s.mu.Unlock()
 	root.SetAttr("status", string(status))
 	root.End()
@@ -415,8 +518,9 @@ func (s *Service) execute(j *Job) {
 // exactly as on a single node.
 func (s *Service) runJob(ctx context.Context, j *Job) (*JobResult, error) {
 	req := j.Request
+	sink := func(index int, cell api.CellResult) { s.recordCell(j, index, cell) }
 	if s.opts.Distributor != nil {
-		res, err := s.opts.Distributor.RunJob(ctx, j.ID, req)
+		res, err := s.opts.Distributor.RunJob(ctx, j.ID, req, sink)
 		switch {
 		case err == nil:
 			return res, nil
@@ -458,7 +562,7 @@ func (s *Service) runJob(ctx context.Context, j *Job) (*JobResult, error) {
 			} else {
 				out.StoreMisses++
 			}
-			out.Cells = append(out.Cells, CellResult{
+			cell := CellResult{
 				Policy:    cfg.Policy.DisplayName(),
 				Workload:  req.WorkloadName(wi),
 				Mix:       mix.Name,
@@ -468,7 +572,9 @@ func (s *Service) runJob(ctx context.Context, j *Job) (*JobResult, error) {
 				WPKI:      res.WPKI,
 				APKI:      res.APKI,
 				Result:    res,
-			})
+			}
+			out.Cells = append(out.Cells, cell)
+			sink(wi*np+pi, cell)
 			s.log.Info("cell done", "job", j.ID,
 				"run", obs.RunID(cfg.Key(), mix.Key()),
 				"policy", cfg.Policy.DisplayName(), "mix", mix.Name,

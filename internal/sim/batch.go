@@ -137,11 +137,6 @@ type Variant struct {
 	TelemetrySink obs.EpochSink
 }
 
-// RunBatch is RunBatchContext with context.Background.
-func RunBatch(base Config, variants []Variant, mix workload.Mix) ([]*Result, error) {
-	return RunBatchContext(context.Background(), base, variants, mix)
-}
-
 // RunBatchContext runs every variant lane over one shared generation of
 // the mix's access streams and returns per-lane results aligned with
 // variants. Each lane's result is bit-identical to running its

@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"context"
+
+	"drishti/internal/workload"
+)
+
+// This file holds every context-free entrypoint in the package. The
+// *Context forms are the canonical API — they carry the documentation
+// and the behavior — and each wrapper here is exactly that form with
+// context.Background(), kept for existing callers and quick scripts.
+// A context that is never cancelled produces bit-identical results, so
+// the wrappers add nothing but convenience.
+
+// Run is RunContext with context.Background().
+func (s *System) Run() (*Result, error) { return s.RunContext(context.Background()) }
+
+// RunMix is RunMixContext with context.Background().
+func RunMix(cfg Config, mix workload.Mix) (*Result, error) {
+	return RunMixContext(context.Background(), cfg, mix)
+}
+
+// RunAlone is RunAloneContext with context.Background().
+func RunAlone(cfg Config, mix workload.Mix) ([]float64, error) {
+	return RunAloneContext(context.Background(), cfg, mix)
+}
+
+// RunAloneN is RunAloneNContext with context.Background().
+func RunAloneN(cfg Config, mix workload.Mix, parallelism int) ([]float64, error) {
+	return RunAloneNContext(context.Background(), cfg, mix, parallelism)
+}
+
+// RunBatch is RunBatchContext with context.Background().
+func RunBatch(base Config, variants []Variant, mix workload.Mix) ([]*Result, error) {
+	return RunBatchContext(context.Background(), base, variants, mix)
+}
+
+// RunWithMetrics is RunWithMetricsContext with context.Background().
+func RunWithMetrics(cfg Config, mix workload.Mix, aloneIPC []float64) (*MixOutcome, error) {
+	return RunWithMetricsContext(context.Background(), cfg, mix, aloneIPC)
+}

@@ -27,15 +27,11 @@ func Readers(mix workload.Mix) ([]trace.Reader, error) {
 	return readers, nil
 }
 
-// RunMix builds and runs a system over a workload mix. When telemetry is on
-// and no tag was set, epochs are tagged with the mix name.
-func RunMix(cfg Config, mix workload.Mix) (*Result, error) {
-	return RunMixContext(context.Background(), cfg, mix)
-}
-
-// RunMixContext is RunMix with cooperative cancellation: the simulation
-// aborts with a wrapped ctx.Err() once ctx is done. A context that is never
-// cancelled (context.Background) produces results bit-identical to RunMix.
+// RunMixContext builds and runs a system over a workload mix, aborting
+// with a wrapped ctx.Err() once ctx is done. When telemetry is on and no
+// tag was set, epochs are tagged with the mix name. Cancellation never
+// changes results — a run either completes bit-identically to an
+// uncancellable run or returns an error.
 func RunMixContext(ctx context.Context, cfg Config, mix workload.Mix) (*Result, error) {
 	if mix.Cores() != cfg.Cores {
 		return nil, fmt.Errorf("sim: mix %s targets %d cores, config has %d", mix.Name, mix.Cores(), cfg.Cores)
@@ -54,34 +50,22 @@ func RunMixContext(ctx context.Context, cfg Config, mix workload.Mix) (*Result, 
 	return sys.RunContext(ctx)
 }
 
-// RunAlone measures each core's alone IPC: the same machine (all LLC slices
-// available) with only that core active, per the metric definitions in
-// Section 5.2. The returned vector aligns with the mix's cores. The
-// per-core runs are independent systems and execute concurrently on up to
-// GOMAXPROCS workers; use RunAloneN to bound the pool explicitly.
-// New callers should prefer RunAloneContext.
-func RunAlone(cfg Config, mix workload.Mix) ([]float64, error) {
-	return RunAloneContext(context.Background(), cfg, mix)
-}
-
-// RunAloneContext is RunAlone with cooperative cancellation. A context that
-// is never cancelled produces results bit-identical to RunAlone.
+// RunAloneContext measures each core's alone IPC: the same machine (all
+// LLC slices available) with only that core active, per the metric
+// definitions in Section 5.2. The returned vector aligns with the mix's
+// cores. The per-core runs are independent systems and execute
+// concurrently on up to GOMAXPROCS workers; use RunAloneNContext to
+// bound the pool explicitly.
 func RunAloneContext(ctx context.Context, cfg Config, mix workload.Mix) ([]float64, error) {
 	return RunAloneNContext(ctx, cfg, mix, runtime.GOMAXPROCS(0))
 }
 
-// RunAloneN is RunAlone with an explicit worker-pool bound. Each alone-run
-// is a deterministic, self-contained System, so the results are identical
-// for every parallelism; parallelism <= 1 runs strictly serially. On
-// failure the error of the lowest-numbered failing core is returned,
-// matching the serial path.
-func RunAloneN(cfg Config, mix workload.Mix, parallelism int) ([]float64, error) {
-	return RunAloneNContext(context.Background(), cfg, mix, parallelism)
-}
-
-// RunAloneNContext is RunAloneN with cooperative cancellation. Cancellation
-// stops dispatching further cores and aborts the in-flight ones; a context
-// that is never cancelled produces results bit-identical to RunAloneN.
+// RunAloneNContext is RunAloneContext with an explicit worker-pool
+// bound. Each alone-run is a deterministic, self-contained System, so
+// the results are identical for every parallelism; parallelism <= 1 runs
+// strictly serially. Cancellation stops dispatching further cores and
+// aborts the in-flight ones. On failure the error of the lowest-numbered
+// failing core is returned, matching the serial path.
 func RunAloneNContext(ctx context.Context, cfg Config, mix workload.Mix, parallelism int) ([]float64, error) {
 	if mix.Cores() != cfg.Cores {
 		return nil, fmt.Errorf("sim: mix %s targets %d cores, config has %d", mix.Name, mix.Cores(), cfg.Cores)
@@ -170,17 +154,10 @@ type MixOutcome struct {
 	Metrics metrics.Multi
 }
 
-// RunWithMetrics runs the mix and computes WS/HS/MIS/unfairness against the
-// supplied alone-IPC vector (typically measured once per mix on the LRU
-// baseline and shared across policies; see DESIGN.md §4 scale note).
-// New callers should prefer RunWithMetricsContext.
-func RunWithMetrics(cfg Config, mix workload.Mix, aloneIPC []float64) (*MixOutcome, error) {
-	return RunWithMetricsContext(context.Background(), cfg, mix, aloneIPC)
-}
-
-// RunWithMetricsContext is RunWithMetrics with cooperative cancellation. A
-// context that is never cancelled produces results bit-identical to
-// RunWithMetrics.
+// RunWithMetricsContext runs the mix and computes WS/HS/MIS/unfairness
+// against the supplied alone-IPC vector (typically measured once per mix
+// on the LRU baseline and shared across policies; see DESIGN.md §4 scale
+// note).
 func RunWithMetricsContext(ctx context.Context, cfg Config, mix workload.Mix, aloneIPC []float64) (*MixOutcome, error) {
 	res, err := RunMixContext(ctx, cfg, mix)
 	if err != nil {

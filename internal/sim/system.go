@@ -443,17 +443,15 @@ func (s *System) trackPC(coreID int, pc uint64, sliceID int) {
 
 // --- run loop ----------------------------------------------------------------
 
-// Run executes the workload until every active core has retired its target
-// instruction count. Finished cores keep running (their traces loop) so
-// shared-resource contention persists, matching the paper's methodology.
-func (s *System) Run() (*Result, error) { return s.RunContext(context.Background()) }
-
-// RunContext is Run with cooperative cancellation: the step loop polls
-// ctx every 1024 steps and aborts with a wrapped ctx.Err() once it is
-// done. Cancellation never changes results — a run either completes
-// bit-identically to Run or returns an error. context.Background (whose
-// Done channel is nil) costs one nil check per step, so the
-// non-cancellable path is unchanged.
+// RunContext executes the workload until every active core has retired
+// its target instruction count. Finished cores keep running (their
+// traces loop) so shared-resource contention persists, matching the
+// paper's methodology. The step loop polls ctx every 1024 steps and
+// aborts with a wrapped ctx.Err() once it is done. Cancellation never
+// changes results — a run either completes bit-identically to an
+// uncancellable run or returns an error. context.Background (whose Done
+// channel is nil) costs one nil check per step, so the non-cancellable
+// path is unchanged.
 func (s *System) RunContext(ctx context.Context) (*Result, error) {
 	r, err := s.newRunner(ctx)
 	if err != nil {

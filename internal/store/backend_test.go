@@ -1,0 +1,298 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// backends under test, each built fresh per run. Every Backend in the
+// package must pass the same conformance suite.
+func testBackends(t *testing.T) map[string]func() Backend {
+	t.Helper()
+	return map[string]func() Backend{
+		"dir": func() Backend {
+			d, err := NewDir(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		},
+		"mem": func() Backend { return NewMem() },
+		"sharded": func() Backend {
+			var names []string
+			var kids []Backend
+			for i := 0; i < 4; i++ {
+				d, err := NewDir(filepath.Join(t.TempDir(), fmt.Sprintf("s%d", i)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				names = append(names, fmt.Sprintf("shard-%d", i))
+				kids = append(kids, d)
+			}
+			s, err := NewSharded(names, kids)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		"cached-mem": func() Backend {
+			c := NewCached(NewMem(), 8)
+			t.Cleanup(func() { c.Close() })
+			return c
+		},
+		"cached-dir": func() Backend {
+			d, err := NewDir(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := NewCached(d, 8)
+			t.Cleanup(func() { c.Close() })
+			return c
+		},
+	}
+}
+
+// TestBackendConformance drives every backend through the Get/Put/Delete/
+// List contract.
+func TestBackendConformance(t *testing.T) {
+	for name, build := range testBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			b := build()
+			addr1, addr2 := Addr("key-one"), Addr("key-two")
+
+			if _, err := b.Get(addr1); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get(absent) = %v, want ErrNotFound", err)
+			}
+			if err := b.Delete(addr1); err != nil {
+				t.Fatalf("Delete(absent) = %v, want nil", err)
+			}
+			if err := b.Put(addr1, []byte("v1")); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Put(addr2, []byte("v2")); err != nil {
+				t.Fatal(err)
+			}
+			if got, err := b.Get(addr1); err != nil || string(got) != "v1" {
+				t.Fatalf("Get = %q, %v", got, err)
+			}
+			if err := b.Put(addr1, []byte("v1b")); err != nil { // overwrite
+				t.Fatal(err)
+			}
+			if got, _ := b.Get(addr1); string(got) != "v1b" {
+				t.Fatalf("overwrite lost: got %q", got)
+			}
+			addrs, err := b.List()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sort.Strings(addrs)
+			want := []string{addr1, addr2}
+			sort.Strings(want)
+			if len(addrs) != 2 || addrs[0] != want[0] || addrs[1] != want[1] {
+				t.Fatalf("List = %v, want %v", addrs, want)
+			}
+			if err := b.Delete(addr1); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.Get(addr1); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get(deleted) = %v, want ErrNotFound", err)
+			}
+			if f, ok := b.(flusher); ok {
+				if err := f.Flush(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			entries, bytes, err := Usage(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if entries != 1 || bytes <= 0 {
+				t.Fatalf("Usage = %d entries / %d bytes, want 1 entry", entries, bytes)
+			}
+		})
+	}
+}
+
+// TestShardedRouting asserts every address resolves to exactly one shard,
+// stably, and that the composite reads back what it wrote from the owning
+// child only.
+func TestShardedRouting(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	kids := make([]Backend, len(names))
+	mems := make([]*Mem, len(names))
+	for i := range kids {
+		mems[i] = NewMem()
+		kids[i] = mems[i]
+	}
+	s, err := NewSharded(names, kids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perShard := map[string]int{}
+	for i := 0; i < 500; i++ {
+		addr := Addr(fmt.Sprintf("key-%d", i))
+		if err := s.Put(addr, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		owner := s.Shard(addr)
+		perShard[owner]++
+		// The blob must live on exactly the owning child.
+		found := 0
+		for i, n := range names {
+			if _, err := mems[i].Get(addr); err == nil {
+				found++
+				if n != owner {
+					t.Fatalf("addr %s stored on %s, owner is %s", addr, n, owner)
+				}
+			}
+		}
+		if found != 1 {
+			t.Fatalf("addr %s present on %d shards", addr, found)
+		}
+	}
+	for _, n := range names {
+		if perShard[n] == 0 {
+			t.Fatalf("shard %s received no entries: %v", n, perShard)
+		}
+	}
+}
+
+// TestCachedWriteBack asserts the write-back contract: a Put is visible to
+// Get and List immediately, and lands durably in the backing store by
+// Flush.
+func TestCachedWriteBack(t *testing.T) {
+	back := NewMem()
+	c := NewCached(back, 4)
+	defer c.Close()
+	addr := Addr("wb")
+	if err := c.Put(addr, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := c.Get(addr); err != nil || string(got) != "hello" {
+		t.Fatalf("Get after Put = %q, %v", got, err)
+	}
+	addrs, err := c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 1 || addrs[0] != addr {
+		t.Fatalf("List after Put = %v", addrs)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := back.Get(addr); err != nil || string(got) != "hello" {
+		t.Fatalf("backing after Flush = %q, %v", got, err)
+	}
+}
+
+// TestCachedReadThroughAndEviction: a backing entry populates the memory
+// tier on first Get, and clean entries are evicted at capacity while
+// remaining servable from the backing store.
+func TestCachedReadThroughAndEviction(t *testing.T) {
+	back := NewMem()
+	for i := 0; i < 10; i++ {
+		back.Put(Addr(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	c := NewCached(back, 4)
+	defer c.Close()
+	for i := 0; i < 10; i++ {
+		got, err := c.Get(Addr(fmt.Sprintf("k%d", i)))
+		if err != nil || string(got) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("read-through k%d = %q, %v", i, got, err)
+		}
+	}
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	if n > 4 {
+		t.Fatalf("cache holds %d entries, capacity 4", n)
+	}
+	// Everything is still servable (from backing after eviction).
+	for i := 0; i < 10; i++ {
+		if _, err := c.Get(Addr(fmt.Sprintf("k%d", i))); err != nil {
+			t.Fatalf("post-eviction Get k%d: %v", i, err)
+		}
+	}
+}
+
+// TestCachedConcurrent hammers the tier from several goroutines so the
+// race detector can chew on the flusher/accessor interleavings.
+func TestCachedConcurrent(t *testing.T) {
+	c := NewCached(NewMem(), 16)
+	defer c.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				addr := Addr(fmt.Sprintf("k%d", i%32))
+				switch i % 3 {
+				case 0:
+					c.Put(addr, []byte(fmt.Sprintf("g%d-%d", g, i)))
+				case 1:
+					c.Get(addr)
+				default:
+					c.List()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreOverShardedCached runs the full Store envelope logic over the
+// scaled-out composition and confirms cross-handle visibility: a second
+// Store over the same shard directories (a different coordinator process)
+// sees entries the first one flushed.
+func TestStoreOverShardedCached(t *testing.T) {
+	root := t.TempDir()
+	dirs := []string{filepath.Join(root, "s0"), filepath.Join(root, "s1")}
+	st, err := OpenSharded(dirs, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type payload struct{ N int }
+	for i := 0; i < 20; i++ {
+		if err := st.Put(fmt.Sprintf("cell-%d", i), payload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// A second process's handle over the same shards.
+	st2, err := OpenSharded(dirs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		var p payload
+		hit, err := st2.Get(fmt.Sprintf("cell-%d", i), &p)
+		if err != nil || !hit || p.N != i {
+			t.Fatalf("cross-handle get cell-%d: hit=%v p=%+v err=%v", i, hit, p, err)
+		}
+	}
+	// Both shard directories must actually hold entries.
+	for _, d := range dirs {
+		dir, err := NewDir(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, _, err := dir.Usage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			t.Fatalf("shard %s holds no entries — routing sent everything elsewhere", d)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Dir is the filesystem Backend: one blob per address under root, with a
+// two-level fan-out (root/<addr[:2]>/<addr>.json) that keeps directories
+// small at millions of entries. Writes are atomic (same-directory temp
+// file + rename), so a crashed writer never leaves a half-blob where a
+// reader can see it and concurrent same-address writers are idempotent.
+// Safe for concurrent use by multiple processes sharing the directory.
+type Dir struct {
+	root string
+}
+
+// NewDir prepares a directory backend rooted at root, creating it if
+// needed.
+func NewDir(root string) (*Dir, error) {
+	if root == "" {
+		return nil, errors.New("store: empty directory")
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Dir{root: root}, nil
+}
+
+// Root returns the backend's root directory.
+func (d *Dir) Root() string { return d.root }
+
+func (d *Dir) Describe() string { return d.root }
+
+// path maps a content address to its on-disk location.
+func (d *Dir) path(addr string) string {
+	fan := addr
+	if len(fan) > 2 {
+		fan = fan[:2]
+	}
+	return filepath.Join(d.root, fan, addr+".json")
+}
+
+func (d *Dir) Get(addr string) ([]byte, error) {
+	raw, err := os.ReadFile(d.path(addr))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: read %q: %w", addr, err)
+	}
+	return raw, nil
+}
+
+func (d *Dir) Put(addr string, data []byte) error {
+	dst := d.path(addr)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), ".put-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: write %q: %w", addr, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: close %q: %w", addr, err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: rename %q: %w", addr, err)
+	}
+	return nil
+}
+
+func (d *Dir) Delete(addr string) error {
+	err := os.Remove(d.path(addr))
+	if err == nil || errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	return fmt.Errorf("store: delete %q: %w", addr, err)
+}
+
+func (d *Dir) List() ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(d.root, func(path string, e fs.DirEntry, err error) error {
+		if err != nil || e.IsDir() || filepath.Ext(path) != ".json" {
+			return err
+		}
+		out = append(out, strings.TrimSuffix(filepath.Base(path), ".json"))
+		return nil
+	})
+	return out, err
+}
+
+// Usage walks the directory and totals entry count and bytes without
+// reading payloads (cheaper than the generic List+Get fallback).
+func (d *Dir) Usage() (entries int, bytes int64, err error) {
+	err = filepath.WalkDir(d.root, func(path string, e fs.DirEntry, err error) error {
+		if err != nil || e.IsDir() || filepath.Ext(path) != ".json" {
+			return err
+		}
+		info, err := e.Info()
+		if err != nil {
+			return err
+		}
+		entries++
+		bytes += info.Size()
+		return nil
+	})
+	return entries, bytes, err
+}

@@ -1,0 +1,133 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"drishti/internal/ring"
+)
+
+// shardPrefixLen is how much of the content address feeds the ring.
+// Addresses are hex SHA-256, so any prefix is uniformly distributed; 16
+// hex digits (64 bits) is far beyond collision range for routing while
+// making the "routes by key prefix" contract literal: two addresses that
+// share their 16-char prefix always land on the same shard.
+const shardPrefixLen = 16
+
+// Sharded is a composite Backend that splits the address space across
+// child backends by consistent hashing of the address prefix. Routing is
+// a pure function of (address, shard names), so every process that lists
+// the same shards — coordinators, workers, tools — resolves every address
+// to the same shard with no coordination, and adding a shard strands only
+// ~K/n existing entries (which re-enter as plain misses and are healed by
+// the next Put).
+type Sharded struct {
+	names  []string
+	ring   *ring.Ring
+	shards map[string]Backend
+}
+
+// NewSharded builds a composite over named child backends. Names are the
+// ring identity: keep them stable (e.g. the shard directory path) or
+// entries strand. len(names) must equal len(backends) and be non-zero.
+func NewSharded(names []string, backends []Backend) (*Sharded, error) {
+	if len(names) == 0 || len(names) != len(backends) {
+		return nil, fmt.Errorf("store: sharded needs matching names and backends, got %d/%d", len(names), len(backends))
+	}
+	s := &Sharded{shards: make(map[string]Backend, len(names))}
+	for i, n := range names {
+		if n == "" {
+			return nil, errors.New("store: empty shard name")
+		}
+		if _, dup := s.shards[n]; dup {
+			return nil, fmt.Errorf("store: duplicate shard name %q", n)
+		}
+		s.shards[n] = backends[i]
+		s.names = append(s.names, n)
+	}
+	sort.Strings(s.names)
+	s.ring = ring.New(s.names, 0)
+	return s, nil
+}
+
+// route picks the child backend owning addr.
+func (s *Sharded) route(addr string) Backend {
+	p := addr
+	if len(p) > shardPrefixLen {
+		p = p[:shardPrefixLen]
+	}
+	return s.shards[s.ring.Owner(p)]
+}
+
+// Shard exposes the owning shard's name for an address (tests and stats).
+func (s *Sharded) Shard(addr string) string {
+	p := addr
+	if len(p) > shardPrefixLen {
+		p = p[:shardPrefixLen]
+	}
+	return s.ring.Owner(p)
+}
+
+// Names returns the sorted shard names.
+func (s *Sharded) Names() []string { return s.ring.Members() }
+
+func (s *Sharded) Get(addr string) ([]byte, error)    { return s.route(addr).Get(addr) }
+func (s *Sharded) Put(addr string, data []byte) error { return s.route(addr).Put(addr, data) }
+func (s *Sharded) Delete(addr string) error           { return s.route(addr).Delete(addr) }
+
+// List merges the children's listings. Addresses stranded on a non-owning
+// shard by a membership change are still listed (they exist on disk),
+// deduplicated against the owner's copy.
+func (s *Sharded) List() ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	for _, n := range s.names {
+		addrs, err := s.shards[n].List()
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range addrs {
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+	}
+	return out, nil
+}
+
+func (s *Sharded) Usage() (entries int, bytes int64, err error) {
+	for _, n := range s.names {
+		e, b, err := Usage(s.shards[n])
+		if err != nil {
+			return entries, bytes, err
+		}
+		entries += e
+		bytes += b
+	}
+	return entries, bytes, nil
+}
+
+func (s *Sharded) Describe() string {
+	descs := make([]string, len(s.names))
+	for i, n := range s.names {
+		descs[i] = Describe(s.shards[n])
+	}
+	return "sharded[" + strings.Join(descs, ",") + "]"
+}
+
+// Flush forwards to every child that supports it (e.g. per-shard Cached
+// tiers).
+func (s *Sharded) Flush() error {
+	var errs []error
+	for _, n := range s.names {
+		if f, ok := s.shards[n].(flusher); ok {
+			if err := f.Flush(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	return errors.Join(errs...)
+}

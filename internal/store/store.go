@@ -1,16 +1,24 @@
 // Package store is a durable, content-addressed result store: a disk-backed
 // extension of the in-memory memo caches. Entries are keyed by the explicit
-// Key() builders (sim.Config, policies.Spec, workload.Mix), addressed on
-// disk by the SHA-256 of the key, and written atomically (temp file +
-// rename) so a crashed writer never leaves a half-entry where a reader can
-// see it. Every entry carries a schema version and a payload checksum;
-// version mismatches and corrupted entries are treated as misses (and the
-// bad file removed) so callers always fall back to recompute instead of
-// consuming damaged results.
+// Key() builders (sim.Config, policies.Spec, workload.Mix), addressed by the
+// SHA-256 of the key, and written atomically so a crashed writer never
+// leaves a half-entry where a reader can see it. Every entry carries a
+// schema version and a payload checksum; version mismatches and corrupted
+// entries are treated as misses (and the bad blob removed) so callers
+// always fall back to recompute instead of consuming damaged results.
+//
+// The Store is layered: envelope framing, checksums, and hit/miss
+// accounting live here, while blob placement is a pluggable Backend
+// (Get/Put/Delete/List by content address). Dir is the classic
+// one-directory layout; Sharded consistent-hashes the address space across
+// several backends so one logical store spans disks or machines; Cached
+// adds a read-through/write-back memory tier in front of any of them. All
+// compositions serve the same envelopes, so fleet nodes with different
+// topologies still dedup against each other.
 //
 // The drishti-served job service fronts the simulator with a Store: a job
 // whose (config, mix) key was computed by any earlier process — not just
-// the current one — is served from disk in O(1).
+// the current one — is served from the backend in O(1).
 package store
 
 import (
@@ -19,9 +27,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -33,7 +41,7 @@ import (
 // invalidated on read.
 const SchemaVersion = 1
 
-// envelope is the on-disk frame around a payload.
+// envelope is the stored frame around a payload.
 type envelope struct {
 	Version int             `json:"v"`
 	Key     string          `json:"key"`
@@ -51,11 +59,13 @@ type Stats struct {
 	PutErrors uint64 `json:"putErrors"`
 }
 
-// Store is a content-addressed entry store rooted at one directory. All
-// methods are safe for concurrent use, including by multiple processes
-// sharing the directory (atomic rename makes same-key writers idempotent).
+// Store frames entries (schema version, key echo, payload checksum) over a
+// Backend. All methods are safe for concurrent use, including by multiple
+// processes sharing the same backend (atomic backend writes make same-key
+// writers idempotent).
 type Store struct {
-	dir string
+	be  Backend
+	dir string // root directory for dir-backed stores; else a description
 
 	hits, misses, corrupt, stale, puts, putErrs atomic.Uint64
 
@@ -64,19 +74,83 @@ type Store struct {
 	cHits, cMiss, cCorr *obs.Counter
 }
 
-// Open prepares a store rooted at dir, creating it if needed.
+// Open prepares a store over the classic single-directory backend rooted
+// at dir, creating it if needed.
 func Open(dir string) (*Store, error) {
-	if dir == "" {
-		return nil, errors.New("store: empty directory")
+	be, err := NewDir(dir)
+	if err != nil {
+		return nil, err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("store: %w", err)
-	}
-	return &Store{dir: dir}, nil
+	return &Store{be: be, dir: dir}, nil
 }
 
-// Dir returns the store's root directory.
+// OpenBackend wraps an already-built backend composition (sharded, cached,
+// in-memory, ...) in a Store.
+func OpenBackend(be Backend) *Store {
+	return &Store{be: be, dir: Describe(be)}
+}
+
+// OpenSharded builds the standard scaled-out composition: one Dir backend
+// per shard directory, consistent-hash routed, with an optional
+// read-through/write-back memory tier of cacheEntries entries in front
+// (0 disables the tier, <0 takes DefaultCacheEntries). A single directory
+// degenerates to the classic layout plus the optional tier.
+func OpenSharded(dirs []string, cacheEntries int) (*Store, error) {
+	if len(dirs) == 0 {
+		return nil, errors.New("store: no shard directories")
+	}
+	var be Backend
+	if len(dirs) == 1 {
+		d, err := NewDir(dirs[0])
+		if err != nil {
+			return nil, err
+		}
+		be = d
+	} else {
+		names := make([]string, len(dirs))
+		backends := make([]Backend, len(dirs))
+		for i, dir := range dirs {
+			d, err := NewDir(dir)
+			if err != nil {
+				return nil, err
+			}
+			// The ring identity is the shard's position-independent name:
+			// the cleaned path, so every process naming the same
+			// directories routes identically.
+			names[i] = filepath.Clean(dir)
+			backends[i] = d
+		}
+		sh, err := NewSharded(names, backends)
+		if err != nil {
+			return nil, err
+		}
+		be = sh
+	}
+	if cacheEntries != 0 {
+		if cacheEntries < 0 {
+			cacheEntries = DefaultCacheEntries
+		}
+		be = NewCached(be, cacheEntries)
+	}
+	return &Store{be: be, dir: strings.Join(dirs, ",")}, nil
+}
+
+// Dir returns the store's root directory for dir-backed stores, or a
+// human-readable description of the backend composition otherwise.
 func (s *Store) Dir() string { return s.dir }
+
+// Backend exposes the underlying backend (stats endpoints and tests).
+func (s *Store) Backend() Backend { return s.be }
+
+// Flush forces any write-back tier in the backend composition to drain and
+// returns the first asynchronous write failure it absorbed. A no-op for
+// fully synchronous backends.
+func (s *Store) Flush() error {
+	if f, ok := s.be.(flusher); ok {
+		return f.Flush()
+	}
+	return nil
+}
 
 // Attach mirrors hit/miss/corruption counts into reg as
 // <prefix>_hits/_misses/_corrupt so /metrics exposes store behavior live.
@@ -92,12 +166,11 @@ func (s *Store) Attach(reg *obs.Registry, prefix string) *Store {
 	return s
 }
 
-// path maps a key to its content address: two-level fan-out keeps
-// directories small at millions of entries.
-func (s *Store) path(key string) string {
+// Addr maps a key to its content address: the hex SHA-256 every backend
+// stores the entry under.
+func Addr(key string) string {
 	sum := sha256.Sum256([]byte(key))
-	name := hex.EncodeToString(sum[:])
-	return filepath.Join(s.dir, name[:2], name+".json")
+	return hex.EncodeToString(sum[:])
 }
 
 func (s *Store) bumpHit() {
@@ -130,11 +203,12 @@ func (s *Store) bumpCorrupt() {
 // Get loads the entry for key into v (a pointer, as for json.Unmarshal).
 // It returns (true, nil) on a hit. Absent, stale-version, and corrupted
 // entries all report (false, nil) — a miss the caller recovers from by
-// recomputing; damaged files are removed so the next Put heals the slot.
+// recomputing; damaged blobs are removed so the next Put heals the slot.
 // Only environmental failures (e.g. permission errors) surface as errors.
 func (s *Store) Get(key string, v any) (bool, error) {
-	raw, err := os.ReadFile(s.path(key))
-	if errors.Is(err, fs.ErrNotExist) {
+	addr := Addr(key)
+	raw, err := s.be.Get(addr)
+	if errors.Is(err, ErrNotFound) {
 		s.bumpMiss()
 		return false, nil
 	}
@@ -143,24 +217,24 @@ func (s *Store) Get(key string, v any) (bool, error) {
 	}
 	var env envelope
 	if err := json.Unmarshal(raw, &env); err != nil {
-		s.discardCorrupt(key)
+		s.discardCorrupt(addr)
 		return false, nil
 	}
 	if env.Version != SchemaVersion {
-		s.discardStale(key)
+		s.discardStale(addr)
 		return false, nil
 	}
-	if env.Key != key { // hash collision or foreign file; never deliver
-		s.discardCorrupt(key)
+	if env.Key != key { // hash collision or foreign blob; never deliver
+		s.discardCorrupt(addr)
 		return false, nil
 	}
 	sum := sha256.Sum256(env.Payload)
 	if hex.EncodeToString(sum[:]) != env.Sum {
-		s.discardCorrupt(key)
+		s.discardCorrupt(addr)
 		return false, nil
 	}
 	if err := json.Unmarshal(env.Payload, v); err != nil {
-		s.discardCorrupt(key)
+		s.discardCorrupt(addr)
 		return false, nil
 	}
 	s.bumpHit()
@@ -169,24 +243,23 @@ func (s *Store) Get(key string, v any) (bool, error) {
 
 // discardCorrupt removes a damaged entry and counts it as a corruption
 // plus a miss (the caller recomputes).
-func (s *Store) discardCorrupt(key string) {
-	os.Remove(s.path(key))
+func (s *Store) discardCorrupt(addr string) {
+	s.be.Delete(addr)
 	s.bumpCorrupt()
 	s.bumpMiss()
 }
 
 // discardStale removes an entry written under another schema version.
-func (s *Store) discardStale(key string) {
-	os.Remove(s.path(key))
+func (s *Store) discardStale(addr string) {
+	s.be.Delete(addr)
 	s.stale.Add(1)
 	s.bumpMiss()
 }
 
-// Put durably stores v under key, replacing any existing entry. The write
-// is atomic: the envelope lands in a temp file in the same directory and is
-// renamed into place, so concurrent readers see either the old entry or the
-// new one, never a torn file, and concurrent same-key writers are
-// idempotent (both rename a complete file).
+// Put durably stores v under key, replacing any existing entry. Backend
+// writes are atomic, so concurrent readers see either the old entry or the
+// new one, never a torn blob, and concurrent same-key writers are
+// idempotent.
 func (s *Store) Put(key string, v any) error {
 	payload, err := json.Marshal(v)
 	if err != nil {
@@ -204,31 +277,9 @@ func (s *Store) Put(key string, v any) error {
 		s.putErrs.Add(1)
 		return fmt.Errorf("store: encode envelope %q: %w", key, err)
 	}
-	dst := s.path(key)
-	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+	if err := s.be.Put(Addr(key), raw); err != nil {
 		s.putErrs.Add(1)
-		return fmt.Errorf("store: %w", err)
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(dst), ".put-*")
-	if err != nil {
-		s.putErrs.Add(1)
-		return fmt.Errorf("store: %w", err)
-	}
-	if _, err := tmp.Write(raw); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		s.putErrs.Add(1)
-		return fmt.Errorf("store: write %q: %w", key, err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		s.putErrs.Add(1)
-		return fmt.Errorf("store: close %q: %w", key, err)
-	}
-	if err := os.Rename(tmp.Name(), dst); err != nil {
-		os.Remove(tmp.Name())
-		s.putErrs.Add(1)
-		return fmt.Errorf("store: rename %q: %w", key, err)
+		return err
 	}
 	s.puts.Add(1)
 	return nil
@@ -246,23 +297,10 @@ func (s *Store) Stats() Stats {
 	}
 }
 
-// DiskStats walks the store directory and returns the entry count and total
-// payload bytes on disk (served by GET /v1/store/stats; O(entries), so it
-// is not on any hot path).
+// DiskStats reports the backend's entry count and stored bytes (served by
+// GET /v1/store/stats; O(entries), so it is not on any hot path).
 func (s *Store) DiskStats() (entries int, bytes int64, err error) {
-	err = filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
-		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
-			return err
-		}
-		info, err := d.Info()
-		if err != nil {
-			return err
-		}
-		entries++
-		bytes += info.Size()
-		return nil
-	})
-	return entries, bytes, err
+	return Usage(s.be)
 }
 
 // WriteFileAtomic writes data to path via a same-directory temp file and
